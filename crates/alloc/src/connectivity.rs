@@ -1,0 +1,428 @@
+//! Connectivity/closeness-driven merging — the allocation style of the
+//! CAMAD high-level synthesis system (Peng & Kuchcinski, TCAD 1994),
+//! which the paper uses as its no-testability baseline.
+//!
+//! "Conventional allocation approaches often select and merge the data
+//! path nodes according to their connectivity or closeness, which aims to
+//! minimize interconnections and multiplexors" (paper, §3). This module
+//! scores candidate mergers by exactly that objective and provides a
+//! standalone fixed-schedule merger; the full CAMAD baseline (which also
+//! reschedules) lives in `hlts-core`'s baseline driver and reuses these
+//! scores.
+
+use hlts_dfg::{Dfg, OpId, ValueId};
+use hlts_sched::Lifetimes;
+
+use crate::{Allocation, ModuleId, RegisterId};
+
+/// Tuning knobs for connectivity scoring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectivityParams {
+    /// Cost per 2-to-1 multiplexer a merger introduces.
+    pub mux_penalty: f64,
+    /// Bonus per shared source/sink connection a merger saves.
+    pub share_bonus: f64,
+    /// Whether register mergers are considered at all. CAMAD-style flows
+    /// often keep one register per variable (as the paper's CAMAD rows
+    /// show for Ex and Dct) because register sharing buys little
+    /// interconnect and costs muxes.
+    pub merge_registers: bool,
+}
+
+impl Default for ConnectivityParams {
+    fn default() -> Self {
+        ConnectivityParams {
+            mux_penalty: 1.0,
+            share_bonus: 2.0,
+            merge_registers: true,
+        }
+    }
+}
+
+/// Connectivity gain of merging two modules: saved interconnect (shared
+/// input-port sources and shared output sinks) minus the muxes the merge
+/// introduces. Positive means the merge reduces wiring.
+#[must_use]
+pub fn module_merge_gain(
+    dfg: &Dfg,
+    alloc: &Allocation,
+    params: &ConnectivityParams,
+    a: ModuleId,
+    b: ModuleId,
+) -> f64 {
+    let (ma, mb) = match (alloc.module(a), alloc.module(b)) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return f64::NEG_INFINITY,
+    };
+    let max_arity = ma
+        .ops()
+        .iter()
+        .chain(mb.ops())
+        .map(|&o| dfg.op(o).inputs().len())
+        .max()
+        .unwrap_or(0);
+    let mut shared = 0usize;
+    let mut muxes = 0usize;
+    for port in 0..max_arity {
+        let src = |ops: &[OpId]| -> Vec<Option<RegisterId>> {
+            let mut v: Vec<Option<RegisterId>> = ops
+                .iter()
+                .filter_map(|&o| dfg.op(o).inputs().get(port).copied())
+                .map(|val| alloc.register_of(val))
+                .collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let sa = src(ma.ops());
+        let sb = src(mb.ops());
+        shared += sa.iter().filter(|s| sb.contains(s)).count();
+        let mut union = sa.clone();
+        for s in &sb {
+            if !union.contains(s) {
+                union.push(*s);
+            }
+        }
+        // a merged port needs (|union| - 1) 2:1 muxes; separately the two
+        // ports needed (|sa|-1) + (|sb|-1).
+        let before = sa.len().saturating_sub(1) + sb.len().saturating_sub(1);
+        muxes += union.len().saturating_sub(1).saturating_sub(before);
+    }
+    // shared output sinks: registers written by both modules
+    let sinks = |ops: &[OpId]| -> Vec<RegisterId> {
+        let mut v: Vec<RegisterId> = ops
+            .iter()
+            .filter_map(|&o| dfg.op(o).output())
+            .filter_map(|val| alloc.register_of(val))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let ka = sinks(ma.ops());
+    let kb = sinks(mb.ops());
+    let shared_sinks = ka.iter().filter(|s| kb.contains(s)).count();
+    params.share_bonus * (shared + shared_sinks) as f64 - params.mux_penalty * muxes as f64
+}
+
+/// Connectivity gain of merging two registers: saved interconnect
+/// (shared producer modules and shared consumer module ports) minus
+/// introduced muxes.
+#[must_use]
+pub fn register_merge_gain(
+    dfg: &Dfg,
+    alloc: &Allocation,
+    params: &ConnectivityParams,
+    a: RegisterId,
+    b: RegisterId,
+) -> f64 {
+    let (ra, rb) = match (alloc.register(a), alloc.register(b)) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return f64::NEG_INFINITY,
+    };
+    let producers = |vals: &[ValueId]| -> Vec<Option<ModuleId>> {
+        let mut v: Vec<Option<ModuleId>> = vals
+            .iter()
+            .map(|&val| dfg.def_of(val).map(|o| alloc.module_of(o)))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let consumers = |vals: &[ValueId]| -> Vec<(ModuleId, usize)> {
+        let mut v: Vec<(ModuleId, usize)> = vals
+            .iter()
+            .flat_map(|&val| {
+                dfg.uses_of(val).iter().flat_map(move |&o| {
+                    dfg.op(o)
+                        .inputs()
+                        .iter()
+                        .enumerate()
+                        .filter(move |&(_, &iv)| iv == val)
+                        .map(move |(port, _)| (alloc.module_of(o), port))
+                })
+            })
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let pa = producers(ra.values());
+    let pb = producers(rb.values());
+    let shared_prod = pa.iter().filter(|p| pb.contains(p)).count();
+    let mut union = pa.clone();
+    for p in &pb {
+        if !union.contains(p) {
+            union.push(*p);
+        }
+    }
+    let muxes_before = pa.len().saturating_sub(1) + pb.len().saturating_sub(1);
+    let muxes = union.len().saturating_sub(1).saturating_sub(muxes_before);
+    let ca = consumers(ra.values());
+    let cb = consumers(rb.values());
+    let shared_cons = ca.iter().filter(|c| cb.contains(c)).count();
+    params.share_bonus * (shared_prod + shared_cons) as f64 - params.mux_penalty * muxes as f64
+}
+
+/// Standalone connectivity merger under a *fixed* schedule: repeatedly
+/// apply the highest positive-gain legal merger until none remains.
+///
+/// Module mergers require the hosted operations to occupy distinct steps;
+/// register mergers require disjoint lifetimes (and are only considered
+/// when [`ConnectivityParams::merge_registers`] is set).
+///
+/// This models a schedule-then-allocate connectivity flow; the paper's
+/// CAMAD baseline, which intertwines rescheduling, is driven from
+/// `hlts-core` using the same gain functions.
+#[must_use]
+pub fn connectivity_merge(
+    dfg: &Dfg,
+    schedule: &hlts_sched::Schedule,
+    lifetimes: &Lifetimes,
+    params: &ConnectivityParams,
+) -> Allocation {
+    let mut alloc = Allocation::one_to_one(dfg);
+    loop {
+        let mut best: Option<(f64, Candidate)> = None;
+        // module pairs
+        let module_ids: Vec<ModuleId> = alloc.modules().map(|m| m.id()).collect();
+        for (i, &a) in module_ids.iter().enumerate() {
+            for &b in &module_ids[i + 1..] {
+                if !modules_step_compatible(dfg, &alloc, schedule, a, b)
+                    || !modules_kind_compatible(dfg, &alloc, a, b)
+                {
+                    continue;
+                }
+                let gain = module_merge_gain(dfg, &alloc, params, a, b);
+                if gain > 0.0 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                    best = Some((gain, Candidate::Modules(a, b)));
+                }
+            }
+        }
+        if params.merge_registers {
+            let reg_ids: Vec<RegisterId> = alloc.registers().map(|r| r.id()).collect();
+            for (i, &a) in reg_ids.iter().enumerate() {
+                for &b in &reg_ids[i + 1..] {
+                    if !registers_lifetime_compatible(&alloc, lifetimes, a, b) {
+                        continue;
+                    }
+                    let gain = register_merge_gain(dfg, &alloc, params, a, b);
+                    if gain > 0.0 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                        best = Some((gain, Candidate::Registers(a, b)));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, Candidate::Modules(a, b))) => {
+                alloc
+                    .merge_modules(dfg, a, b)
+                    .expect("candidate pre-checked");
+            }
+            Some((_, Candidate::Registers(a, b))) => {
+                alloc
+                    .merge_registers_checked(dfg, lifetimes, a, b)
+                    .expect("candidate pre-checked");
+            }
+            None => break,
+        }
+    }
+    alloc
+}
+
+enum Candidate {
+    Modules(ModuleId, ModuleId),
+    Registers(RegisterId, RegisterId),
+}
+
+/// Whether all cross pairs of the two modules' operations sit in distinct
+/// steps of `schedule`.
+pub(crate) fn modules_step_compatible(
+    _dfg: &Dfg,
+    alloc: &Allocation,
+    schedule: &hlts_sched::Schedule,
+    a: ModuleId,
+    b: ModuleId,
+) -> bool {
+    let (ma, mb) = match (alloc.module(a), alloc.module(b)) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return false,
+    };
+    for &oa in ma.ops() {
+        for &ob in mb.ops() {
+            if schedule.step_of(oa) == schedule.step_of(ob) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+pub(crate) fn modules_kind_compatible(
+    dfg: &Dfg,
+    alloc: &Allocation,
+    a: ModuleId,
+    b: ModuleId,
+) -> bool {
+    let (ma, mb) = match (alloc.module(a), alloc.module(b)) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return false,
+    };
+    ma.ops().iter().all(|&oa| {
+        mb.ops().iter().all(|&ob| {
+            dfg.op(oa)
+                .kind()
+                .fu_class()
+                .compatible(dfg.op(ob).kind().fu_class())
+        })
+    })
+}
+
+pub(crate) fn registers_lifetime_compatible(
+    alloc: &Allocation,
+    lifetimes: &Lifetimes,
+    a: RegisterId,
+    b: RegisterId,
+) -> bool {
+    let (ra, rb) = match (alloc.register(a), alloc.register(b)) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return false,
+    };
+    ra.values()
+        .iter()
+        .all(|&va| rb.values().iter().all(|&vb| lifetimes.disjoint(va, vb)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_dfg::{DfgBuilder, OpKind};
+    use hlts_sched::{list_schedule, ListPriority};
+
+    /// Two sequential muls reading the same register pair — the canonical
+    /// profitable connectivity merge.
+    fn sequential_muls() -> Dfg {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t1 = b.op("N1", OpKind::Mul, &[a, c], "t1").unwrap();
+        let t2 = b.op("N2", OpKind::Mul, &[a, c], "t2").unwrap();
+        let y = b.op("N3", OpKind::Add, &[t1, t2], "y").unwrap();
+        b.mark_output(y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn shared_sources_give_positive_gain() {
+        let d = sequential_muls();
+        let alloc = Allocation::one_to_one(&d);
+        let n1 = d.op_by_name("N1").unwrap();
+        let n2 = d.op_by_name("N2").unwrap();
+        let g = module_merge_gain(
+            &d,
+            &alloc,
+            &ConnectivityParams::default(),
+            alloc.module_of(n1),
+            alloc.module_of(n2),
+        );
+        assert!(g > 0.0, "gain {g}");
+    }
+
+    #[test]
+    fn disjoint_sources_give_nonpositive_gain() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let e = b.input("e");
+        let f = b.input("f");
+        b.op("N1", OpKind::Mul, &[a, c], "t1").unwrap();
+        b.op("N2", OpKind::Mul, &[e, f], "t2").unwrap();
+        let d = b.finish().unwrap();
+        let alloc = Allocation::one_to_one(&d);
+        let n1 = d.op_by_name("N1").unwrap();
+        let n2 = d.op_by_name("N2").unwrap();
+        let g = module_merge_gain(
+            &d,
+            &alloc,
+            &ConnectivityParams::default(),
+            alloc.module_of(n1),
+            alloc.module_of(n2),
+        );
+        assert!(g <= 0.0, "gain {g}");
+    }
+
+    #[test]
+    fn merge_loop_reduces_modules_and_respects_schedule() {
+        let d = sequential_muls();
+        // force the two muls into different steps so the merge is legal
+        let mut d2 = d.clone();
+        let n1 = d2.op_by_name("N1").unwrap();
+        let n2 = d2.op_by_name("N2").unwrap();
+        d2.add_precedence(n1, n2).unwrap();
+        let s = list_schedule(&d2, &[], ListPriority::CriticalPath).unwrap();
+        let lt = Lifetimes::compute(&d2, &s);
+        let alloc = connectivity_merge(&d2, &s, &lt, &ConnectivityParams::default());
+        assert!(alloc.num_modules() < 3);
+        alloc.validate(&d2, &s, &lt).unwrap();
+    }
+
+    #[test]
+    fn same_step_modules_never_merge() {
+        let d = sequential_muls();
+        let s = list_schedule(&d, &[], ListPriority::CriticalPath).unwrap();
+        // N1, N2 share step 0 under ASAP
+        assert_eq!(s.step_of(d.op_by_name("N1").unwrap()), 0);
+        assert_eq!(s.step_of(d.op_by_name("N2").unwrap()), 0);
+        let lt = Lifetimes::compute(&d, &s);
+        let alloc = connectivity_merge(&d, &s, &lt, &ConnectivityParams::default());
+        let n1 = d.op_by_name("N1").unwrap();
+        let n2 = d.op_by_name("N2").unwrap();
+        assert_ne!(alloc.module_of(n1), alloc.module_of(n2));
+        alloc.validate(&d, &s, &lt).unwrap();
+    }
+
+    #[test]
+    fn register_gain_counts_shared_producers() {
+        let d = sequential_muls();
+        let mut d2 = d;
+        let n1 = d2.op_by_name("N1").unwrap();
+        let n2 = d2.op_by_name("N2").unwrap();
+        d2.add_precedence(n1, n2).unwrap();
+        let s = list_schedule(&d2, &[], ListPriority::CriticalPath).unwrap();
+        let lt = Lifetimes::compute(&d2, &s);
+        let mut alloc = Allocation::one_to_one(&d2);
+        // merge the two mul modules first so t1/t2 share a producer
+        alloc
+            .merge_modules(&d2, alloc.module_of(n1), alloc.module_of(n2))
+            .unwrap();
+        let t1 = d2.value_by_name("t1").unwrap();
+        let t2 = d2.value_by_name("t2").unwrap();
+        let g = register_merge_gain(
+            &d2,
+            &alloc,
+            &ConnectivityParams::default(),
+            alloc.register_of(t1).unwrap(),
+            alloc.register_of(t2).unwrap(),
+        );
+        assert!(g > 0.0, "gain {g}");
+        let _ = (s, lt);
+    }
+
+    #[test]
+    fn no_register_merging_when_disabled() {
+        let d = sequential_muls();
+        let mut d2 = d;
+        let n1 = d2.op_by_name("N1").unwrap();
+        let n2 = d2.op_by_name("N2").unwrap();
+        d2.add_precedence(n1, n2).unwrap();
+        let s = list_schedule(&d2, &[], ListPriority::CriticalPath).unwrap();
+        let lt = Lifetimes::compute(&d2, &s);
+        let params = ConnectivityParams {
+            merge_registers: false,
+            ..ConnectivityParams::default()
+        };
+        let alloc = connectivity_merge(&d2, &s, &lt, &params);
+        // one register per data value, untouched
+        assert_eq!(alloc.num_registers(), 5);
+    }
+}

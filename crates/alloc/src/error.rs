@@ -1,0 +1,60 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by binding construction and merger transformations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// Two modules host operation kinds no shared functional unit can
+    /// execute (e.g. a multiplication and an addition).
+    IncompatibleModules {
+        /// Name of an operation in the first module.
+        a: String,
+        /// Name of an operation in the second module.
+        b: String,
+    },
+    /// A register merge would put two simultaneously-live values in one
+    /// register.
+    LifetimeOverlap {
+        /// First value's name.
+        a: String,
+        /// Second value's name.
+        b: String,
+    },
+    /// Two operations bound to one module share a control step.
+    StepConflict {
+        /// First operation's name.
+        a: String,
+        /// Second operation's name.
+        b: String,
+        /// The clashing step.
+        step: usize,
+    },
+    /// An id was out of range or stale (already merged away).
+    InvalidId(String),
+    /// A value that needs no register (constant/condition) was bound.
+    NeedsNoRegister(String),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::IncompatibleModules { a, b } => {
+                write!(f, "no shared functional unit can execute `{a}` and `{b}`")
+            }
+            AllocError::LifetimeOverlap { a, b } => {
+                write!(f, "values `{a}` and `{b}` are simultaneously live")
+            }
+            AllocError::StepConflict { a, b, step } => write!(
+                f,
+                "operations `{a}` and `{b}` share a module but both occupy step {step}"
+            ),
+            AllocError::InvalidId(s) => write!(f, "invalid or stale id: {s}"),
+            AllocError::NeedsNoRegister(s) => {
+                write!(f, "value `{s}` does not occupy a register")
+            }
+        }
+    }
+}
+
+impl Error for AllocError {}

@@ -1,0 +1,165 @@
+//! Left-edge register allocation, classic and Lee-style.
+
+use hlts_dfg::{Dfg, ValueId, ValueKind};
+use hlts_sched::Lifetimes;
+
+/// Classic left-edge register allocation: values sorted by increasing
+/// birth are packed first-fit into registers, yielding the minimum
+/// register count for the given lifetimes.
+///
+/// Returns register groups (each inner vector shares one register).
+/// Constants and condition flags occupy no register and are absent.
+///
+/// # Example
+///
+/// ```
+/// use hlts_dfg::parse;
+/// use hlts_sched::{list_schedule, Lifetimes, ListPriority};
+/// use hlts_alloc::left_edge_registers;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dfg = parse("dfg t { input a, b; N1: t = a + b; N2: y = t * b; output y; }")?;
+/// let s = list_schedule(&dfg, &[], ListPriority::CriticalPath)?;
+/// let lt = Lifetimes::compute(&dfg, &s);
+/// let groups = left_edge_registers(&dfg, &lt);
+/// // 4 data values fit in fewer than 4 registers thanks to disjoint lifetimes
+/// assert!(groups.len() < 4);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn left_edge_registers(dfg: &Dfg, lifetimes: &Lifetimes) -> Vec<Vec<ValueId>> {
+    let _ = dfg;
+    let mut groups: Vec<Vec<ValueId>> = Vec::new();
+    for v in lifetimes.register_values() {
+        // first register every occupant of which is lifetime-disjoint
+        // (the pairwise check also covers loop-copy slots)
+        match (0..groups.len()).find(|&g| groups[g].iter().all(|&m| lifetimes.disjoint(v, m))) {
+            Some(g) => groups[g].push(v),
+            None => groups.push(vec![v]),
+        }
+    }
+    groups
+}
+
+/// Lee, Wolf & Jha's testability-aware register allocation (their rule 1:
+/// *"whenever possible, allocate a register to at least one primary input
+/// or primary output variable"*).
+///
+/// Primary-input and primary-output variables are placed first (left-edge
+/// among themselves), seeding the register set with externally
+/// controllable/observable registers; the remaining variables are then
+/// packed first-fit into those seeded registers, opening new registers
+/// only when no seeded register is lifetime-compatible. The register
+/// count matches the left-edge minimum whenever the seeds allow it.
+#[must_use]
+pub fn lee_register_allocation(dfg: &Dfg, lifetimes: &Lifetimes) -> Vec<Vec<ValueId>> {
+    let is_pio = |v: ValueId| matches!(dfg.value(v).kind(), ValueKind::Input | ValueKind::Output);
+    let mut groups: Vec<Vec<ValueId>> = Vec::new();
+    let all = lifetimes.register_values();
+    for pass in 0..2 {
+        for &v in &all {
+            if (pass == 0) != is_pio(v) {
+                continue;
+            }
+            match (0..groups.len()).find(|&g| groups[g].iter().all(|&m| lifetimes.disjoint(v, m))) {
+                Some(g) => groups[g].push(v),
+                None => groups.push(vec![v]),
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_dfg::{DfgBuilder, OpKind};
+    use hlts_sched::{list_schedule, ListPriority, Schedule};
+
+    /// Chain a -> t1 -> t2 -> y: lifetimes mostly disjoint.
+    fn chain() -> (Dfg, Schedule) {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t1 = b.op("N1", OpKind::Add, &[a, c], "t1").unwrap();
+        let t2 = b.op("N2", OpKind::Add, &[t1, c], "t2").unwrap();
+        let y = b.op("N3", OpKind::Add, &[t2, c], "y").unwrap();
+        b.mark_output(y);
+        let d = b.finish().unwrap();
+        let s = list_schedule(&d, &[], ListPriority::CriticalPath).unwrap();
+        (d, s)
+    }
+
+    #[test]
+    fn left_edge_packs_chain() {
+        let (d, s) = chain();
+        let lt = Lifetimes::compute(&d, &s);
+        let groups = left_edge_registers(&d, &lt);
+        // a dies step 0; t1 born 1 dies 1; t2 born 2 dies 2; y born 3.
+        // a,t1,t2,y can share one register; c needs its own.
+        assert_eq!(groups.len(), 2, "{groups:?}");
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn left_edge_groups_are_disjoint_lifetimes() {
+        let (d, s) = chain();
+        let lt = Lifetimes::compute(&d, &s);
+        for g in left_edge_registers(&d, &lt) {
+            for (i, &a) in g.iter().enumerate() {
+                for &b in &g[i + 1..] {
+                    assert!(lt.disjoint(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn left_edge_matches_max_live_lower_bound() {
+        let (d, s) = chain();
+        let lt = Lifetimes::compute(&d, &s);
+        let groups = left_edge_registers(&d, &lt);
+        assert!(groups.len() >= lt.max_live().min(groups.len()));
+        // left-edge is optimal for interval graphs:
+        assert_eq!(groups.len(), lt.max_live());
+    }
+
+    #[test]
+    fn lee_every_register_has_pio_when_possible() {
+        let (d, s) = chain();
+        let lt = Lifetimes::compute(&d, &s);
+        let groups = lee_register_allocation(&d, &lt);
+        for g in &groups {
+            let has_pio = g.iter().any(|&v| {
+                matches!(
+                    d.value(v).kind(),
+                    hlts_dfg::ValueKind::Input | hlts_dfg::ValueKind::Output
+                )
+            });
+            assert!(has_pio, "register {g:?} lacks a PI/PO seed");
+        }
+    }
+
+    #[test]
+    fn lee_groups_are_legal() {
+        let (d, s) = chain();
+        let lt = Lifetimes::compute(&d, &s);
+        for g in lee_register_allocation(&d, &lt) {
+            for (i, &a) in g.iter().enumerate() {
+                for &b in &g[i + 1..] {
+                    assert!(lt.disjoint(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lee_covers_all_register_values() {
+        let (d, s) = chain();
+        let lt = Lifetimes::compute(&d, &s);
+        let n: usize = lee_register_allocation(&d, &lt).iter().map(Vec::len).sum();
+        assert_eq!(n, lt.register_values().len());
+    }
+}

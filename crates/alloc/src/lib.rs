@@ -1,0 +1,35 @@
+//! # hlts-alloc — data-path allocation substrate
+//!
+//! Module and register binding for the `hlts` high-level test synthesis
+//! system:
+//!
+//! * [`Allocation`] — the binding state: which operations share a
+//!   functional unit ([`Module`]) and which values share a [`Register`];
+//!   supports the *merger* transformation that drives the paper's
+//!   synthesis algorithm, plus legality checks and the paper's table
+//!   rendering;
+//! * [`left_edge_registers`] — classic left-edge register allocation and
+//!   [`lee_register_allocation`], the PI/PO-seeded variant used by the
+//!   paper's Approach 1/2 baselines (Lee et al.'s allocation rule 1);
+//! * [`greedy_module_allocation`] — step-wise functional-unit binding for
+//!   a fixed schedule (baseline module allocation);
+//! * [`connectivity_merge`] — connectivity/closeness-driven merging
+//!   without testability consideration, standing in for the CAMAD
+//!   synthesis baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binding;
+mod connectivity;
+mod error;
+mod left_edge;
+mod module_alloc;
+
+pub use binding::{Allocation, Module, ModuleId, Register, RegisterId};
+pub use connectivity::{
+    connectivity_merge, module_merge_gain, register_merge_gain, ConnectivityParams,
+};
+pub use error::AllocError;
+pub use left_edge::{lee_register_allocation, left_edge_registers};
+pub use module_alloc::greedy_module_allocation;

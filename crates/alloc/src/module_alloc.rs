@@ -1,0 +1,118 @@
+//! Baseline module allocation for a fixed schedule.
+
+use std::collections::BTreeMap;
+
+use hlts_dfg::{Dfg, OpId, OpKind};
+use hlts_sched::Schedule;
+
+/// First-fit functional-unit binding for a fixed schedule, with
+/// kind-homogeneous units.
+///
+/// Operations of each kind are taken in step order and placed on the
+/// first unit of that kind with no occupant in the same step — the
+/// left-edge idea applied to functional units. Keeping units
+/// kind-homogeneous matches the module allocations the paper reports for
+/// Approaches 1 and 2 (separate `(*)`, `(+)`, `(-)` units; only the
+/// CAMAD and integrated flows create mixed `(±)` ALUs via mergers).
+///
+/// Returns module groups (each inner vector shares one unit).
+///
+/// # Example
+///
+/// ```
+/// use hlts_dfg::parse;
+/// use hlts_sched::{list_schedule, ListPriority};
+/// use hlts_alloc::greedy_module_allocation;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dfg = parse("dfg t { input a, b;
+///     N1: x = a * b; N2: y = x * b; N3: z = x + y; output z; }")?;
+/// let s = list_schedule(&dfg, &[], ListPriority::CriticalPath)?;
+/// let groups = greedy_module_allocation(&dfg, &s);
+/// // the two sequential muls share one multiplier; the add has its own unit
+/// assert_eq!(groups.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn greedy_module_allocation(dfg: &Dfg, schedule: &Schedule) -> Vec<Vec<OpId>> {
+    /// One functional unit under construction: its operations and the
+    /// control steps they occupy.
+    type Unit = (Vec<OpId>, Vec<usize>);
+    let mut units: BTreeMap<OpKind, Vec<Unit>> = BTreeMap::new();
+    let mut ops: Vec<OpId> = dfg.ops().iter().map(|o| o.id()).collect();
+    ops.sort_by_key(|&o| (schedule.step_of(o), o.index()));
+    for op in ops {
+        let kind = dfg.op(op).kind();
+        let step = schedule.step_of(op);
+        let list = units.entry(kind).or_default();
+        match list.iter_mut().find(|(_, steps)| !steps.contains(&step)) {
+            Some((unit, steps)) => {
+                unit.push(op);
+                steps.push(step);
+            }
+            None => list.push((vec![op], vec![step])),
+        }
+    }
+    units
+        .into_values()
+        .flatten()
+        .map(|(unit, _)| unit)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_dfg::DfgBuilder;
+    use hlts_sched::Schedule;
+
+    #[test]
+    fn parallel_same_kind_ops_get_distinct_units() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        for i in 0..3 {
+            b.op(&format!("N{i}"), OpKind::Add, &[a, c], &format!("t{i}"))
+                .unwrap();
+        }
+        let d = b.finish().unwrap();
+        let s = Schedule::from_step_vec(vec![0, 0, 1]);
+        let groups = greedy_module_allocation(&d, &s);
+        // two adds in step 0 need two adders; the third reuses one.
+        assert_eq!(groups.len(), 2);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn kinds_are_not_mixed() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        b.op("N1", OpKind::Add, &[a, c], "t1").unwrap();
+        b.op("N2", OpKind::Sub, &[a, c], "t2").unwrap();
+        let d = b.finish().unwrap();
+        let s = Schedule::from_step_vec(vec![0, 1]);
+        let groups = greedy_module_allocation(&d, &s);
+        // although add/sub could share an ALU, the baseline keeps them apart
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn covers_every_op_once() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t1 = b.op("N1", OpKind::Mul, &[a, c], "t1").unwrap();
+        let t2 = b.op("N2", OpKind::Mul, &[t1, c], "t2").unwrap();
+        b.op("N3", OpKind::Add, &[t1, t2], "t3").unwrap();
+        let d = b.finish().unwrap();
+        let s = Schedule::from_step_vec(vec![0, 1, 2]);
+        let groups = greedy_module_allocation(&d, &s);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+        // both muls share one multiplier
+        assert!(groups.iter().any(|g| g.len() == 2));
+    }
+}

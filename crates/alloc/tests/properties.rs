@@ -1,0 +1,135 @@
+//! Property-based tests for the allocation substrate: register
+//! allocators must produce legal, complete groupings; the left-edge
+//! count must match the max-live lower bound on loop-free graphs; and
+//! merger transformations must preserve binding invariants.
+
+use hlts_alloc::{
+    greedy_module_allocation, lee_register_allocation, left_edge_registers, Allocation,
+};
+use hlts_dfg::{Dfg, DfgBuilder, OpKind};
+use hlts_sched::{list_schedule, Lifetimes, ListPriority};
+use proptest::prelude::*;
+
+fn build_dfg(spec: &[(u8, u8, u8)]) -> Dfg {
+    let mut b = DfgBuilder::new("prop");
+    let mut vals = vec![b.input("i0"), b.input("i1")];
+    for (n, &(k, x, y)) in spec.iter().enumerate() {
+        let kinds = [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Or];
+        let kind = kinds[k as usize % kinds.len()];
+        let a = vals[x as usize % vals.len()];
+        let c = vals[y as usize % vals.len()];
+        let out = b
+            .op(&format!("N{n}"), kind, &[a, c], &format!("v{n}"))
+            .expect("fresh name");
+        vals.push(out);
+    }
+    let last = *vals.last().expect("nonempty");
+    b.mark_output(last);
+    b.finish().expect("well-formed")
+}
+
+fn spec_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..12)
+}
+
+proptest! {
+    /// Left-edge covers every register value exactly once, with pairwise
+    /// disjoint lifetimes per group, and meets the max-live bound.
+    #[test]
+    fn left_edge_is_complete_legal_and_tight(spec in spec_strategy()) {
+        let d = build_dfg(&spec);
+        let s = list_schedule(&d, &[], ListPriority::CriticalPath).expect("schedulable");
+        let lt = Lifetimes::compute(&d, &s);
+        let groups = left_edge_registers(&d, &lt);
+        let covered: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(covered, lt.register_values().len());
+        for g in &groups {
+            for (i, &a) in g.iter().enumerate() {
+                for &b in &g[i + 1..] {
+                    prop_assert!(lt.disjoint(a, b));
+                }
+            }
+        }
+        // loop-free graphs: greedy-by-birth left edge is optimal
+        prop_assert_eq!(groups.len(), lt.max_live());
+    }
+
+    /// Lee allocation is legal and complete (it may use more registers
+    /// than left-edge in exchange for PI/PO seeding, never fewer than
+    /// max-live).
+    #[test]
+    fn lee_allocation_is_legal(spec in spec_strategy()) {
+        let d = build_dfg(&spec);
+        let s = list_schedule(&d, &[], ListPriority::CriticalPath).expect("schedulable");
+        let lt = Lifetimes::compute(&d, &s);
+        let groups = lee_register_allocation(&d, &lt);
+        let covered: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(covered, lt.register_values().len());
+        prop_assert!(groups.len() >= lt.max_live());
+        for g in &groups {
+            for (i, &a) in g.iter().enumerate() {
+                for &b in &g[i + 1..] {
+                    prop_assert!(lt.disjoint(a, b));
+                }
+            }
+        }
+    }
+
+    /// Greedy module allocation partitions the ops into kind-homogeneous
+    /// step-conflict-free units.
+    #[test]
+    fn greedy_module_allocation_is_legal(spec in spec_strategy()) {
+        let d = build_dfg(&spec);
+        let s = list_schedule(&d, &[], ListPriority::CriticalPath).expect("schedulable");
+        let groups = greedy_module_allocation(&d, &s);
+        let covered: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(covered, d.num_ops());
+        for g in &groups {
+            for (i, &a) in g.iter().enumerate() {
+                prop_assert_eq!(d.op(a).kind(), d.op(g[0]).kind(), "kind-homogeneous");
+                for &b in &g[i + 1..] {
+                    prop_assert!(s.step_of(a) != s.step_of(b));
+                }
+            }
+        }
+        prop_assert!(s.validate_groups(&d, &groups).is_ok());
+    }
+
+    /// Random module mergers either succeed (consistent binding) or fail
+    /// (unchanged binding); module/register counts only ever shrink.
+    #[test]
+    fn random_mergers_preserve_binding_invariants(
+        spec in spec_strategy(),
+        merges in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..10),
+    ) {
+        let d = build_dfg(&spec);
+        let mut a = Allocation::one_to_one(&d);
+        for (x, y, register) in merges {
+            let before_modules = a.num_modules();
+            let before_registers = a.num_registers();
+            if register {
+                let regs: Vec<_> = a.registers().map(|r| r.id()).collect();
+                let (ra, rb) = (
+                    regs[x as usize % regs.len()],
+                    regs[y as usize % regs.len()],
+                );
+                let _ = a.merge_registers(ra, rb);
+            } else {
+                let mods: Vec<_> = a.modules().map(|m| m.id()).collect();
+                let (ma, mb) = (
+                    mods[x as usize % mods.len()],
+                    mods[y as usize % mods.len()],
+                );
+                let _ = a.merge_modules(&d, ma, mb);
+            }
+            prop_assert!(a.num_modules() <= before_modules);
+            prop_assert!(a.num_registers() <= before_registers);
+            // every op still has a live module; every register value a
+            // live register
+            for op in d.ops() {
+                prop_assert!(a.module(a.module_of(op.id())).is_some());
+            }
+            prop_assert!(a.covers(&d));
+        }
+    }
+}

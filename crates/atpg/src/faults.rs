@@ -1,0 +1,227 @@
+//! The single stuck-at fault universe with equivalence collapsing.
+
+use hlts_netlist::{GateId, GateKind, Netlist};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Where a fault sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// The output net of a gate.
+    Output(GateId),
+    /// A specific input pin of a gate (gate, pin index).
+    Input(GateId, u8),
+}
+
+/// A single stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// Location.
+    pub site: FaultSite,
+    /// Stuck value: `true` = stuck-at-1.
+    pub stuck: bool,
+}
+
+impl Fault {
+    /// Short display form, e.g. `g12/1 sa0`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self.site {
+            FaultSite::Output(g) => format!("{g} sa{}", u8::from(self.stuck)),
+            FaultSite::Input(g, p) => format!("{g}.{p} sa{}", u8::from(self.stuck)),
+        }
+    }
+}
+
+/// The collapsed fault list of a netlist.
+#[derive(Debug, Clone)]
+pub struct FaultUniverse {
+    faults: Vec<Fault>,
+    total_uncollapsed: usize,
+}
+
+impl FaultUniverse {
+    /// Enumerate all stuck-at faults on gate outputs and gate input
+    /// pins, then collapse gate-local structural equivalences:
+    ///
+    /// * AND: any input sa0 ≡ output sa0; NAND: input sa0 ≡ output sa1;
+    /// * OR: any input sa1 ≡ output sa1; NOR: input sa1 ≡ output sa0;
+    /// * BUF/NOT and single-input pins: input faults ≡ output faults.
+    ///
+    /// (Classic equivalence collapsing; dominance collapsing is not
+    /// applied.) Sources (inputs, constants, flip-flop outputs) carry
+    /// output faults only; constant outputs keep only the fault opposed
+    /// to their value.
+    #[must_use]
+    pub fn collapsed(nl: &Netlist) -> Self {
+        let mut faults = Vec::new();
+        let mut total = 0usize;
+        for (i, gate) in nl.gates().iter().enumerate() {
+            let g = GateId::from_index(i);
+            let (out0, out1) = match gate.kind() {
+                GateKind::Const0 => (false, true), // only sa1 meaningful
+                GateKind::Const1 => (true, false), // only sa0 meaningful
+                _ => (true, true),
+            };
+            total += 2 + 2 * gate.inputs().len();
+            if out0 {
+                faults.push(Fault {
+                    site: FaultSite::Output(g),
+                    stuck: false,
+                });
+            }
+            if out1 {
+                faults.push(Fault {
+                    site: FaultSite::Output(g),
+                    stuck: true,
+                });
+            }
+            for pin in 0..gate.inputs().len() {
+                let pin8 = u8::try_from(pin).expect("pin fits u8");
+                for stuck in [false, true] {
+                    if equivalent_to_output(gate.kind(), stuck) {
+                        continue;
+                    }
+                    faults.push(Fault {
+                        site: FaultSite::Input(g, pin8),
+                        stuck,
+                    });
+                }
+            }
+        }
+        FaultUniverse {
+            faults,
+            total_uncollapsed: total,
+        }
+    }
+
+    /// Randomly sample the universe down to at most `n` faults
+    /// (deterministic for a given seed). Coverage percentages computed
+    /// over a sample estimate the full-universe coverage — the standard
+    /// practice for large fault lists.
+    #[must_use]
+    pub fn sampled(mut self, n: usize, seed: u64) -> Self {
+        if self.faults.len() > n {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            self.faults.shuffle(&mut rng);
+            self.faults.truncate(n);
+            self.faults.sort();
+        }
+        self
+    }
+
+    /// The collapsed (possibly sampled) fault list.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of faults before collapsing.
+    #[must_use]
+    pub fn total_uncollapsed(&self) -> usize {
+        self.total_uncollapsed
+    }
+
+    /// Number of faults in the list.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Whether an input-pin fault of this kind/polarity is equivalent to an
+/// output fault (and therefore dropped).
+fn equivalent_to_output(kind: GateKind, stuck: bool) -> bool {
+    match kind {
+        GateKind::And | GateKind::Nand => !stuck, // input sa0
+        GateKind::Or | GateKind::Nor => stuck,    // input sa1
+        GateKind::Buf | GateKind::Not => true,    // both polarities
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_gate_collapse() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let _x = nl.gate(GateKind::And, &[a, b]);
+        let u = FaultUniverse::collapsed(&nl);
+        // a: 2 output faults; b: 2; AND: 2 output + (2 inputs × sa1 only)
+        assert_eq!(u.len(), 2 + 2 + 2 + 2);
+        assert!(u.total_uncollapsed() > u.len());
+        // no input-sa0 faults on the AND
+        assert!(!u
+            .faults()
+            .iter()
+            .any(|f| matches!(f.site, FaultSite::Input(_, _)) && !f.stuck));
+    }
+
+    #[test]
+    fn inverter_keeps_output_faults_only() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let x = nl.gate(GateKind::Not, &[a]);
+        let u = FaultUniverse::collapsed(&nl);
+        let on_not: Vec<&Fault> = u
+            .faults()
+            .iter()
+            .filter(|f| {
+                matches!(f.site, FaultSite::Output(g) if g == x)
+                    || matches!(f.site, FaultSite::Input(g, _) if g == x)
+            })
+            .collect();
+        assert_eq!(on_not.len(), 2);
+        assert!(on_not
+            .iter()
+            .all(|f| matches!(f.site, FaultSite::Output(_))));
+    }
+
+    #[test]
+    fn constants_have_single_polarity() {
+        let mut nl = Netlist::new();
+        let c = nl.constant(false);
+        let u = FaultUniverse::collapsed(&nl);
+        let on_c: Vec<&Fault> = u
+            .faults()
+            .iter()
+            .filter(|f| matches!(f.site, FaultSite::Output(g) if g == c))
+            .collect();
+        assert_eq!(on_c.len(), 1);
+        assert!(on_c[0].stuck, "only sa1 matters on a constant 0");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let mut x = nl.gate(GateKind::And, &[a, b]);
+        for _ in 0..20 {
+            x = nl.gate(GateKind::Xor, &[x, a]);
+        }
+        let u1 = FaultUniverse::collapsed(&nl).sampled(10, 42);
+        let u2 = FaultUniverse::collapsed(&nl).sampled(10, 42);
+        assert_eq!(u1.faults(), u2.faults());
+        assert_eq!(u1.len(), 10);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let f = Fault {
+            site: FaultSite::Input(GateId::from_index(3), 1),
+            stuck: true,
+        };
+        assert_eq!(f.describe(), "g3.1 sa1");
+    }
+}

@@ -1,0 +1,358 @@
+//! The two-phase (random then deterministic) test-generation
+//! orchestrator.
+
+use std::time::{Duration, Instant};
+
+use hlts_netlist::Netlist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{FaultSimulator, FaultUniverse, Podem, PodemOutcome};
+
+/// Configuration of a [`TestGenerator`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtpgConfig {
+    /// RNG seed (runs are deterministic for a given seed).
+    pub seed: u64,
+    /// Number of 64-pattern random sequences to simulate.
+    pub random_sequences: usize,
+    /// Clock cycles per random sequence.
+    pub sequence_cycles: usize,
+    /// Fraction of random sequences that drive the control inputs as a
+    /// rotating one-hot (the schedule protocol); the rest drive fully
+    /// random control — both mixes matter for data paths whose muxes
+    /// and enables are schedule-driven.
+    pub protocol_fraction: f64,
+    /// Time frames for the deterministic (PODEM) phase.
+    pub frames: usize,
+    /// Backtrack limit per deterministic target.
+    pub backtrack_limit: usize,
+    /// Cap on deterministic targets (remaining faults stay undetected).
+    pub max_deterministic_targets: usize,
+    /// Optional fault-sampling cap (standard practice for large fault
+    /// lists; coverage is then a sample estimate).
+    pub fault_sample: Option<usize>,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        AtpgConfig {
+            seed: 0x1998_0223,
+            random_sequences: 24,
+            sequence_cycles: 12,
+            // the controller steps through its states even under a test
+            // plan, so random vectors default to the one-hot protocol
+            protocol_fraction: 1.0,
+            frames: 6,
+            backtrack_limit: 100,
+            max_deterministic_targets: 200,
+            fault_sample: None,
+        }
+    }
+}
+
+/// The result of a test-generation run — the paper's fault coverage /
+/// test-generation time / test-generated-cycles columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestReport {
+    /// Collapsed (possibly sampled) fault count.
+    pub total_faults: usize,
+    /// Faults detected by the random phase.
+    pub detected_random: usize,
+    /// Faults detected by the deterministic phase.
+    pub detected_deterministic: usize,
+    /// Faults proven untestable within the frame bound.
+    pub untestable: usize,
+    /// Deterministic targets aborted at the backtrack limit.
+    pub aborted: usize,
+    /// Clock cycles of the kept test set (random sequences that
+    /// detected something, plus deterministic tests).
+    pub test_cycles: usize,
+    /// Total PODEM backtracks (deterministic effort).
+    pub backtracks: usize,
+    /// Random patterns simulated (sequences × cycles × 64).
+    pub random_patterns: usize,
+    /// Wall-clock test-generation time.
+    pub wall: Duration,
+}
+
+impl TestReport {
+    /// Fault coverage in percent: detected / total.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            return 100.0;
+        }
+        100.0 * (self.detected_random + self.detected_deterministic) as f64
+            / self.total_faults as f64
+    }
+
+    /// Fault efficiency in percent: detected / (total − untestable).
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        let testable = self.total_faults.saturating_sub(self.untestable);
+        if testable == 0 {
+            return 100.0;
+        }
+        100.0 * (self.detected_random + self.detected_deterministic) as f64 / testable as f64
+    }
+
+    /// A normalized test-generation effort figure: random patterns plus
+    /// a weighted backtrack count (the unit the tables report as "test
+    /// generation time" alongside wall-clock).
+    #[must_use]
+    pub fn effort(&self) -> f64 {
+        self.random_patterns as f64 / 1000.0 + self.backtracks as f64
+    }
+}
+
+/// The two-phase test generator.
+#[derive(Debug, Clone)]
+pub struct TestGenerator {
+    cfg: AtpgConfig,
+}
+
+impl TestGenerator {
+    /// Create a generator with the given configuration.
+    #[must_use]
+    pub fn new(cfg: AtpgConfig) -> Self {
+        TestGenerator { cfg }
+    }
+
+    /// Run both phases on `nl`.
+    #[must_use]
+    pub fn run(&self, nl: &Netlist) -> TestReport {
+        let start = Instant::now();
+        let mut universe = FaultUniverse::collapsed(nl);
+        if let Some(n) = self.cfg.fault_sample {
+            universe = universe.sampled(n, self.cfg.seed);
+        }
+        let faults = universe.faults().to_vec();
+        let mut detected = vec![false; faults.len()];
+        let mut fs = FaultSimulator::new(nl.clone());
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+
+        // Which inputs are control inputs (named ctrl_* by elaboration).
+        // Protocol order: the setup state ("ctrl_final") first, then the
+        // step states in order — one controller walk per rotation.
+        let mut ctrl_idx: Vec<usize> = nl
+            .inputs()
+            .iter()
+            .enumerate()
+            .filter(|(_, &g)| nl.name(g).is_some_and(|n| n.starts_with("ctrl_")))
+            .map(|(i, _)| i)
+            .collect();
+        if let Some(pos) = ctrl_idx
+            .iter()
+            .position(|&i| nl.name(nl.inputs()[i]) == Some("ctrl_final"))
+        {
+            let f = ctrl_idx.remove(pos);
+            ctrl_idx.insert(0, f);
+        }
+
+        let mut test_cycles = 0usize;
+        let mut detected_random = 0usize;
+        for s in 0..self.cfg.random_sequences {
+            let protocol =
+                (s as f64) < self.cfg.protocol_fraction * self.cfg.random_sequences as f64;
+            let seq: Vec<Vec<u64>> = (0..self.cfg.sequence_cycles)
+                .map(|cycle| {
+                    (0..nl.inputs().len())
+                        .map(|i| {
+                            if let Some(pos) = ctrl_idx.iter().position(|&c| c == i) {
+                                if protocol {
+                                    // rotating one-hot over the control states
+                                    if cycle % ctrl_idx.len().max(1) == pos {
+                                        !0u64
+                                    } else {
+                                        0
+                                    }
+                                } else {
+                                    rng.gen::<u64>()
+                                }
+                            } else {
+                                rng.gen::<u64>()
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let newly = fs.run(&seq, &faults, &mut detected);
+            if newly > 0 {
+                detected_random += newly;
+                test_cycles += self.cfg.sequence_cycles;
+            }
+        }
+
+        // Deterministic phase: control inputs follow the controller's
+        // one-hot walk (the test plan steps the schedule); PODEM decides
+        // the data inputs. Activation may need a specific alignment of
+        // the walk against the reset state, so up to three phase-shifted
+        // walks are tried per fault before giving up.
+        let mut podem = Podem::new(nl.clone(), self.cfg.frames, self.cfg.backtrack_limit);
+        let walk_len = ctrl_idx.len().max(1);
+        let preset_with_phase = |phase: usize| -> Vec<Vec<Option<bool>>> {
+            (0..self.cfg.frames)
+                .map(|f| {
+                    (0..nl.inputs().len())
+                        .map(|i| {
+                            ctrl_idx
+                                .iter()
+                                .position(|&c| c == i)
+                                .map(|pos| !ctrl_idx.is_empty() && (f + phase) % walk_len == pos)
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let phases: Vec<Vec<Vec<Option<bool>>>> =
+            (0..walk_len.min(3)).map(preset_with_phase).collect();
+        let mut detected_deterministic = 0usize;
+        let mut untestable = 0usize;
+        let mut aborted = 0usize;
+        let mut targets = 0usize;
+        for i in 0..faults.len() {
+            if detected[i] {
+                continue;
+            }
+            if targets >= self.cfg.max_deterministic_targets {
+                break;
+            }
+            targets += 1;
+            let mut all_untestable = true;
+            let mut hit = false;
+            for preset in &phases {
+                match podem.generate_seeded(faults[i], Some(preset)) {
+                    PodemOutcome::Test(t) => {
+                        all_untestable = false;
+                        let seq: Vec<Vec<u64>> = t
+                            .iter()
+                            .map(|frame| frame.iter().map(|&b| if b { !0u64 } else { 0 }).collect())
+                            .collect();
+                        // the new test may catch other pending faults too
+                        let newly = fs.run(&seq, &faults, &mut detected);
+                        if newly > 0 {
+                            detected_deterministic += newly;
+                            test_cycles += seq.len();
+                        }
+                        if detected[i] {
+                            hit = true;
+                            break;
+                        }
+                    }
+                    PodemOutcome::Untestable => {}
+                    PodemOutcome::Aborted => all_untestable = false,
+                }
+            }
+            if !hit {
+                if all_untestable && ctrl_idx.is_empty() {
+                    // with free inputs, exhaustion proves untestability
+                    // within the frame bound
+                    untestable += 1;
+                } else {
+                    aborted += 1;
+                }
+            }
+        }
+
+        TestReport {
+            total_faults: faults.len(),
+            detected_random,
+            detected_deterministic,
+            untestable,
+            aborted,
+            test_cycles,
+            backtracks: podem.backtracks_used(),
+            random_patterns: self.cfg.random_sequences * self.cfg.sequence_cycles * 64,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_netlist::GateKind;
+
+    fn small_sequential() -> Netlist {
+        // accumulator: r.next = r + a (2 bits), observed
+        let mut nl = Netlist::new();
+        let a0 = nl.input("a[0]");
+        let a1 = nl.input("a[1]");
+        let q0 = nl.dff("r[0]");
+        let q1 = nl.dff("r[1]");
+        let s0 = nl.gate(GateKind::Xor, &[q0, a0]);
+        let c0 = nl.gate(GateKind::And, &[q0, a0]);
+        let t1 = nl.gate(GateKind::Xor, &[q1, a1]);
+        let s1 = nl.gate(GateKind::Xor, &[t1, c0]);
+        nl.connect_dff(q0, s0);
+        nl.connect_dff(q1, s1);
+        nl.output("r[0]", q0);
+        nl.output("r[1]", q1);
+        nl
+    }
+
+    #[test]
+    fn two_phase_run_reports_consistent_numbers() {
+        let nl = small_sequential();
+        let cfg = AtpgConfig {
+            random_sequences: 8,
+            sequence_cycles: 6,
+            ..AtpgConfig::default()
+        };
+        let r = TestGenerator::new(cfg).run(&nl);
+        assert!(r.total_faults > 0);
+        assert!(r.coverage() > 50.0, "coverage {:.1}", r.coverage());
+        assert!(r.coverage() <= 100.0);
+        assert!(r.efficiency() >= r.coverage());
+        assert!(
+            r.detected_random + r.detected_deterministic + r.untestable + r.aborted
+                <= r.total_faults + r.aborted
+        );
+        assert!(r.test_cycles > 0);
+    }
+
+    #[test]
+    fn deterministic_phase_adds_coverage() {
+        let nl = small_sequential();
+        // starve the random phase so PODEM has work
+        let no_random = AtpgConfig {
+            random_sequences: 0,
+            ..AtpgConfig::default()
+        };
+        let r = TestGenerator::new(no_random).run(&nl);
+        assert_eq!(r.detected_random, 0);
+        assert!(
+            r.detected_deterministic > 0,
+            "PODEM should detect something: {r:?}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_seed() {
+        let nl = small_sequential();
+        let cfg = AtpgConfig {
+            random_sequences: 4,
+            sequence_cycles: 4,
+            ..AtpgConfig::default()
+        };
+        let a = TestGenerator::new(cfg.clone()).run(&nl);
+        let b = TestGenerator::new(cfg).run(&nl);
+        assert_eq!(a.detected_random, b.detected_random);
+        assert_eq!(a.detected_deterministic, b.detected_deterministic);
+        assert_eq!(a.test_cycles, b.test_cycles);
+    }
+
+    #[test]
+    fn sampling_caps_fault_count() {
+        let nl = small_sequential();
+        let cfg = AtpgConfig {
+            fault_sample: Some(5),
+            random_sequences: 2,
+            sequence_cycles: 4,
+            ..AtpgConfig::default()
+        };
+        let r = TestGenerator::new(cfg).run(&nl);
+        assert_eq!(r.total_faults, 5);
+    }
+}

@@ -1,0 +1,556 @@
+//! Deterministic test generation: PODEM over a time-frame-expanded
+//! model.
+//!
+//! The sequential circuit is unrolled for a bounded number of time
+//! frames starting from the reset state (all flip-flops 0). The target
+//! fault is injected in every frame. PODEM assigns primary inputs
+//! (per frame) guided by backtracing the current objective — first
+//! fault activation, then propagation through the D-frontier — with
+//! 3-valued (0/1/X) simulation of the good and faulty machines as the
+//! implication engine, and a bounded number of backtracks.
+
+use hlts_netlist::{GateId, GateKind, Netlist};
+
+use crate::{Fault, FaultSite};
+
+type V = Option<bool>;
+
+/// Result of one PODEM run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemOutcome {
+    /// A test was found: per-frame primary-input assignments
+    /// (unassigned inputs default to 0).
+    Test(Vec<Vec<bool>>),
+    /// The fault is untestable within the frame bound (no objective
+    /// remained and every decision was exhausted).
+    Untestable,
+    /// The backtrack limit was hit.
+    Aborted,
+}
+
+/// PODEM test generator for one netlist.
+#[derive(Debug, Clone)]
+pub struct Podem {
+    nl: Netlist,
+    order: Vec<GateId>,
+    frames: usize,
+    backtrack_limit: usize,
+    backtracks_used: usize,
+}
+
+impl Podem {
+    /// Create a generator unrolling `frames` time frames with the given
+    /// backtrack limit.
+    #[must_use]
+    pub fn new(mut nl: Netlist, frames: usize, backtrack_limit: usize) -> Self {
+        let order = nl.topo_levels();
+        Podem {
+            nl,
+            order,
+            frames: frames.max(1),
+            backtrack_limit,
+            backtracks_used: 0,
+        }
+    }
+
+    /// Total backtracks consumed across all calls (effort metric).
+    #[must_use]
+    pub fn backtracks_used(&self) -> usize {
+        self.backtracks_used
+    }
+
+    /// Attempt to generate a test for `fault` with all inputs free.
+    pub fn generate(&mut self, fault: Fault) -> PodemOutcome {
+        self.generate_seeded(fault, None)
+    }
+
+    /// Attempt to generate a test with some inputs pre-assigned
+    /// (frame-major, `preset[frame][pi]`). Preset values are fixed — the
+    /// search only decides the remaining inputs. Seeding the control
+    /// inputs with the controller's one-hot stepping protocol shrinks
+    /// the search space to the data inputs, mirroring a test plan that
+    /// walks the schedule.
+    pub fn generate_seeded(&mut self, fault: Fault, preset: Option<&[Vec<V>]>) -> PodemOutcome {
+        let num_pis = self.nl.inputs().len();
+        // PI assignments: frame-major.
+        let mut assign: Vec<Vec<V>> = vec![vec![None; num_pis]; self.frames];
+        if let Some(p) = preset {
+            for (f, row) in p.iter().enumerate().take(self.frames) {
+                for (i, &v) in row.iter().enumerate().take(num_pis) {
+                    assign[f][i] = v;
+                }
+            }
+        }
+        // decision stack: (frame, pi, value, tried_both)
+        let mut stack: Vec<(usize, usize, bool, bool)> = Vec::new();
+        let mut backtracks = 0usize;
+
+        loop {
+            let state = self.imply(&assign, fault);
+            if state.detected {
+                self.backtracks_used += backtracks;
+                let test = assign
+                    .iter()
+                    .map(|frame| frame.iter().map(|v| v.unwrap_or(false)).collect())
+                    .collect();
+                return PodemOutcome::Test(test);
+            }
+            let objective = self.objective(&state, fault);
+            let advanced = match objective {
+                Some((frame, signal, value)) => {
+                    match self.backtrace(&state, &assign, frame, signal, value) {
+                        Some((f, pi, v)) => {
+                            assign[f][pi] = Some(v);
+                            stack.push((f, pi, v, false));
+                            true
+                        }
+                        None => false,
+                    }
+                }
+                None => false,
+            };
+            if advanced {
+                continue;
+            }
+            // conflict: backtrack
+            loop {
+                match stack.pop() {
+                    None => {
+                        self.backtracks_used += backtracks;
+                        return if backtracks >= self.backtrack_limit {
+                            PodemOutcome::Aborted
+                        } else {
+                            PodemOutcome::Untestable
+                        };
+                    }
+                    Some((f, pi, v, tried_both)) => {
+                        assign[f][pi] = None;
+                        backtracks += 1;
+                        if backtracks >= self.backtrack_limit {
+                            self.backtracks_used += backtracks;
+                            return PodemOutcome::Aborted;
+                        }
+                        if !tried_both {
+                            assign[f][pi] = Some(!v);
+                            stack.push((f, pi, !v, true));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// 3-valued forward simulation of both machines across all frames.
+    fn imply(&self, assign: &[Vec<V>], fault: Fault) -> Frames {
+        let n = self.nl.num_gates();
+        let mut good: Vec<Vec<V>> = vec![vec![None; n]; self.frames];
+        let mut faulty: Vec<Vec<V>> = vec![vec![None; n]; self.frames];
+        let mut detected = false;
+
+        // previous frame's D values per machine
+        let dffs = self.nl.dffs().to_vec();
+        let mut prev_good_d: Vec<V> = vec![Some(false); dffs.len()];
+        let mut prev_faulty_d: Vec<V> = vec![Some(false); dffs.len()];
+
+        for t in 0..self.frames {
+            // sources
+            for (i, g) in self.nl.gates().iter().enumerate() {
+                let v = match g.kind() {
+                    GateKind::Const0 => Some(false),
+                    GateKind::Const1 => Some(true),
+                    _ => continue,
+                };
+                good[t][i] = v;
+                faulty[t][i] = v;
+            }
+            for (pi_idx, &g) in self.nl.inputs().iter().enumerate() {
+                good[t][g.index()] = assign[t][pi_idx];
+                faulty[t][g.index()] = assign[t][pi_idx];
+            }
+            for (k, &q) in dffs.iter().enumerate() {
+                good[t][q.index()] = prev_good_d[k];
+                faulty[t][q.index()] = prev_faulty_d[k];
+            }
+            // output-site injection on source nets
+            if let FaultSite::Output(g) = fault.site {
+                let kind = self.nl.gates()[g.index()].kind();
+                if matches!(
+                    kind,
+                    GateKind::Input | GateKind::Dff | GateKind::Const0 | GateKind::Const1
+                ) {
+                    faulty[t][g.index()] = Some(fault.stuck);
+                }
+            }
+            // combinational propagation
+            for &g in &self.order {
+                let gate = &self.nl.gates()[g.index()];
+                let gv: Vec<V> = gate.inputs().iter().map(|&i| good[t][i.index()]).collect();
+                good[t][g.index()] = eval3(gate.kind(), &gv);
+                let mut fv: Vec<V> = gate
+                    .inputs()
+                    .iter()
+                    .map(|&i| faulty[t][i.index()])
+                    .collect();
+                if let FaultSite::Input(fg, pin) = fault.site {
+                    if fg == g {
+                        fv[pin as usize] = Some(fault.stuck);
+                    }
+                }
+                let mut out = eval3(gate.kind(), &fv);
+                if fault.site == FaultSite::Output(g) {
+                    out = Some(fault.stuck);
+                }
+                faulty[t][g.index()] = out;
+            }
+            // detection at primary outputs
+            for (_, g) in self.nl.outputs() {
+                if let (Some(a), Some(b)) = (good[t][g.index()], faulty[t][g.index()]) {
+                    if a != b {
+                        detected = true;
+                    }
+                }
+            }
+            // next-frame state with D-pin injection
+            for (k, &q) in dffs.iter().enumerate() {
+                let d = self.nl.gates()[q.index()].inputs()[0];
+                prev_good_d[k] = good[t][d.index()];
+                let mut fd = faulty[t][d.index()];
+                if let FaultSite::Input(fg, 0) = fault.site {
+                    if fg == q {
+                        fd = Some(fault.stuck);
+                    }
+                }
+                prev_faulty_d[k] = fd;
+            }
+        }
+        Frames {
+            good,
+            faulty,
+            detected,
+        }
+    }
+
+    /// Current objective: activate first, then propagate.
+    fn objective(&self, state: &Frames, fault: Fault) -> Option<(usize, GateId, bool)> {
+        let site_net = |t: usize| -> (GateId, V) {
+            match fault.site {
+                FaultSite::Output(g) => (g, state.good[t][g.index()]),
+                FaultSite::Input(g, pin) => {
+                    let src = self.nl.gates()[g.index()].inputs()[pin as usize];
+                    (src, state.good[t][src.index()])
+                }
+            }
+        };
+        // 1. activation: some frame where the site is X -> drive it to
+        //    the non-stuck value.
+        let mut activated = false;
+        for t in 0..self.frames {
+            let (g, v) = site_net(t);
+            match v {
+                None => return Some((t, g, !fault.stuck)),
+                Some(x) if x != fault.stuck => activated = true,
+                _ => {}
+            }
+        }
+        if !activated {
+            return None; // cannot activate under current assignments
+        }
+        // 2. propagation: D-frontier — a gate whose output is X while
+        //    some input carries a good/faulty difference; objective: set
+        //    an X side input to the non-controlling value.
+        for t in 0..self.frames {
+            for &g in &self.order {
+                if state.good[t][g.index()].is_some() && state.faulty[t][g.index()].is_some() {
+                    continue;
+                }
+                let gate = &self.nl.gates()[g.index()];
+                let has_d = gate.inputs().iter().enumerate().any(|(pin, &i)| {
+                    let gv = state.good[t][i.index()];
+                    let mut fv = state.faulty[t][i.index()];
+                    // an input-pin fault introduces the difference inside
+                    // this very gate
+                    if let FaultSite::Input(fg, fp) = fault.site {
+                        if fg == g && usize::from(fp) == pin {
+                            fv = Some(fault.stuck);
+                        }
+                    }
+                    matches!((gv, fv), (Some(a), Some(b)) if a != b)
+                });
+                if !has_d {
+                    continue;
+                }
+                for &i in gate.inputs() {
+                    if state.good[t][i.index()].is_none() {
+                        let v = non_controlling(gate.kind());
+                        return Some((t, i, v));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Backtrace an objective to an unassigned primary input: depth-
+    /// first search over X-valued inputs (trying every X fan-in, not
+    /// just the first, so an assigned PI on one path does not abort the
+    /// whole objective).
+    fn backtrace(
+        &self,
+        state: &Frames,
+        assign: &[Vec<V>],
+        frame: usize,
+        signal: GateId,
+        value: bool,
+    ) -> Option<(usize, usize, bool)> {
+        let mut budget = self.nl.num_gates() * self.frames + 1;
+        self.backtrace_dfs(state, assign, frame, signal, value, &mut budget)
+    }
+
+    fn backtrace_dfs(
+        &self,
+        state: &Frames,
+        assign: &[Vec<V>],
+        frame: usize,
+        signal: GateId,
+        value: bool,
+        budget: &mut usize,
+    ) -> Option<(usize, usize, bool)> {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        let gate = &self.nl.gates()[signal.index()];
+        match gate.kind() {
+            GateKind::Input => {
+                let pi = self
+                    .nl
+                    .inputs()
+                    .iter()
+                    .position(|&g| g == signal)
+                    .expect("input gate registered");
+                if assign[frame][pi].is_none() {
+                    Some((frame, pi, value))
+                } else {
+                    None
+                }
+            }
+            GateKind::Dff => {
+                if frame == 0 {
+                    return None; // reset state is fixed
+                }
+                self.backtrace_dfs(state, assign, frame - 1, gate.inputs()[0], value, budget)
+            }
+            GateKind::Const0 | GateKind::Const1 => None,
+            kind => {
+                let v = backtrace_value(kind, value);
+                for &i in gate.inputs() {
+                    if state.good[frame][i.index()].is_none() {
+                        if let Some(hit) = self.backtrace_dfs(state, assign, frame, i, v, budget) {
+                            return Some(hit);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+struct Frames {
+    good: Vec<Vec<V>>,
+    faulty: Vec<Vec<V>>,
+    detected: bool,
+}
+
+/// 3-valued gate evaluation.
+fn eval3(kind: GateKind, ins: &[V]) -> V {
+    match kind {
+        GateKind::Buf => ins[0],
+        GateKind::Not => ins[0].map(|v| !v),
+        GateKind::And | GateKind::Nand => {
+            let v = if ins.contains(&Some(false)) {
+                Some(false)
+            } else if ins.iter().all(|i| i.is_some()) {
+                Some(true)
+            } else {
+                None
+            };
+            if matches!(kind, GateKind::Nand) {
+                v.map(|x| !x)
+            } else {
+                v
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let v = if ins.contains(&Some(true)) {
+                Some(true)
+            } else if ins.iter().all(|i| i.is_some()) {
+                Some(false)
+            } else {
+                None
+            };
+            if matches!(kind, GateKind::Nor) {
+                v.map(|x| !x)
+            } else {
+                v
+            }
+        }
+        GateKind::Xor => match (ins[0], ins[1]) {
+            (Some(a), Some(b)) => Some(a ^ b),
+            _ => None,
+        },
+        GateKind::Xnor => match (ins[0], ins[1]) {
+            (Some(a), Some(b)) => Some(!(a ^ b)),
+            _ => None,
+        },
+        GateKind::Mux => match ins[0] {
+            Some(false) => ins[1],
+            Some(true) => ins[2],
+            None => match (ins[1], ins[2]) {
+                (Some(a), Some(b)) if a == b => Some(a),
+                _ => None,
+            },
+        },
+        GateKind::Const0 => Some(false),
+        GateKind::Const1 => Some(true),
+        GateKind::Input | GateKind::Dff => None,
+        // future kinds: unknown
+        _ => None,
+    }
+}
+
+/// Non-controlling input value of a gate kind (for propagation
+/// objectives).
+fn non_controlling(kind: GateKind) -> bool {
+    match kind {
+        GateKind::And | GateKind::Nand => true,
+        GateKind::Or | GateKind::Nor => false,
+        // XOR/MUX/INV have no controlling value; any binary side value
+        // propagates — pick 0.
+        _ => false,
+    }
+}
+
+/// How a target value transforms when backtracing through a gate.
+fn backtrace_value(kind: GateKind, value: bool) -> bool {
+    match kind {
+        GateKind::Nand | GateKind::Nor | GateKind::Not => !value,
+        _ => value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Combinational AND: PODEM finds a test for every collapsed fault.
+    #[test]
+    fn podem_covers_and_gate() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.gate(GateKind::And, &[a, b]);
+        nl.output("x", x);
+        let universe = crate::FaultUniverse::collapsed(&nl);
+        let mut podem = Podem::new(nl, 1, 100);
+        for &f in universe.faults() {
+            match podem.generate(f) {
+                PodemOutcome::Test(_) => {}
+                other => panic!("{}: {other:?}", f.describe()),
+            }
+        }
+    }
+
+    /// A sequential fault needs more than one frame.
+    #[test]
+    fn podem_unrolls_frames() {
+        // q.next = q ^ en, observed at output; en sa0 requires two frames
+        let mut nl = Netlist::new();
+        let q = nl.dff("q");
+        let en = nl.input("en");
+        let d = nl.gate(GateKind::Xor, &[q, en]);
+        nl.connect_dff(q, d);
+        nl.output("q", q);
+        let fault = Fault {
+            site: FaultSite::Output(en),
+            stuck: false,
+        };
+        let mut podem1 = Podem::new(nl.clone(), 1, 100);
+        assert_ne!(
+            podem1.generate(fault),
+            PodemOutcome::Test(vec![vec![true]]),
+            "one frame cannot observe the diverged state"
+        );
+        let mut podem2 = Podem::new(nl, 3, 100);
+        match podem2.generate(fault) {
+            PodemOutcome::Test(t) => {
+                assert!(t.iter().any(|frame| frame[0]), "en must be raised");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// Generated tests actually detect the fault (cross-check with the
+    /// fault simulator).
+    #[test]
+    fn podem_tests_verified_by_fault_simulation() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let q = nl.dff("r");
+        let s = nl.gate(GateKind::Xor, &[a, b]);
+        let d = nl.gate(GateKind::Or, &[s, q]);
+        nl.connect_dff(q, d);
+        nl.output("o", q);
+        let universe = crate::FaultUniverse::collapsed(&nl);
+        let mut podem = Podem::new(nl.clone(), 4, 200);
+        let mut fs = crate::FaultSimulator::new(nl);
+        let mut found = 0;
+        for &f in universe.faults() {
+            if let PodemOutcome::Test(t) = podem.generate(f) {
+                let seq: Vec<Vec<u64>> = t
+                    .iter()
+                    .map(|frame| frame.iter().map(|&b| if b { !0u64 } else { 0 }).collect())
+                    .collect();
+                let trace = fs.good_trace(&seq);
+                assert!(
+                    fs.detects(&trace, &seq, f),
+                    "PODEM test must detect {}",
+                    f.describe()
+                );
+                found += 1;
+            }
+        }
+        assert!(found > 0);
+    }
+
+    /// An untestable fault (redundant logic) is reported as such.
+    #[test]
+    fn redundant_fault_untestable() {
+        // x = a & !a  is constant 0: sa0 on x is untestable
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let na = nl.gate(GateKind::Not, &[a]);
+        let x = nl.gate(GateKind::And, &[a, na]);
+        nl.output("x", x);
+        let fault = Fault {
+            site: FaultSite::Output(x),
+            stuck: false,
+        };
+        let mut podem = Podem::new(nl, 1, 100);
+        assert_eq!(podem.generate(fault), PodemOutcome::Untestable);
+    }
+
+    #[test]
+    fn eval3_semantics() {
+        use GateKind::*;
+        assert_eq!(eval3(And, &[Some(false), None]), Some(false));
+        assert_eq!(eval3(And, &[Some(true), None]), None);
+        assert_eq!(eval3(Or, &[Some(true), None]), Some(true));
+        assert_eq!(eval3(Xor, &[Some(true), None]), None);
+        assert_eq!(eval3(Mux, &[None, Some(true), Some(true)]), Some(true));
+        assert_eq!(eval3(Mux, &[None, Some(true), Some(false)]), None);
+        assert_eq!(eval3(Nand, &[Some(false), None]), Some(true));
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion bench: fault-simulation and PODEM throughput on the
+//! elaborated Ex design (the dominant cost of the tables' ATPG column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hlts_atpg::{FaultSimulator, FaultUniverse, Podem};
+use hlts_bench::Flow;
+use hlts_etpn::Etpn;
+use hlts_netlist::elaborate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn atpg(c: &mut Criterion) {
+    let dfg = hlts_benchmarks::ex();
+    let r = Flow::Ours.run(&dfg, 8).expect("synthesis succeeds");
+    let etpn = Etpn::from_parts(&r.dfg, &r.schedule, &r.allocation).expect("lowerable");
+    let nl = elaborate(&r.dfg, &r.schedule, &r.allocation, &etpn, 8).expect("elaborates");
+    let universe = FaultUniverse::collapsed(&nl).sampled(200, 1);
+    let faults = universe.faults().to_vec();
+    let mut rng = StdRng::seed_from_u64(2);
+    let seq: Vec<Vec<u64>> = (0..10)
+        .map(|_| (0..nl.inputs().len()).map(|_| rng.gen()).collect())
+        .collect();
+
+    c.bench_function("fault_sim_ex_200_faults_10_cycles", |b| {
+        b.iter(|| {
+            let mut fs = FaultSimulator::new(nl.clone());
+            let mut det = vec![false; faults.len()];
+            fs.run(&seq, &faults, &mut det)
+        })
+    });
+
+    c.bench_function("podem_ex_10_targets", |b| {
+        b.iter(|| {
+            let mut podem = Podem::new(nl.clone(), 7, 50);
+            for &f in faults.iter().take(10) {
+                let _ = podem.generate(f);
+            }
+            podem.backtracks_used()
+        })
+    });
+}
+
+criterion_group!(benches, atpg);
+criterion_main!(benches);

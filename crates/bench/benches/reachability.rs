@@ -1,0 +1,25 @@
+//! Criterion bench: Petri-net reachability and critical-path extraction
+//! (the ΔE estimator invoked per tentative merger).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hlts_dfg::ValueId;
+use hlts_etpn::ControlNet;
+
+fn reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachability");
+    for steps in [4usize, 16, 64] {
+        let (net, places) = ControlNet::linear(steps);
+        group.bench_with_input(BenchmarkId::new("linear", steps), &net, |b, net| {
+            b.iter(|| net.critical_path())
+        });
+        let mut looped = net.clone();
+        looped.add_loop_back(&places, ValueId::from_index(0));
+        group.bench_with_input(BenchmarkId::new("looped", steps), &looped, |b, net| {
+            b.iter(|| net.critical_path())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reachability);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: the CC/SC/CO/SO fixpoint analysis — the inner loop
+//! of Algorithm 1 (it runs once per candidate evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hlts_alloc::Allocation;
+use hlts_etpn::Etpn;
+use hlts_sched::{list_schedule, ListPriority};
+use hlts_testability::{total_co_depth, TestabilityAnalysis};
+
+fn testability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testability");
+    for (name, dfg) in hlts_benchmarks::all() {
+        let s = list_schedule(&dfg, &[], ListPriority::CriticalPath).expect("schedulable");
+        let a = Allocation::one_to_one(&dfg);
+        let etpn = Etpn::from_parts(&dfg, &s, &a).expect("lowerable");
+        group.bench_with_input(
+            BenchmarkId::new("analyze", name),
+            etpn.data_path(),
+            |b, dp| b.iter(|| TestabilityAnalysis::analyze(dp)),
+        );
+        let analysis = TestabilityAnalysis::analyze(etpn.data_path());
+        group.bench_with_input(
+            BenchmarkId::new("co_depth", name),
+            etpn.data_path(),
+            |b, dp| b.iter(|| total_co_depth(dp, &analysis)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, testability);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! The benchmarks the paper evaluated but omitted "due to the space
+//! limitation": EWF, Paulin and Tseng, measured at 8 bit in the same
+//! row format as Tables 1–3.
+
+use hlts_atpg::TestGenerator;
+use hlts_bench::{table_atpg_config, Flow};
+use hlts_etpn::Etpn;
+use hlts_netlist::elaborate;
+
+fn main() {
+    let bits = 8;
+    println!("Unprinted benchmarks (EWF, Paulin, Tseng) at {bits}-bit");
+    println!(
+        "{:<8} {:<11} {:>3} {:>4} {:>4} {:>5} {:>9} {:>9} {:>7} {:>8}",
+        "bench", "flow", "E", "mod", "reg", "mux", "coverage", "effort", "cycles", "area"
+    );
+    for (name, dfg) in [
+        ("ewf", hlts_benchmarks::ewf()),
+        ("paulin", hlts_benchmarks::paulin()),
+        ("tseng", hlts_benchmarks::tseng()),
+    ] {
+        for flow in Flow::all() {
+            let r = flow.run(&dfg, bits).expect("synthesis succeeds");
+            let etpn = Etpn::from_parts(&r.dfg, &r.schedule, &r.allocation).expect("lowerable");
+            let nl =
+                elaborate(&r.dfg, &r.schedule, &r.allocation, &etpn, bits).expect("elaborates");
+            let cfg = table_atpg_config(r.schedule.num_steps(), bits);
+            let rep = TestGenerator::new(cfg).run(&nl);
+            println!(
+                "{:<8} {:<11} {:>3} {:>4} {:>4} {:>5} {:>8.2}% {:>9.0} {:>7} {:>8.3}",
+                name,
+                flow.label(),
+                r.metrics.execution_time,
+                r.metrics.num_modules,
+                r.metrics.num_registers,
+                r.metrics.mux_count,
+                rep.coverage(),
+                rep.effort(),
+                rep.test_cycles,
+                r.metrics.hardware.total(),
+            );
+        }
+    }
+}

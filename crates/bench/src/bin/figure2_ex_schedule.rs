@@ -1,0 +1,21 @@
+//! Regenerates **Figure 2**: the schedule the integrated synthesis
+//! algorithm produces for the Ex benchmark, with the module and
+//! register sharing groups the paper annotates.
+
+use hlts_bench::Flow;
+
+fn main() {
+    let dfg = hlts_benchmarks::ex();
+    let r = Flow::Ours.run(&dfg, 8).expect("synthesis succeeds");
+    println!("Figure 2: the schedule for the Ex benchmark (integrated synthesis)");
+    println!();
+    print!("{}", r.schedule.render(&r.dfg));
+    println!();
+    println!("sharing groups (cf. the paper's annotation):");
+    print!("{}", r.allocation.render(&r.dfg));
+    println!();
+    println!("merge decisions taken:");
+    for m in &r.merge_log {
+        println!("  {m}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates **Figure 3**: the schedules the integrated synthesis
+//! algorithm produces for the Dct (3a) and Diffeq (3b) benchmarks.
+
+use hlts_bench::Flow;
+
+fn main() {
+    for (fig, name, dfg) in [
+        ("Figure 3(a)", "Dct", hlts_benchmarks::dct()),
+        ("Figure 3(b)", "Diffeq", hlts_benchmarks::diffeq()),
+    ] {
+        let r = Flow::Ours.run(&dfg, 8).expect("synthesis succeeds");
+        println!("{fig}: the schedule for the {name} benchmark");
+        println!();
+        print!("{}", r.schedule.render(&r.dfg));
+        println!();
+        println!("sharing groups:");
+        print!("{}", r.allocation.render(&r.dfg));
+        println!();
+    }
+}

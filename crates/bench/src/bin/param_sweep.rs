@@ -1,0 +1,46 @@
+//! Ablation: the paper's parameter-insensitivity observation — "it
+//! seems that the chosen parameters do not influence so much the final
+//! results" — checked by sweeping k ∈ {1, 3, 5} and (α, β) ∈
+//! {(2,1), (10,1), (1,10)} on the three table benchmarks and reporting
+//! the resulting design shapes.
+
+use hlts_core::{IntegratedSynthesizer, SynthesisParams};
+
+fn main() {
+    println!("Parameter sweep: k x (alpha, beta) -> design shape (8-bit costing)");
+    for (name, dfg) in [
+        ("ex", hlts_benchmarks::ex()),
+        ("dct", hlts_benchmarks::dct()),
+        ("diffeq", hlts_benchmarks::diffeq()),
+    ] {
+        println!("\n== {name} ==");
+        println!(
+            "{:>3} {:>7} {:>6} {:>5} {:>5} {:>5} {:>8} {:>7}",
+            "k", "alpha", "beta", "E", "mod", "reg", "mux", "H"
+        );
+        for k in [1usize, 3, 5] {
+            for (alpha, beta) in [(2.0, 1.0), (10.0, 1.0), (1.0, 10.0)] {
+                let params = SynthesisParams {
+                    k,
+                    alpha,
+                    beta,
+                    ..SynthesisParams::default()
+                };
+                let r = IntegratedSynthesizer::new(params)
+                    .run(&dfg)
+                    .expect("synthesis succeeds");
+                println!(
+                    "{:>3} {:>7.1} {:>6.1} {:>5} {:>5} {:>5} {:>8} {:>7.3}",
+                    k,
+                    alpha,
+                    beta,
+                    r.metrics.execution_time,
+                    r.metrics.num_modules,
+                    r.metrics.num_registers,
+                    r.metrics.mux_count,
+                    r.metrics.hardware.total(),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates **Table 2**: experimental results on the area-optimized
+//! Dct benchmark (Table 1's columns plus area).
+
+fn main() {
+    let dfg = hlts_benchmarks::dct();
+    hlts_bench::print_table(
+        "Table 2: experimental results on the area-optimized Dct benchmark",
+        &dfg,
+        true,
+    );
+}

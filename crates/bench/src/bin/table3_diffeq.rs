@@ -1,0 +1,11 @@
+//! Regenerates **Table 3**: experimental results on the area-optimized
+//! Diffeq benchmark (Table 1's columns plus area).
+
+fn main() {
+    let dfg = hlts_benchmarks::diffeq();
+    hlts_bench::print_table(
+        "Table 3: experimental results on the area-optimized Diffeq benchmark",
+        &dfg,
+        true,
+    );
+}

@@ -1,0 +1,330 @@
+//! Algorithm 1: the iterative integrated synthesis loop.
+
+use hlts_cost::{estimate_cost, ModuleLibrary};
+use hlts_dfg::Dfg;
+use hlts_testability::TestabilityAnalysis;
+
+use crate::candidates::{enumerate_candidates, MergeCandidate, MergeKind};
+use crate::resched::{
+    merge_modules_with_resched_using, merge_registers_with_resched_using, OrderStrategy,
+};
+use crate::{CoreError, DesignState, SynthesisResult};
+
+/// The user parameters of the synthesis algorithm.
+///
+/// `k`, `alpha` (α) and `beta` (β) are the paper's knobs: each iteration
+/// shortlists the `k` most balance-complementary merge pairs, then
+/// commits the one with the smallest ΔC = α·ΔE + β·ΔH. "A small value
+/// of k means that more emphasis is placed on improving the testability
+/// measure."
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisParams {
+    /// Shortlist size per iteration (paper's `k`).
+    pub k: usize,
+    /// Weight of the incremental execution time ΔE (control steps).
+    pub alpha: f64,
+    /// Weight of the incremental hardware cost ΔH (area units).
+    pub beta: f64,
+    /// Data-path bit width used for area estimation.
+    pub bits: u32,
+    /// The module library pricing ΔH.
+    pub library: ModuleLibrary,
+    /// A merge commits only when its ΔC does not exceed this threshold.
+    /// The paper iterates "until no merger exists"; with the default
+    /// threshold 0 that reading becomes *until no merger improves the
+    /// weighted cost*, which is what terminates the loop short of a
+    /// single-ALU design.
+    pub accept_threshold: f64,
+    /// Hard cap on committed mergers (defensive; never reached by the
+    /// benchmarks).
+    pub max_merges: usize,
+    /// How free ordering decisions inside mergers are resolved. The
+    /// paper's strategy is [`OrderStrategy::CoEnhancement`] (SR2);
+    /// [`OrderStrategy::CriticalPath`] ablates the testability steering
+    /// while keeping the rest of Algorithm 1 intact.
+    pub order_strategy: OrderStrategy,
+    /// How the per-iteration candidate shortlist is ranked. The paper's
+    /// principle is [`SelectionPolicy::CoBalance`] (§3);
+    /// [`SelectionPolicy::Arbitrary`] ablates it (stable id order), so
+    /// ΔC alone drives the merge choice.
+    pub selection_policy: SelectionPolicy,
+}
+
+/// How merge candidates are ranked before the k-chunked ΔC evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// The paper's controllability/observability balance principle.
+    #[default]
+    CoBalance,
+    /// Deterministic but testability-blind order (ablation).
+    Arbitrary,
+}
+
+impl Default for SynthesisParams {
+    fn default() -> Self {
+        SynthesisParams {
+            k: 3,
+            alpha: 2.0,
+            beta: 1.0,
+            bits: 8,
+            library: ModuleLibrary::new(),
+            accept_threshold: 1e-9,
+            max_merges: 10_000,
+            order_strategy: OrderStrategy::CoEnhancement,
+            selection_policy: SelectionPolicy::CoBalance,
+        }
+    }
+}
+
+impl SynthesisParams {
+    /// The parameter sets the paper reports for its main experiments:
+    /// `(k, α, β)` = (3, 2, 1), (3, 10, 1) and (3, 1, 10) for 4-, 8- and
+    /// 16-bit implementations respectively.
+    #[must_use]
+    pub fn paper_defaults(bits: u32) -> Self {
+        let (alpha, beta) = match bits {
+            0..=4 => (2.0, 1.0),
+            5..=8 => (10.0, 1.0),
+            _ => (1.0, 10.0),
+        };
+        SynthesisParams {
+            k: 3,
+            alpha,
+            beta,
+            bits,
+            ..SynthesisParams::default()
+        }
+    }
+}
+
+/// The integrated scheduling/allocation test synthesizer (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct IntegratedSynthesizer {
+    params: SynthesisParams,
+}
+
+impl IntegratedSynthesizer {
+    /// Create a synthesizer with the given parameters.
+    #[must_use]
+    pub fn new(params: SynthesisParams) -> Self {
+        IntegratedSynthesizer { params }
+    }
+
+    /// The parameters in use.
+    #[must_use]
+    pub fn params(&self) -> &SynthesisParams {
+        &self.params
+    }
+
+    /// Run Algorithm 1 on `dfg`.
+    ///
+    /// Each iteration: run the testability analysis, shortlist the `k`
+    /// most C/O-complementary merge pairs, estimate ΔE (critical path of
+    /// the control Petri net) and ΔH (floorplanned area) for each by
+    /// tentatively applying it (merge + merge-sort rescheduling with the
+    /// SR1/SR2 strategy), and commit the pair with the smallest
+    /// ΔC = α·ΔE + β·ΔH if it meets the acceptance threshold. When no
+    /// pair in the shortlist qualifies, the next `k` candidates are
+    /// examined, so the loop only stops when *no* merger qualifies.
+    ///
+    /// # Errors
+    ///
+    /// Only construction-level failures (cyclic input graph, inconsistent
+    /// state) are errors; rejected mergers are part of normal operation.
+    pub fn run(&self, dfg: &Dfg) -> Result<SynthesisResult, CoreError> {
+        let mut state = DesignState::initial(dfg)?;
+        let mut merge_log: Vec<String> = Vec::new();
+
+        for _ in 0..self.params.max_merges {
+            let etpn = state.lower()?;
+            let analysis = TestabilityAnalysis::analyze(etpn.data_path());
+            let mut candidates = enumerate_candidates(&state, &etpn, &analysis);
+            if candidates.is_empty() {
+                break;
+            }
+            if self.params.selection_policy == SelectionPolicy::Arbitrary {
+                candidates.sort_by(|a, b| format!("{:?}", a.kind).cmp(&format!("{:?}", b.kind)));
+            }
+            let e0 = etpn.execution_time() as f64;
+            let h0 =
+                estimate_cost(etpn.data_path(), self.params.bits, &self.params.library).total();
+
+            let mut committed = false;
+            for chunk in candidates.chunks(self.params.k.max(1)) {
+                if let Some((dc, trial, desc)) = self.best_in_chunk(&state, chunk, e0, h0) {
+                    if dc <= self.params.accept_threshold {
+                        merge_log.push(format!("{desc} (ΔC = {dc:+.4})"));
+                        state = trial;
+                        committed = true;
+                        break;
+                    }
+                }
+            }
+            if !committed {
+                break;
+            }
+        }
+
+        debug_assert!(state.validate().is_ok());
+        SynthesisResult::from_state(state, self.params.bits, &self.params.library, merge_log)
+    }
+
+    /// Tentatively apply each candidate of `chunk`; return the smallest-
+    /// ΔC applicable one.
+    fn best_in_chunk(
+        &self,
+        state: &DesignState,
+        chunk: &[MergeCandidate],
+        e0: f64,
+        h0: f64,
+    ) -> Option<(f64, DesignState, String)> {
+        let mut best: Option<(f64, DesignState, String)> = None;
+        for cand in chunk {
+            let mut trial = state.clone();
+            let desc = match cand.kind {
+                MergeKind::Modules(a, b) => {
+                    if merge_modules_with_resched_using(
+                        &mut trial,
+                        a,
+                        b,
+                        self.params.order_strategy,
+                    )
+                    .is_err()
+                    {
+                        continue;
+                    }
+                    let label = trial
+                        .allocation
+                        .module(a)
+                        .map(|m| {
+                            m.ops()
+                                .iter()
+                                .map(|&o| trial.dfg.op(o).name().to_owned())
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        })
+                        .unwrap_or_default();
+                    format!("merge modules -> {{{label}}}")
+                }
+                MergeKind::Registers(a, b) => {
+                    if merge_registers_with_resched_using(
+                        &mut trial,
+                        a,
+                        b,
+                        self.params.order_strategy,
+                    )
+                    .is_err()
+                    {
+                        continue;
+                    }
+                    let label = trial
+                        .allocation
+                        .register(a)
+                        .map(|r| {
+                            r.values()
+                                .iter()
+                                .map(|&v| trial.dfg.value(v).name().to_owned())
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        })
+                        .unwrap_or_default();
+                    format!("merge registers -> {{{label}}}")
+                }
+            };
+            let Ok(etpn) = trial.lower() else { continue };
+            let e1 = etpn.execution_time() as f64;
+            let h1 =
+                estimate_cost(etpn.data_path(), self.params.bits, &self.params.library).total();
+            let dc = self.params.alpha * (e1 - e0) + self.params.beta * (h1 - h0);
+            if best.as_ref().is_none_or(|(b, _, _)| dc < *b) {
+                best = Some((dc, trial, desc));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_dfg::{DfgBuilder, OpKind};
+
+    fn small() -> Dfg {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t1 = b.op("N1", OpKind::Add, &[a, c], "t1").unwrap();
+        let t2 = b.op("N2", OpKind::Add, &[t1, c], "t2").unwrap();
+        let t3 = b.op("N3", OpKind::Mul, &[t1, t2], "t3").unwrap();
+        let y = b.op("N4", OpKind::Sub, &[t3, c], "y").unwrap();
+        b.mark_output(y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn run_produces_valid_compacted_design() {
+        let d = small();
+        let r = IntegratedSynthesizer::new(SynthesisParams::default())
+            .run(&d)
+            .unwrap();
+        r.schedule.validate(&r.dfg).unwrap();
+        r.schedule
+            .validate_groups(&r.dfg, &r.allocation.conflict_groups())
+            .unwrap();
+        // registers must have merged below one-per-value
+        assert!(r.allocation.num_registers() < 6);
+        assert!(!r.merge_log.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = small();
+        let synth = IntegratedSynthesizer::new(SynthesisParams::default());
+        let r1 = synth.run(&d).unwrap();
+        let r2 = synth.run(&d).unwrap();
+        assert_eq!(r1.allocation, r2.allocation);
+        assert_eq!(r1.schedule, r2.schedule);
+    }
+
+    #[test]
+    fn alpha_dominant_preserves_latency() {
+        let d = small();
+        let params = SynthesisParams {
+            alpha: 1000.0,
+            beta: 1.0,
+            ..SynthesisParams::default()
+        };
+        let r = IntegratedSynthesizer::new(params).run(&d).unwrap();
+        // with latency sacrosanct, the schedule stays at the critical path
+        assert_eq!(r.metrics.execution_time, 4);
+    }
+
+    #[test]
+    fn beta_dominant_compacts_harder() {
+        let d = small();
+        let lean = IntegratedSynthesizer::new(SynthesisParams {
+            alpha: 0.01,
+            beta: 100.0,
+            ..SynthesisParams::default()
+        })
+        .run(&d)
+        .unwrap();
+        let tight = IntegratedSynthesizer::new(SynthesisParams {
+            alpha: 1000.0,
+            beta: 1.0,
+            ..SynthesisParams::default()
+        })
+        .run(&d)
+        .unwrap();
+        let lean_units = lean.allocation.num_modules() + lean.allocation.num_registers();
+        let tight_units = tight.allocation.num_modules() + tight.allocation.num_registers();
+        assert!(lean_units <= tight_units);
+    }
+
+    #[test]
+    fn paper_defaults_choose_by_bits() {
+        assert_eq!(SynthesisParams::paper_defaults(4).alpha, 2.0);
+        assert_eq!(SynthesisParams::paper_defaults(8).alpha, 10.0);
+        assert_eq!(SynthesisParams::paper_defaults(16).beta, 10.0);
+    }
+}

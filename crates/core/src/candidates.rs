@@ -1,0 +1,268 @@
+//! Candidate merge-pair enumeration and C/O-balance ranking
+//! (Algorithm 1, line 6).
+
+use hlts_alloc::{ModuleId, RegisterId};
+use hlts_etpn::Etpn;
+use hlts_testability::{balance_score_profiles, NodeProfile, TestabilityAnalysis};
+
+use crate::DesignState;
+
+/// What a candidate proposes to merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeKind {
+    /// Merge two functional modules.
+    Modules(ModuleId, ModuleId),
+    /// Merge two registers.
+    Registers(RegisterId, RegisterId),
+}
+
+/// A scored merge candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergeCandidate {
+    /// The proposed merger.
+    pub kind: MergeKind,
+    /// Controllability/observability balance score (higher = more
+    /// complementary profiles), minus the self-loop penalty.
+    pub balance: f64,
+}
+
+/// Penalty subtracted from the balance score when a merger would create
+/// a structural register↔module self-loop — the loops §3 of the paper
+/// singles out as the reason connectivity-driven designs are hard to
+/// test.
+const SELF_LOOP_PENALTY: f64 = 0.5;
+
+/// Enumerate every legal merge pair of the current design, scored by the
+/// C/O balance principle, best first.
+///
+/// Legality here is the cheap structural filter (functional-unit
+/// compatibility for modules; no common consumer for registers); the
+/// full scheduling feasibility is established when a candidate is
+/// tentatively applied.
+#[must_use]
+pub fn enumerate_candidates(
+    state: &DesignState,
+    etpn: &Etpn,
+    analysis: &TestabilityAnalysis,
+) -> Vec<MergeCandidate> {
+    let dp = etpn.data_path();
+    let dfg = &state.dfg;
+    let alloc = &state.allocation;
+    let mut out = Vec::new();
+
+    // Module pairs.
+    let modules: Vec<ModuleId> = alloc.modules().map(|m| m.id()).collect();
+    for (i, &a) in modules.iter().enumerate() {
+        for &b in &modules[i + 1..] {
+            let (ma, mb) = (
+                alloc.module(a).expect("live"),
+                alloc.module(b).expect("live"),
+            );
+            let compatible = ma.ops().iter().all(|&oa| {
+                mb.ops().iter().all(|&ob| {
+                    dfg.op(oa)
+                        .kind()
+                        .fu_class()
+                        .compatible(dfg.op(ob).kind().fu_class())
+                })
+            });
+            if !compatible {
+                continue;
+            }
+            let (Some(na), Some(nb)) = (dp.node_of_module(a), dp.node_of_module(b)) else {
+                continue;
+            };
+            let pa = NodeProfile::of(analysis, dp, na);
+            let pb = NodeProfile::of(analysis, dp, nb);
+            let mut score = balance_score_profiles(pa, pb);
+            if creates_module_self_loop(state, a, b) {
+                score -= SELF_LOOP_PENALTY;
+            }
+            out.push(MergeCandidate {
+                kind: MergeKind::Modules(a, b),
+                balance: score,
+            });
+        }
+    }
+
+    // Register pairs.
+    let registers: Vec<RegisterId> = alloc.registers().map(|r| r.id()).collect();
+    for (i, &a) in registers.iter().enumerate() {
+        for &b in &registers[i + 1..] {
+            if has_common_consumer(state, a, b) {
+                continue;
+            }
+            let (Some(na), Some(nb)) = (dp.node_of_register(a), dp.node_of_register(b)) else {
+                continue;
+            };
+            let pa = NodeProfile::of(analysis, dp, na);
+            let pb = NodeProfile::of(analysis, dp, nb);
+            let mut score = balance_score_profiles(pa, pb);
+            if creates_register_self_loop(state, a, b) {
+                score -= SELF_LOOP_PENALTY;
+            }
+            out.push(MergeCandidate {
+                kind: MergeKind::Registers(a, b),
+                balance: score,
+            });
+        }
+    }
+
+    out.sort_by(|x, y| {
+        y.balance
+            .partial_cmp(&x.balance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| format!("{:?}", x.kind).cmp(&format!("{:?}", y.kind)))
+    });
+    out
+}
+
+/// Whether some operation consumes values from both registers at once
+/// (the paper's register-merge veto case 2).
+fn has_common_consumer(state: &DesignState, a: RegisterId, b: RegisterId) -> bool {
+    let (Some(ra), Some(rb)) = (state.allocation.register(a), state.allocation.register(b)) else {
+        return true;
+    };
+    state.dfg.ops().iter().any(|op| {
+        let reads_a = op.inputs().iter().any(|v| ra.values().contains(v));
+        let reads_b = op.inputs().iter().any(|v| rb.values().contains(v));
+        reads_a && reads_b
+    })
+}
+
+/// Would merging modules `a` and `b` make a register both a source and a
+/// sink of the merged unit?
+fn creates_module_self_loop(state: &DesignState, a: ModuleId, b: ModuleId) -> bool {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for m in [a, b] {
+        let Some(module) = state.allocation.module(m) else {
+            continue;
+        };
+        for &op in module.ops() {
+            for &v in state.dfg.op(op).inputs() {
+                if let Some(r) = state.allocation.register_of(v) {
+                    reads.push(r);
+                }
+            }
+            if let Some(v) = state.dfg.op(op).output() {
+                if let Some(r) = state.allocation.register_of(v) {
+                    writes.push(r);
+                }
+            }
+        }
+    }
+    reads.iter().any(|r| writes.contains(r))
+}
+
+/// Would merging registers `a` and `b` make some module both produce
+/// into and consume from the merged register?
+fn creates_register_self_loop(state: &DesignState, a: RegisterId, b: RegisterId) -> bool {
+    let mut producers = Vec::new();
+    let mut consumers = Vec::new();
+    for r in [a, b] {
+        let Some(reg) = state.allocation.register(r) else {
+            continue;
+        };
+        for &v in reg.values() {
+            if let Some(op) = state.dfg.def_of(v) {
+                producers.push(state.allocation.module_of(op));
+            }
+            for &op in state.dfg.uses_of(v) {
+                consumers.push(state.allocation.module_of(op));
+            }
+        }
+    }
+    producers.iter().any(|m| consumers.contains(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_dfg::{DfgBuilder, OpKind};
+    use hlts_testability::TestabilityAnalysis;
+
+    fn state() -> DesignState {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t1 = b.op("N1", OpKind::Add, &[a, c], "t1").unwrap();
+        let t2 = b.op("N2", OpKind::Sub, &[a, c], "t2").unwrap();
+        let t3 = b.op("N3", OpKind::Mul, &[t1, c], "t3").unwrap();
+        let y = b.op("N4", OpKind::Mul, &[t2, t3], "y").unwrap();
+        b.mark_output(y);
+        let d = b.finish().unwrap();
+        DesignState::initial(&d).unwrap()
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_legal() {
+        let s = state();
+        let e = s.lower().unwrap();
+        let an = TestabilityAnalysis::analyze(e.data_path());
+        let cands = enumerate_candidates(&s, &e, &an);
+        assert!(!cands.is_empty());
+        for w in cands.windows(2) {
+            assert!(w[0].balance >= w[1].balance - 1e-12);
+        }
+        // the incompatible add×mul module pair must be absent
+        let n1 = s.dfg.op_by_name("N1").unwrap();
+        let n3 = s.dfg.op_by_name("N3").unwrap();
+        let (m1, m3) = (s.allocation.module_of(n1), s.allocation.module_of(n3));
+        assert!(!cands.iter().any(|c| matches!(
+            c.kind,
+            MergeKind::Modules(a, b) if (a, b) == (m1, m3) || (a, b) == (m3, m1)
+        )));
+    }
+
+    #[test]
+    fn common_consumer_pairs_filtered() {
+        let s = state();
+        let e = s.lower().unwrap();
+        let an = TestabilityAnalysis::analyze(e.data_path());
+        let cands = enumerate_candidates(&s, &e, &an);
+        // t2 and t3 both feed N4: never a candidate pair
+        let r2 = s
+            .allocation
+            .register_of(s.dfg.value_by_name("t2").unwrap())
+            .unwrap();
+        let r3 = s
+            .allocation
+            .register_of(s.dfg.value_by_name("t3").unwrap())
+            .unwrap();
+        assert!(!cands.iter().any(|c| matches!(
+            c.kind,
+            MergeKind::Registers(a, b) if (a, b) == (r2, r3) || (a, b) == (r3, r2)
+        )));
+    }
+
+    #[test]
+    fn self_loop_candidates_penalized() {
+        // y's register merged with t3's register: N4 consumes t3 and
+        // produces y -> module self-loop.
+        let s = state();
+        let e = s.lower().unwrap();
+        let an = TestabilityAnalysis::analyze(e.data_path());
+        let cands = enumerate_candidates(&s, &e, &an);
+        let ry = s
+            .allocation
+            .register_of(s.dfg.value_by_name("y").unwrap())
+            .unwrap();
+        let rt3 = s
+            .allocation
+            .register_of(s.dfg.value_by_name("t3").unwrap())
+            .unwrap();
+        let with_loop = cands
+            .iter()
+            .find(|c| {
+                matches!(
+                    c.kind,
+                    MergeKind::Registers(a, b) if (a, b) == (rt3, ry) || (a, b) == (ry, rt3)
+                )
+            })
+            .expect("pair is otherwise legal");
+        // a loop-free register pair of similar profile should rank higher
+        assert!(creates_register_self_loop(&s, rt3, ry));
+        assert!(with_loop.balance < cands[0].balance);
+    }
+}

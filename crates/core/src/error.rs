@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+use hlts_alloc::AllocError;
+use hlts_dfg::DfgError;
+use hlts_etpn::EtpnBuildError;
+use hlts_sched::SchedError;
+
+/// Errors from the synthesis drivers.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Graph-level error (cycle, malformed input).
+    Dfg(DfgError),
+    /// Scheduling failed.
+    Sched(SchedError),
+    /// Binding operation failed.
+    Alloc(AllocError),
+    /// ETPN lowering failed.
+    Etpn(EtpnBuildError),
+    /// A merge was rejected (with the reason); not fatal inside the
+    /// algorithm, surfaced only by the standalone merge helpers.
+    MergeRejected(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Dfg(e) => write!(f, "graph error: {e}"),
+            CoreError::Sched(e) => write!(f, "scheduling error: {e}"),
+            CoreError::Alloc(e) => write!(f, "allocation error: {e}"),
+            CoreError::Etpn(e) => write!(f, "lowering error: {e}"),
+            CoreError::MergeRejected(r) => write!(f, "merge rejected: {r}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Dfg(e) => Some(e),
+            CoreError::Sched(e) => Some(e),
+            CoreError::Alloc(e) => Some(e),
+            CoreError::Etpn(e) => Some(e),
+            CoreError::MergeRejected(_) => None,
+        }
+    }
+}
+
+impl From<DfgError> for CoreError {
+    fn from(e: DfgError) -> Self {
+        CoreError::Dfg(e)
+    }
+}
+
+impl From<SchedError> for CoreError {
+    fn from(e: SchedError) -> Self {
+        CoreError::Sched(e)
+    }
+}
+
+impl From<AllocError> for CoreError {
+    fn from(e: AllocError) -> Self {
+        CoreError::Alloc(e)
+    }
+}
+
+impl From<EtpnBuildError> for CoreError {
+    fn from(e: EtpnBuildError) -> Self {
+        CoreError::Etpn(e)
+    }
+}

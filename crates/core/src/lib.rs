@@ -1,0 +1,58 @@
+//! # hlts-core — integrated scheduling and allocation for test synthesis
+//!
+//! The primary contribution of *Yang & Peng, DATE 1998*: a high-level
+//! test synthesis algorithm that performs operation scheduling and data
+//! path allocation **simultaneously**, by iteratively applying merger
+//! transformations selected with a controllability/observability balance
+//! principle and priced by ΔC = α·ΔE + β·ΔH (the paper's Algorithm 1).
+//!
+//! * [`IntegratedSynthesizer`] — the algorithm itself;
+//! * [`SynthesisParams`] — the paper's user parameters `k`, `α`, `β`,
+//!   plus the module library and bit width used for ΔH;
+//! * [`DesignState`] — the evolving (graph, schedule, allocation) triple;
+//! * [`baselines`] — the three comparison flows of the evaluation
+//!   section: CAMAD-style connectivity synthesis, Approach 1
+//!   (force-directed scheduling + Lee allocation) and Approach 2
+//!   (mobility-path scheduling + modified left-edge allocation);
+//! * [`SynthesisResult`] / [`DesignMetrics`] — reporting in the shape of
+//!   the paper's tables.
+//!
+//! # Example
+//!
+//! ```
+//! use hlts_core::{IntegratedSynthesizer, SynthesisParams};
+//! use hlts_dfg::parse;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dfg = parse(
+//!     "dfg t { input a, b, c;
+//!        N1: p = a * b; N2: q = b * c; N3: r = p - q; N4: s = p + c;
+//!        output r, s; }",
+//! )?;
+//! let result = IntegratedSynthesizer::new(SynthesisParams::default()).run(&dfg)?;
+//! assert!(result.allocation.num_modules() <= 4);
+//! result.schedule.validate(&result.dfg)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+pub mod baselines;
+mod candidates;
+mod error;
+mod report;
+mod resched;
+mod state;
+
+pub use algorithm::{IntegratedSynthesizer, SelectionPolicy, SynthesisParams};
+pub use candidates::{MergeCandidate, MergeKind};
+pub use error::CoreError;
+pub use report::{DesignMetrics, SynthesisResult};
+pub use resched::{
+    disjointness_arcs, merge_modules_with_resched, merge_modules_with_resched_using,
+    merge_registers_with_resched, merge_registers_with_resched_using, OrderStrategy,
+};
+pub use state::DesignState;

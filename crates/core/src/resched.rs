@@ -1,0 +1,629 @@
+//! Merger transformations with merge-sort rescheduling (paper §4.3).
+//!
+//! Merging two modules imposes the constraint that their operations
+//! occupy pairwise-distinct control steps; merging two registers imposes
+//! disjoint lifetimes on their values. Both are materialized as
+//! precedence arcs chosen by a **merge-sort** of the two already-ordered
+//! sequences, with free ordering decisions resolved by the
+//! controllability/observability enhancement strategy:
+//!
+//! * **SR1** (Lee et al.): reduce the sequential depth from a
+//!   controllable register to an observable register;
+//! * **SR2** (this paper): schedule operations to support the
+//!   application of SR1 — implemented by tentatively evaluating both
+//!   orders of the first free pair and keeping the one with the smaller
+//!   controllable-to-observable depth, tie-broken by the smaller
+//!   critical-path increase.
+
+use hlts_alloc::{ModuleId, RegisterId};
+use hlts_dfg::{Dfg, OpId, ValueId};
+use hlts_testability::{total_co_depth, TestabilityAnalysis};
+
+use crate::{CoreError, DesignState};
+
+/// One scheduling-constraint arc; `weak` means "no later than" (the same
+/// control step is allowed), strict means "strictly before".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecArc {
+    /// Source operation.
+    pub from: OpId,
+    /// Target operation.
+    pub to: OpId,
+    /// Weak (`<=`) rather than strict (`<`).
+    pub weak: bool,
+}
+
+/// The precedence arcs that force `earlier`'s lifetime to end before
+/// `later`'s begins.
+///
+/// A register is read at the start of a control step and written at its
+/// end, so a value may be read in the very step its successor value is
+/// defined: constraints from `earlier`'s uses to `later`'s defining
+/// operation are **weak** (same step allowed), while constraints
+/// involving a primary input's first use (the input is latched at the
+/// *start* of that step) are **strict**.
+///
+/// Returns `None` when the required relation cannot be expressed (e.g.
+/// `later` is an unused input, alive only at step 0). Arcs already
+/// implied by the existing precedence relation are omitted; an empty
+/// vector means the order already holds structurally.
+#[must_use]
+pub fn disjointness_arcs(dfg: &Dfg, earlier: ValueId, later: ValueId) -> Option<Vec<PrecArc>> {
+    let uses_e: Vec<OpId> = dfg.uses_of(earlier).to_vec();
+    let def_e = dfg.def_of(earlier);
+    let mut arcs: Vec<PrecArc> = Vec::new();
+    let mut push = |from: OpId, to: OpId, weak: bool| {
+        let arc = PrecArc { from, to, weak };
+        if !arcs.contains(&arc) {
+            arcs.push(arc);
+        }
+    };
+    match dfg.def_of(later) {
+        Some(dj) => {
+            if uses_e.is_empty() {
+                // death(earlier) = def_e + 1 must be <= step(dj): strict
+                // def_e -> dj. (An unused input lives only at step 0 and
+                // `later` is born at dj + 1 >= 1: nothing to add then.)
+                if let Some(de) = def_e {
+                    if de != dj {
+                        push(de, dj, false);
+                    }
+                }
+            } else {
+                for &u in &uses_e {
+                    if u != dj {
+                        push(u, dj, true);
+                    }
+                }
+            }
+        }
+        None => {
+            // `later` is a primary input, born at its first use.
+            let uses_j = dfg.uses_of(later);
+            if uses_j.is_empty() {
+                return None; // alive only at step 0 — nothing fits before
+            }
+            if uses_e.is_empty() {
+                // death(earlier) = def_e + 1 < min_use(later) needs a
+                // two-step gap no single arc expresses.
+                return None;
+            }
+            for &u in &uses_e {
+                for &w in uses_j {
+                    if u == w {
+                        return None; // same op uses both: never disjoint
+                    }
+                    push(u, w, false);
+                }
+            }
+        }
+    }
+    // Drop weak arcs already implied by the (strict-or-weak) reachability
+    // relation; strict arcs are kept — a weak path does not imply them.
+    Some(
+        arcs.into_iter()
+            .filter(|a| !(a.weak && dfg.reaches(a.from, a.to)))
+            .collect(),
+    )
+}
+
+/// How free ordering decisions inside a merger are resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderStrategy {
+    /// The paper's SR2: minimize controllable→observable sequential
+    /// depth, tie-broken by the critical path.
+    #[default]
+    CoEnhancement,
+    /// Critical path only — the strategy of testability-unaware flows
+    /// (the CAMAD baseline).
+    CriticalPath,
+}
+
+/// The (SR1 depth, execution time) figure of merit of a tentative state.
+fn sr1_merit(state: &DesignState) -> Result<(f64, usize), CoreError> {
+    let etpn = state.lower()?;
+    let analysis = TestabilityAnalysis::analyze(etpn.data_path());
+    Ok((
+        total_co_depth(etpn.data_path(), &analysis),
+        etpn.execution_time(),
+    ))
+}
+
+/// Apply `arcs` to a clone of `state` and reschedule; `None` when the
+/// arcs are cyclic or the reschedule fails.
+fn try_arcs(state: &DesignState, arcs: &[PrecArc]) -> Option<DesignState> {
+    let mut s = state.clone();
+    for &PrecArc { from, to, weak } in arcs {
+        if weak {
+            if s.dfg.reaches(from, to) {
+                continue;
+            }
+            s.dfg.add_weak_precedence(from, to).ok()?;
+        } else {
+            s.dfg.add_precedence(from, to).ok()?;
+        }
+    }
+    s.reschedule().ok()?;
+    Some(s)
+}
+
+/// Convenience for strict-only arc lists (module-merge ordering).
+fn strict(pairs: &[(OpId, OpId)]) -> Vec<PrecArc> {
+    pairs
+        .iter()
+        .map(|&(from, to)| PrecArc {
+            from,
+            to,
+            weak: false,
+        })
+        .collect()
+}
+
+/// SR2: pick between two tentative constraint sets by SR1 depth, then
+/// execution time. `true` means the first set wins. `None` when neither
+/// is feasible.
+fn sr2_choose(
+    state: &DesignState,
+    first: &[PrecArc],
+    second: &[PrecArc],
+    strategy: OrderStrategy,
+) -> Option<bool> {
+    let s1 = try_arcs(state, first);
+    let s2 = try_arcs(state, second);
+    match (s1, s2) {
+        (None, None) => None,
+        (Some(_), None) => Some(true),
+        (None, Some(_)) => Some(false),
+        (Some(a), Some(b)) => {
+            let ma = sr1_merit(&a).ok()?;
+            let mb = sr1_merit(&b).ok()?;
+            match strategy {
+                OrderStrategy::CoEnhancement => {
+                    if (ma.0 - mb.0).abs() > 1e-9 {
+                        Some(ma.0 < mb.0)
+                    } else {
+                        Some(ma.1 <= mb.1)
+                    }
+                }
+                OrderStrategy::CriticalPath => Some(ma.1 <= mb.1),
+            }
+        }
+    }
+}
+
+/// Merge two modules, imposing and resolving the scheduling constraints
+/// (paper §4.3.1). On success `state` holds the merged, rescheduled
+/// design; on failure it is unchanged.
+///
+/// # Errors
+///
+/// [`CoreError::MergeRejected`] when no feasible execution order exists,
+/// [`CoreError::Alloc`] for incompatible or stale modules.
+pub fn merge_modules_with_resched(
+    state: &mut DesignState,
+    a: ModuleId,
+    b: ModuleId,
+) -> Result<(), CoreError> {
+    merge_modules_with_resched_using(state, a, b, OrderStrategy::CoEnhancement)
+}
+
+/// [`merge_modules_with_resched`] with an explicit [`OrderStrategy`].
+///
+/// # Errors
+///
+/// As for [`merge_modules_with_resched`].
+pub fn merge_modules_with_resched_using(
+    state: &mut DesignState,
+    a: ModuleId,
+    b: ModuleId,
+    strategy: OrderStrategy,
+) -> Result<(), CoreError> {
+    let ops_of = |m: ModuleId| -> Vec<OpId> {
+        let mut ops = state
+            .allocation
+            .module(m)
+            .map(|x| x.ops().to_vec())
+            .unwrap_or_default();
+        ops.sort_by_key(|&o| (state.schedule.step_of(o), o.index()));
+        ops
+    };
+    let seq_a = ops_of(a);
+    let seq_b = ops_of(b);
+    if seq_a.is_empty() || seq_b.is_empty() {
+        return Err(CoreError::MergeRejected(format!("{a} or {b} is stale")));
+    }
+
+    // Merge-sort the two sequential orders into one (paper: "the main
+    // goal is to merge these two sequential orders into one").
+    let mut work = state.clone();
+    let mut merged: Vec<OpId> = Vec::with_capacity(seq_a.len() + seq_b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut first_free_decision = true;
+    while i < seq_a.len() && j < seq_b.len() {
+        let (ha, hb) = (seq_a[i], seq_b[j]);
+        let take_a = if work.dfg.reaches(ha, hb) {
+            true
+        } else if work.dfg.reaches(hb, ha) {
+            false
+        } else if first_free_decision {
+            first_free_decision = false;
+            sr2_choose(&work, &strict(&[(ha, hb)]), &strict(&[(hb, ha)]), strategy).ok_or_else(
+                || {
+                    CoreError::MergeRejected(format!(
+                        "no feasible order for `{}` and `{}`",
+                        work.dfg.op(ha).name(),
+                        work.dfg.op(hb).name()
+                    ))
+                },
+            )?
+        } else {
+            // "then we decide the rest using a merge-sort heuristic":
+            // keep the current schedule's relative order.
+            (work.schedule.step_of(ha), ha.index()) <= (work.schedule.step_of(hb), hb.index())
+        };
+        if take_a {
+            merged.push(ha);
+            i += 1;
+        } else {
+            merged.push(hb);
+            j += 1;
+        }
+    }
+    merged.extend_from_slice(&seq_a[i..]);
+    merged.extend_from_slice(&seq_b[j..]);
+
+    // Materialize the order as a chain of precedence arcs.
+    for w in merged.windows(2) {
+        let (x, y) = (w[0], w[1]);
+        if !work.dfg.reaches(x, y) {
+            work.dfg.add_precedence(x, y).map_err(|_| {
+                CoreError::MergeRejected(format!(
+                    "ordering `{}` before `{}` is cyclic",
+                    work.dfg.op(x).name(),
+                    work.dfg.op(y).name()
+                ))
+            })?;
+        }
+    }
+    work.allocation.merge_modules(&work.dfg, a, b)?;
+    work.reschedule()?;
+    debug_assert!(work.validate().is_ok());
+    *state = work;
+    Ok(())
+}
+
+/// Merge two registers, imposing and resolving lifetime-disjointness
+/// constraints (paper §4.3.2). On success `state` holds the merged,
+/// rescheduled design; on failure it is unchanged.
+///
+/// # Errors
+///
+/// [`CoreError::MergeRejected`] when the lifetimes can never be disjoint
+/// — the paper's two cases: mutual precedence between the value pairs'
+/// lifetime operations (detected as cyclic constraints), or "an
+/// operation which uses both of the values as inputs" — and
+/// [`CoreError::Alloc`] for stale ids.
+pub fn merge_registers_with_resched(
+    state: &mut DesignState,
+    a: RegisterId,
+    b: RegisterId,
+) -> Result<(), CoreError> {
+    merge_registers_with_resched_using(state, a, b, OrderStrategy::CoEnhancement)
+}
+
+/// [`merge_registers_with_resched`] with an explicit [`OrderStrategy`].
+///
+/// # Errors
+///
+/// As for [`merge_registers_with_resched`].
+pub fn merge_registers_with_resched_using(
+    state: &mut DesignState,
+    a: RegisterId,
+    b: RegisterId,
+    strategy: OrderStrategy,
+) -> Result<(), CoreError> {
+    let vals_of = |r: RegisterId| -> Vec<ValueId> {
+        state
+            .allocation
+            .register(r)
+            .map(|x| x.values().to_vec())
+            .unwrap_or_default()
+    };
+    let va = vals_of(a);
+    let vb = vals_of(b);
+    if va.is_empty() || vb.is_empty() {
+        return Err(CoreError::MergeRejected(format!("{a} or {b} is stale")));
+    }
+
+    // Veto case 2: a common consumer needs both values at once.
+    for &x in &va {
+        for &y in &vb {
+            let clash = state
+                .dfg
+                .ops()
+                .iter()
+                .any(|op| op.inputs().contains(&x) && op.inputs().contains(&y));
+            if clash {
+                return Err(CoreError::MergeRejected(format!(
+                    "`{}` and `{}` feed one operation together",
+                    state.dfg.value(x).name(),
+                    state.dfg.value(y).name()
+                )));
+            }
+        }
+    }
+
+    let lt = state.lifetimes();
+    let birth = |v: ValueId| lt.interval(v).map_or(usize::MAX, |iv| iv.birth);
+    let mut seq_a = va;
+    let mut seq_b = vb;
+    seq_a.sort_by_key(|&v| (birth(v), v.index()));
+    seq_b.sort_by_key(|&v| (birth(v), v.index()));
+
+    let mut work = state.clone();
+    let mut merged: Vec<ValueId> = Vec::with_capacity(seq_a.len() + seq_b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut first_free_decision = true;
+    while i < seq_a.len() && j < seq_b.len() {
+        let (ha, hb) = (seq_a[i], seq_b[j]);
+        let ab = disjointness_arcs(&work.dfg, ha, hb).unwrap_or_default();
+        let ba = disjointness_arcs(&work.dfg, hb, ha).unwrap_or_default();
+        let a_feasible =
+            disjointness_arcs(&work.dfg, ha, hb).is_some() && try_arcs(&work, &ab).is_some();
+        let b_feasible =
+            disjointness_arcs(&work.dfg, hb, ha).is_some() && try_arcs(&work, &ba).is_some();
+        let take_a = match (a_feasible, b_feasible) {
+            (false, false) => {
+                return Err(CoreError::MergeRejected(format!(
+                    "lifetimes of `{}` and `{}` can never be disjoint",
+                    work.dfg.value(ha).name(),
+                    work.dfg.value(hb).name()
+                )))
+            }
+            (true, false) => true,
+            (false, true) => false,
+            (true, true) => {
+                if first_free_decision {
+                    first_free_decision = false;
+                    sr2_choose(&work, &ab, &ba, strategy).unwrap_or(true)
+                } else {
+                    (birth(ha), ha.index()) <= (birth(hb), hb.index())
+                }
+            }
+        };
+        if take_a {
+            merged.push(ha);
+            i += 1;
+        } else {
+            merged.push(hb);
+            j += 1;
+        }
+    }
+    merged.extend_from_slice(&seq_a[i..]);
+    merged.extend_from_slice(&seq_b[j..]);
+
+    // Chain the merged order with disjointness constraints.
+    for w in merged.windows(2) {
+        let reject_msg = format!(
+            "lifetime ordering of `{}` before `{}` is infeasible",
+            work.dfg.value(w[0]).name(),
+            work.dfg.value(w[1]).name()
+        );
+        let arcs = disjointness_arcs(&work.dfg, w[0], w[1])
+            .ok_or_else(|| CoreError::MergeRejected(reject_msg.clone()))?;
+        for PrecArc { from, to, weak } in arcs {
+            let added = if weak {
+                work.dfg.add_weak_precedence(from, to)
+            } else {
+                work.dfg.add_precedence(from, to)
+            };
+            added.map_err(|_| CoreError::MergeRejected(reject_msg.clone()))?;
+        }
+    }
+    work.allocation.merge_registers(a, b)?;
+    work.reschedule()?;
+    // Defense in depth: the arcs above should guarantee disjointness; if
+    // an uncovered corner slips through, reject rather than commit an
+    // overlapping register file.
+    if work.validate().is_err() {
+        return Err(CoreError::MergeRejected(
+            "post-merge validation found overlapping lifetimes".into(),
+        ));
+    }
+    *state = work;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_dfg::{DfgBuilder, OpKind};
+
+    /// Two independent adds in one step; merging their modules must order
+    /// them into two steps.
+    #[test]
+    fn module_merge_serializes_same_step_ops() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t1 = b.op("N1", OpKind::Add, &[a, c], "t1").unwrap();
+        let t2 = b.op("N2", OpKind::Add, &[a, c], "t2").unwrap();
+        b.mark_output(t1);
+        b.mark_output(t2);
+        let d = b.finish().unwrap();
+        let mut s = DesignState::initial(&d).unwrap();
+        let n1 = s.dfg.op_by_name("N1").unwrap();
+        let n2 = s.dfg.op_by_name("N2").unwrap();
+        assert_eq!(s.schedule.step_of(n1), s.schedule.step_of(n2));
+        let (m1, m2) = (s.allocation.module_of(n1), s.allocation.module_of(n2));
+        merge_modules_with_resched(&mut s, m1, m2).unwrap();
+        assert_ne!(s.schedule.step_of(n1), s.schedule.step_of(n2));
+        assert_eq!(s.allocation.num_modules(), 1);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn incompatible_module_merge_rejected_and_state_unchanged() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        b.op("N1", OpKind::Add, &[a, c], "t1").unwrap();
+        b.op("N2", OpKind::Mul, &[a, c], "t2").unwrap();
+        let d = b.finish().unwrap();
+        let mut s = DesignState::initial(&d).unwrap();
+        let before = s.clone();
+        let n1 = s.dfg.op_by_name("N1").unwrap();
+        let n2 = s.dfg.op_by_name("N2").unwrap();
+        let (m1, m2) = (s.allocation.module_of(n1), s.allocation.module_of(n2));
+        assert!(merge_modules_with_resched(&mut s, m1, m2).is_err());
+        assert_eq!(s.schedule, before.schedule);
+        assert_eq!(s.allocation, before.allocation);
+    }
+
+    #[test]
+    fn register_merge_orders_lifetimes() {
+        // t1 and t2 both born step 1 under ASAP; merging their registers
+        // must push one definition later.
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t1 = b.op("N1", OpKind::Add, &[a, c], "t1").unwrap();
+        let t2 = b.op("N2", OpKind::Add, &[a, c], "t2").unwrap();
+        let y = b.op("N3", OpKind::Mul, &[t1, c], "y").unwrap();
+        let z = b.op("N4", OpKind::Mul, &[t2, c], "z").unwrap();
+        b.mark_output(y);
+        b.mark_output(z);
+        let d = b.finish().unwrap();
+        let mut s = DesignState::initial(&d).unwrap();
+        let vt1 = s.dfg.value_by_name("t1").unwrap();
+        let vt2 = s.dfg.value_by_name("t2").unwrap();
+        let (r1, r2) = (
+            s.allocation.register_of(vt1).unwrap(),
+            s.allocation.register_of(vt2).unwrap(),
+        );
+        merge_registers_with_resched(&mut s, r1, r2).unwrap();
+        s.validate().unwrap();
+        let lt = s.lifetimes();
+        assert!(lt.disjoint(vt1, vt2));
+    }
+
+    #[test]
+    fn register_merge_vetoes_common_consumer() {
+        // y = t1 + t2: t1 and t2 can never share a register.
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t1 = b.op("N1", OpKind::Add, &[a, c], "t1").unwrap();
+        let t2 = b.op("N2", OpKind::Sub, &[a, c], "t2").unwrap();
+        let y = b.op("N3", OpKind::Mul, &[t1, t2], "y").unwrap();
+        b.mark_output(y);
+        let d = b.finish().unwrap();
+        let mut s = DesignState::initial(&d).unwrap();
+        let (r1, r2) = (
+            s.allocation.register_of(t1).unwrap(),
+            s.allocation.register_of(t2).unwrap(),
+        );
+        let e = merge_registers_with_resched(&mut s, r1, r2).unwrap_err();
+        assert!(matches!(e, CoreError::MergeRejected(_)), "{e}");
+    }
+
+    #[test]
+    fn disjointness_arcs_shape() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t1 = b.op("N1", OpKind::Add, &[a, c], "t1").unwrap();
+        let t2 = b.op("N2", OpKind::Sub, &[a, c], "t2").unwrap();
+        let _y = b.op("N3", OpKind::Mul, &[t1, c], "y").unwrap();
+        let d = b.finish().unwrap();
+        let n1 = d.op_by_name("N1").unwrap();
+        let n2 = d.op_by_name("N2").unwrap();
+        let n3 = d.op_by_name("N3").unwrap();
+        // t1 before t2: t1's use (N3) may share t2's defining step (N2)
+        let arcs = disjointness_arcs(&d, t1, t2).unwrap();
+        assert_eq!(
+            arcs,
+            vec![PrecArc {
+                from: n3,
+                to: n2,
+                weak: true
+            }]
+        );
+        // t2 before t1: t2 is unused, so its death (def + 1) must come
+        // strictly before t1's definition.
+        let arcs2 = disjointness_arcs(&d, t2, t1).unwrap();
+        assert_eq!(
+            arcs2,
+            vec![PrecArc {
+                from: n2,
+                to: n1,
+                weak: false
+            }]
+        );
+    }
+
+    #[test]
+    fn disjointness_between_inputs_is_strict() {
+        // two inputs sharing a register: all uses of the first strictly
+        // before all uses of the second (the input latches at the start
+        // of its first-use step).
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let e = b.input("e");
+        let t1 = b.op("N1", OpKind::Add, &[a, e], "t1").unwrap();
+        let _t2 = b.op("N2", OpKind::Add, &[t1, c], "t2").unwrap();
+        let d = b.finish().unwrap();
+        let n1 = d.op_by_name("N1").unwrap();
+        let n2 = d.op_by_name("N2").unwrap();
+        let arcs = disjointness_arcs(&d, a, c).unwrap();
+        assert_eq!(
+            arcs,
+            vec![PrecArc {
+                from: n1,
+                to: n2,
+                weak: false
+            }]
+        );
+        // c before a would need N2 strictly before N1 — expressible but
+        // cyclic; the arcs are produced, feasibility is checked on apply.
+        let arcs2 = disjointness_arcs(&d, c, a).unwrap();
+        assert_eq!(arcs2.len(), 1);
+        assert!(!arcs2[0].weak);
+    }
+
+    /// The Figure 1 scenario: merging two operation nodes and ordering
+    /// them reduces the sequential depth from a controllable to an
+    /// observable register (2 → 1 in the paper's example). We verify the
+    /// SR2 machinery picks an order that does not increase the total
+    /// controllable-to-observable depth.
+    #[test]
+    fn figure1_sequential_depth() {
+        // w,x feed N1; v,y feed N2; N1 -> y', N2 -> z with chain
+        // structure so ordering matters.
+        let mut b = DfgBuilder::new("fig1");
+        let w = b.input("w");
+        let x = b.input("x");
+        let v = b.input("v");
+        let s_in = b.input("s");
+        let t1 = b.op("N1", OpKind::Add, &[w, x], "t1").unwrap();
+        let t2 = b.op("N2", OpKind::Add, &[v, s_in], "t2").unwrap();
+        let u = b.op("N3", OpKind::Mul, &[t1, t2], "u").unwrap();
+        b.mark_output(u);
+        let d = b.finish().unwrap();
+        let mut st = DesignState::initial(&d).unwrap();
+        let etpn0 = st.lower().unwrap();
+        let an0 = TestabilityAnalysis::analyze(etpn0.data_path());
+        let depth0 = total_co_depth(etpn0.data_path(), &an0);
+        let n1 = st.dfg.op_by_name("N1").unwrap();
+        let n2 = st.dfg.op_by_name("N2").unwrap();
+        let (m1, m2) = (st.allocation.module_of(n1), st.allocation.module_of(n2));
+        merge_modules_with_resched(&mut st, m1, m2).unwrap();
+        let etpn1 = st.lower().unwrap();
+        let an1 = TestabilityAnalysis::analyze(etpn1.data_path());
+        let depth1 = total_co_depth(etpn1.data_path(), &an1);
+        // sharing one adder cannot make the depth worse here
+        assert!(depth1 <= depth0 + 1e-9, "depth {depth0} -> {depth1}");
+        st.validate().unwrap();
+    }
+}

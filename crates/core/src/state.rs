@@ -1,0 +1,143 @@
+//! The evolving design state of the synthesis loop.
+
+use hlts_alloc::Allocation;
+use hlts_dfg::Dfg;
+use hlts_etpn::Etpn;
+use hlts_sched::{list_schedule, Lifetimes, ListPriority, Schedule};
+
+use crate::CoreError;
+
+/// A (graph, schedule, allocation) triple — the state Algorithm 1
+/// transforms. The graph accumulates the precedence arcs that
+/// materialize merge-imposed scheduling constraints.
+#[derive(Debug, Clone)]
+pub struct DesignState {
+    /// The behavioral graph, including accumulated scheduling-constraint
+    /// arcs.
+    pub dfg: Dfg,
+    /// The current schedule (always legal for `dfg` and `allocation`).
+    pub schedule: Schedule,
+    /// The current binding.
+    pub allocation: Allocation,
+}
+
+impl DesignState {
+    /// The paper's starting point: "a simple default scheduling /
+    /// allocation" — one module per operation, one register per value,
+    /// ASAP list schedule.
+    ///
+    /// # Errors
+    ///
+    /// Fails only for a cyclic input graph.
+    pub fn initial(dfg: &Dfg) -> Result<Self, CoreError> {
+        let allocation = Allocation::one_to_one(dfg);
+        let schedule = list_schedule(dfg, &[], ListPriority::CriticalPath)?;
+        Ok(DesignState {
+            dfg: dfg.clone(),
+            schedule,
+            allocation,
+        })
+    }
+
+    /// Re-solve the schedule under the current constraint arcs and
+    /// module binding, staying close to the previous schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling failures (cyclic constraints are prevented
+    /// by [`Dfg::add_precedence`], so this is defensive).
+    ///
+    /// [`Dfg::add_precedence`]: hlts_dfg::Dfg::add_precedence
+    pub fn reschedule(&mut self) -> Result<(), CoreError> {
+        let prev: Vec<usize> = (0..self.dfg.num_ops())
+            .map(|i| self.schedule.step_of(hlts_dfg::OpId::from_index(i)))
+            .collect();
+        self.schedule = list_schedule(
+            &self.dfg,
+            &self.allocation.conflict_groups(),
+            ListPriority::Previous(prev),
+        )?;
+        Ok(())
+    }
+
+    /// Lower the current state to ETPN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering failures (inconsistent state).
+    pub fn lower(&self) -> Result<Etpn, CoreError> {
+        Ok(Etpn::from_parts(
+            &self.dfg,
+            &self.schedule,
+            &self.allocation,
+        )?)
+    }
+
+    /// Lifetime analysis of the current schedule (the paper's step 13).
+    #[must_use]
+    pub fn lifetimes(&self) -> Lifetimes {
+        Lifetimes::compute(&self.dfg, &self.schedule)
+    }
+
+    /// Full consistency check: schedule legal for graph and binding,
+    /// register sharing legal for lifetimes.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.schedule.validate(&self.dfg)?;
+        self.schedule
+            .validate_groups(&self.dfg, &self.allocation.conflict_groups())?;
+        let lt = self.lifetimes();
+        self.allocation.validate(&self.dfg, &self.schedule, &lt)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_dfg::{DfgBuilder, OpKind};
+
+    fn small() -> Dfg {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t = b.op("N1", OpKind::Add, &[a, c], "t").unwrap();
+        let y = b.op("N2", OpKind::Mul, &[t, c], "y").unwrap();
+        b.mark_output(y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn initial_state_is_valid() {
+        let d = small();
+        let s = DesignState::initial(&d).unwrap();
+        s.validate().unwrap();
+        assert_eq!(s.allocation.num_modules(), 2);
+        assert_eq!(s.schedule.num_steps(), 2);
+    }
+
+    #[test]
+    fn reschedule_after_constraint() {
+        let d = small();
+        let mut s = DesignState::initial(&d).unwrap();
+        let n1 = s.dfg.op_by_name("N1").unwrap();
+        let n2 = s.dfg.op_by_name("N2").unwrap();
+        // force a gap: N1 before N2 already data-ordered; add a dummy
+        // reverse-ish constraint between independent ops is impossible
+        // here; just verify rescheduling is stable
+        s.reschedule().unwrap();
+        s.validate().unwrap();
+        assert!(s.schedule.step_of(n1) < s.schedule.step_of(n2));
+    }
+
+    #[test]
+    fn lower_roundtrip() {
+        let d = small();
+        let s = DesignState::initial(&d).unwrap();
+        let e = s.lower().unwrap();
+        assert_eq!(e.execution_time(), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the synthesis core: random merger storms
+//! must never produce an invalid design state, and the full algorithm
+//! must stay valid and deterministic on random behaviors.
+
+use hlts_core::{
+    merge_modules_with_resched, merge_registers_with_resched, DesignState, IntegratedSynthesizer,
+    SynthesisParams,
+};
+use hlts_dfg::{Dfg, DfgBuilder, OpKind};
+use proptest::prelude::*;
+
+fn build_dfg(spec: &[(u8, u8, u8)]) -> Dfg {
+    let mut b = DfgBuilder::new("prop");
+    let mut vals = vec![b.input("i0"), b.input("i1")];
+    for (n, &(k, x, y)) in spec.iter().enumerate() {
+        let kinds = [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Xor];
+        let kind = kinds[k as usize % kinds.len()];
+        let a = vals[x as usize % vals.len()];
+        let c = vals[y as usize % vals.len()];
+        let out = b
+            .op(&format!("N{n}"), kind, &[a, c], &format!("v{n}"))
+            .expect("fresh name");
+        vals.push(out);
+    }
+    let last = *vals.last().expect("nonempty");
+    b.mark_output(last);
+    b.finish().expect("well-formed")
+}
+
+fn spec_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Apply a random storm of module/register mergers: after every
+    /// attempt — accepted or rejected — the design state must validate
+    /// (schedule legal, binding legal, lifetimes disjoint).
+    #[test]
+    fn merger_storm_preserves_validity(
+        spec in spec_strategy(),
+        merges in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..8),
+    ) {
+        let d = build_dfg(&spec);
+        let mut state = DesignState::initial(&d).expect("initial");
+        for (x, y, register) in merges {
+            if register {
+                let regs: Vec<_> = state.allocation.registers().map(|r| r.id()).collect();
+                let (a, b) = (
+                    regs[x as usize % regs.len()],
+                    regs[y as usize % regs.len()],
+                );
+                let _ = merge_registers_with_resched(&mut state, a, b);
+            } else {
+                let mods: Vec<_> = state.allocation.modules().map(|m| m.id()).collect();
+                let (a, b) = (
+                    mods[x as usize % mods.len()],
+                    mods[y as usize % mods.len()],
+                );
+                let _ = merge_modules_with_resched(&mut state, a, b);
+            }
+            prop_assert!(state.validate().is_ok(), "state invalid after merger");
+        }
+    }
+
+    /// The full algorithm always produces a valid, compacting design and
+    /// is deterministic.
+    #[test]
+    fn algorithm_is_valid_and_deterministic(spec in spec_strategy()) {
+        let d = build_dfg(&spec);
+        let synth = IntegratedSynthesizer::new(SynthesisParams::default());
+        let r1 = synth.run(&d).expect("synthesis");
+        let r2 = synth.run(&d).expect("synthesis");
+        prop_assert_eq!(&r1.allocation, &r2.allocation);
+        prop_assert_eq!(&r1.schedule, &r2.schedule);
+        r1.schedule.validate(&r1.dfg).expect("legal schedule");
+        r1.schedule
+            .validate_groups(&r1.dfg, &r1.allocation.conflict_groups())
+            .expect("legal binding");
+        let lt = hlts_sched::Lifetimes::compute(&r1.dfg, &r1.schedule);
+        r1.allocation
+            .validate(&r1.dfg, &r1.schedule, &lt)
+            .expect("legal registers");
+    }
+
+    /// Execution time is monotone under the α knob: an α-dominant run
+    /// never ends slower than a β-dominant run of the same behavior.
+    #[test]
+    fn alpha_protects_latency(spec in spec_strategy()) {
+        let d = build_dfg(&spec);
+        let fast = IntegratedSynthesizer::new(SynthesisParams {
+            alpha: 1000.0,
+            beta: 1.0,
+            ..SynthesisParams::default()
+        })
+        .run(&d)
+        .expect("synthesis");
+        let small = IntegratedSynthesizer::new(SynthesisParams {
+            alpha: 0.01,
+            beta: 100.0,
+            ..SynthesisParams::default()
+        })
+        .run(&d)
+        .expect("synthesis");
+        prop_assert!(fast.metrics.execution_time <= small.metrics.execution_time);
+    }
+}

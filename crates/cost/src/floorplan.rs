@@ -1,0 +1,237 @@
+//! Connectivity-driven constructive floorplanning.
+//!
+//! "To make a more accurate estimation, we follow the floorplanning
+//! algorithm proposed by Peng et al. to estimate the hardware cost which
+//! takes into account the geometrical information. This algorithm
+//! basically makes use of a simple heuristics based on the connectivity
+//! between the data path vertices." (paper §4.2)
+//!
+//! Nodes are placed one at a time on an integer grid: the next node is
+//! always the unplaced node with the most connections to already-placed
+//! nodes; it lands on the free cell minimizing total Manhattan distance
+//! to its placed neighbors. Wire lengths are measured between cell
+//! centers.
+
+use std::collections::HashMap;
+
+use hlts_etpn::{DataPath, DpNodeId};
+
+/// A placement of every data-path node on an integer grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Floorplan {
+    pos: Vec<(i32, i32)>,
+}
+
+impl Floorplan {
+    /// Place the nodes of `dp` by the constructive connectivity
+    /// heuristic. Deterministic for a given data path.
+    #[must_use]
+    pub fn place(dp: &DataPath) -> Self {
+        let n = dp.num_nodes();
+        let mut pos: Vec<Option<(i32, i32)>> = vec![None; n];
+        if n == 0 {
+            return Floorplan { pos: Vec::new() };
+        }
+        // connection counts (parallel arcs each count)
+        let mut degree = vec![0usize; n];
+        let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for arc in dp.arcs() {
+            let (a, b) = (arc.from().index(), arc.to().index());
+            if a == b {
+                continue;
+            }
+            degree[a] += 1;
+            degree[b] += 1;
+            neighbors[a].push(b);
+            neighbors[b].push(a);
+        }
+
+        let mut occupied: HashMap<(i32, i32), usize> = HashMap::new();
+        // seed: the most connected node at the origin
+        let seed = (0..n)
+            .max_by_key(|&i| (degree[i], usize::MAX - i))
+            .unwrap_or(0);
+        pos[seed] = Some((0, 0));
+        occupied.insert((0, 0), seed);
+
+        for _ in 1..n {
+            // next: unplaced node with most placed neighbors; ties by
+            // total degree then id
+            let next = (0..n)
+                .filter(|&i| pos[i].is_none())
+                .max_by_key(|&i| {
+                    let placed = neighbors[i].iter().filter(|&&j| pos[j].is_some()).count();
+                    (placed, degree[i], usize::MAX - i)
+                })
+                .expect("an unplaced node remains");
+            let anchors: Vec<(i32, i32)> = neighbors[next].iter().filter_map(|&j| pos[j]).collect();
+            let target = best_free_cell(&occupied, &anchors);
+            pos[next] = Some(target);
+            occupied.insert(target, next);
+        }
+
+        Floorplan {
+            pos: pos.into_iter().map(|p| p.expect("all placed")).collect(),
+        }
+    }
+
+    /// Grid position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the placed data path.
+    #[must_use]
+    pub fn position(&self, node: DpNodeId) -> (i32, i32) {
+        self.pos[node.index()]
+    }
+
+    /// Manhattan wire length between two nodes, in grid units.
+    #[must_use]
+    pub fn wire_len(&self, a: DpNodeId, b: DpNodeId) -> f64 {
+        let (xa, ya) = self.pos[a.index()];
+        let (xb, yb) = self.pos[b.index()];
+        f64::from((xa - xb).abs() + (ya - yb).abs())
+    }
+
+    /// Bounding-box half-perimeter of the whole plan (a chip-size
+    /// indicator used in diagnostics).
+    #[must_use]
+    pub fn half_perimeter(&self) -> i32 {
+        if self.pos.is_empty() {
+            return 0;
+        }
+        let xs: Vec<i32> = self.pos.iter().map(|p| p.0).collect();
+        let ys: Vec<i32> = self.pos.iter().map(|p| p.1).collect();
+        (xs.iter().max().unwrap() - xs.iter().min().unwrap())
+            + (ys.iter().max().unwrap() - ys.iter().min().unwrap())
+    }
+}
+
+/// The free cell minimizing total Manhattan distance to `anchors`
+/// (spiral search around the anchors' centroid; origin when no anchor).
+fn best_free_cell(occupied: &HashMap<(i32, i32), usize>, anchors: &[(i32, i32)]) -> (i32, i32) {
+    let (cx, cy) = if anchors.is_empty() {
+        (0, 0)
+    } else {
+        (
+            anchors.iter().map(|p| p.0).sum::<i32>() / anchors.len() as i32,
+            anchors.iter().map(|p| p.1).sum::<i32>() / anchors.len() as i32,
+        )
+    };
+    let cost = |x: i32, y: i32| -> i64 {
+        anchors
+            .iter()
+            .map(|&(ax, ay)| i64::from((x - ax).abs() + (y - ay).abs()))
+            .sum()
+    };
+    let mut best: Option<((i32, i32), i64)> = None;
+    for radius in 0.. {
+        // scan the square ring at `radius`
+        for dx in -radius..=radius {
+            for dy in [-radius, radius] {
+                for (x, y) in [(cx + dx, cy + dy), (cx + dy, cy + dx)] {
+                    if occupied.contains_key(&(x, y)) {
+                        continue;
+                    }
+                    let c = cost(x, y);
+                    if best.is_none_or(|(_, bc)| {
+                        c < bc || (c == bc && (y, x) < (best.unwrap().0 .1, best.unwrap().0 .0))
+                    }) {
+                        best = Some(((x, y), c));
+                    }
+                }
+            }
+        }
+        // Once a candidate exists and the ring is beyond any possible
+        // improvement, stop: distance to centroid grows with radius.
+        if let Some((_, bc)) = best {
+            let lower_bound = anchors
+                .iter()
+                .map(|&(ax, ay)| i64::from((radius - (cx - ax).abs() - (cy - ay).abs()).max(0)))
+                .sum::<i64>();
+            if i64::from(radius) > bc || lower_bound > bc {
+                break;
+            }
+        }
+        if radius > 512 {
+            break; // safety bound for degenerate inputs
+        }
+    }
+    best.expect("grid has free cells").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_alloc::Allocation;
+    use hlts_dfg::{DfgBuilder, OpKind};
+    use hlts_etpn::Etpn;
+    use hlts_sched::{list_schedule, ListPriority};
+
+    fn sample_dp() -> DataPath {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t = b.op("N1", OpKind::Add, &[a, c], "t").unwrap();
+        let y = b.op("N2", OpKind::Mul, &[t, c], "y").unwrap();
+        b.mark_output(y);
+        let d = b.finish().unwrap();
+        let s = list_schedule(&d, &[], ListPriority::CriticalPath).unwrap();
+        let alloc = Allocation::one_to_one(&d);
+        Etpn::from_parts(&d, &s, &alloc)
+            .unwrap()
+            .data_path()
+            .clone()
+    }
+
+    #[test]
+    fn every_node_gets_unique_cell() {
+        let dp = sample_dp();
+        let fp = Floorplan::place(&dp);
+        let mut seen = std::collections::HashSet::new();
+        for node in dp.nodes() {
+            assert!(seen.insert(fp.position(node.id())), "cell reused");
+        }
+    }
+
+    #[test]
+    fn connected_nodes_are_close() {
+        let dp = sample_dp();
+        let fp = Floorplan::place(&dp);
+        // average arc length should be small on a 9-node plan
+        let total: f64 = dp
+            .arcs()
+            .iter()
+            .map(|arc| fp.wire_len(arc.from(), arc.to()))
+            .sum();
+        let avg = total / dp.num_arcs() as f64;
+        assert!(avg <= 3.0, "avg wire length {avg}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let dp = sample_dp();
+        assert_eq!(Floorplan::place(&dp), Floorplan::place(&dp));
+    }
+
+    #[test]
+    fn empty_datapath() {
+        let dp = DataPath::new();
+        let fp = Floorplan::place(&dp);
+        assert_eq!(fp.half_perimeter(), 0);
+    }
+
+    #[test]
+    fn wire_len_is_manhattan() {
+        let dp = sample_dp();
+        let fp = Floorplan::place(&dp);
+        let a = dp.nodes()[0].id();
+        let b = dp.nodes()[1].id();
+        let (xa, ya) = fp.position(a);
+        let (xb, yb) = fp.position(b);
+        assert_eq!(
+            fp.wire_len(a, b),
+            f64::from((xa - xb).abs() + (ya - yb).abs())
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # hlts-cost — module library, floorplanning and area estimation
+//!
+//! The hardware-cost half of the paper's ΔC = α·ΔE + β·ΔH objective:
+//!
+//! * [`ModuleLibrary`] — per-bit-width area parameters for functional
+//!   units, registers, multiplexers and wiring (the "module parameters
+//!   stored in the module library" of §4.2);
+//! * [`Floorplan`] — the connectivity-driven constructive placement of
+//!   Peng & Kuchcinski (TCAD 1994) §4.2: data-path nodes are placed on a
+//!   grid, each next to the already-placed nodes it connects to most;
+//! * [`estimate_cost`] — the paper's estimate
+//!   `H = Σ Area(V_i) + Σ Len(A_j) × Wid(A_j)` over a floorplanned data
+//!   path.
+//!
+//! Areas are in abstract mm²-like units calibrated so that the Dct
+//! benchmark's CAMAD-style 4-bit implementation lands near the paper's
+//! 0.607 mm² (see `DESIGN.md` §2); only relative values drive synthesis
+//! decisions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod estimate;
+mod floorplan;
+mod library;
+
+pub use estimate::{estimate_cost, CostBreakdown};
+pub use floorplan::Floorplan;
+pub use library::ModuleLibrary;

@@ -1,0 +1,269 @@
+use std::collections::HashMap;
+
+use crate::{Dfg, DfgError, OpId, OpKind, Operation, Value, ValueId, ValueKind};
+
+/// Incremental constructor for a [`Dfg`].
+///
+/// Values are created as they are first mentioned; operations are appended
+/// with [`DfgBuilder::op`]. Values defined by an operation start out as
+/// [`ValueKind::Intermediate`] and can be promoted to primary outputs with
+/// [`DfgBuilder::mark_output`].
+///
+/// # Example
+///
+/// ```
+/// use hlts_dfg::{DfgBuilder, OpKind};
+///
+/// # fn main() -> Result<(), hlts_dfg::DfgError> {
+/// let mut b = DfgBuilder::new("mac");
+/// let (a, x, acc) = (b.input("a"), b.input("x"), b.input("acc"));
+/// let p = b.op("N1", OpKind::Mul, &[a, x], "p")?;
+/// let s = b.op("N2", OpKind::Add, &[p, acc], "s")?;
+/// b.mark_output(s);
+/// let dfg = b.finish()?;
+/// assert_eq!(dfg.outputs().count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DfgBuilder {
+    name: String,
+    values: Vec<Value>,
+    ops: Vec<Operation>,
+    def: Vec<Option<OpId>>,
+    uses: Vec<Vec<OpId>>,
+    value_names: HashMap<String, ValueId>,
+    op_names: HashMap<String, OpId>,
+    loop_carried: Vec<(ValueId, ValueId)>,
+}
+
+impl DfgBuilder {
+    /// Start building a graph with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        DfgBuilder {
+            name: name.into(),
+            values: Vec::new(),
+            ops: Vec::new(),
+            def: Vec::new(),
+            uses: Vec::new(),
+            value_names: HashMap::new(),
+            op_names: HashMap::new(),
+            loop_carried: Vec::new(),
+        }
+    }
+
+    /// Crate-private name lookup used by the parser.
+    pub(crate) fn lookup(&self, name: &str) -> Option<ValueId> {
+        self.value_names.get(name).copied()
+    }
+
+    fn add_value(&mut self, name: &str, kind: ValueKind, condition: bool) -> ValueId {
+        let id = ValueId::from_index(self.values.len());
+        self.values.push(Value {
+            id,
+            name: name.to_owned(),
+            kind,
+            condition,
+        });
+        self.def.push(None);
+        self.uses.push(Vec::new());
+        self.value_names.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Declare (or fetch) a primary input.
+    ///
+    /// Calling `input` twice with the same name returns the same id.
+    pub fn input(&mut self, name: &str) -> ValueId {
+        if let Some(&id) = self.value_names.get(name) {
+            return id;
+        }
+        self.add_value(name, ValueKind::Input, false)
+    }
+
+    /// Declare (or fetch) a named constant.
+    pub fn constant(&mut self, name: &str, value: i64) -> ValueId {
+        if let Some(&id) = self.value_names.get(name) {
+            return id;
+        }
+        self.add_value(name, ValueKind::Const(value), false)
+    }
+
+    /// Append an operation `name: out = kind(inputs...)`, creating the
+    /// output value.
+    ///
+    /// # Errors
+    ///
+    /// * [`DfgError::DuplicateOp`] if the op name already exists;
+    /// * [`DfgError::ArityMismatch`] if `inputs.len() != kind.arity()`;
+    /// * [`DfgError::DuplicateValue`] if `out` was already defined or
+    ///   declared as input/constant.
+    pub fn op(
+        &mut self,
+        name: &str,
+        kind: OpKind,
+        inputs: &[ValueId],
+        out: &str,
+    ) -> Result<ValueId, DfgError> {
+        if self.op_names.contains_key(name) {
+            return Err(DfgError::DuplicateOp(name.to_owned()));
+        }
+        if inputs.len() != kind.arity() {
+            return Err(DfgError::ArityMismatch {
+                op: name.to_owned(),
+                expected: kind.arity(),
+                got: inputs.len(),
+            });
+        }
+        if self.value_names.contains_key(out) {
+            return Err(DfgError::DuplicateValue(out.to_owned()));
+        }
+        let out_id = self.add_value(out, ValueKind::Intermediate, kind.is_condition());
+        let op_id = OpId::from_index(self.ops.len());
+        self.ops.push(Operation {
+            id: op_id,
+            name: name.to_owned(),
+            kind,
+            inputs: inputs.to_vec(),
+            output: Some(out_id),
+        });
+        self.op_names.insert(name.to_owned(), op_id);
+        self.def[out_id.index()] = Some(op_id);
+        for &v in inputs {
+            if !self.uses[v.index()].contains(&op_id) {
+                self.uses[v.index()].push(op_id);
+            }
+        }
+        Ok(out_id)
+    }
+
+    /// Promote an operation-defined value to a primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is out of range (builder ids always are in range).
+    pub fn mark_output(&mut self, value: ValueId) {
+        let v = &mut self.values[value.index()];
+        if matches!(v.kind, ValueKind::Intermediate) {
+            v.kind = ValueKind::Output;
+        }
+    }
+
+    /// Record that `produced` feeds `consumed` in the next loop iteration
+    /// (e.g. `x1 -> x` in Diffeq). This does not add a precedence arc; it
+    /// informs allocation (the pair sharing a register forms a self-loop)
+    /// and the netlist back end.
+    pub fn loop_carried(&mut self, produced: ValueId, consumed: ValueId) {
+        if !self.loop_carried.contains(&(produced, consumed)) {
+            self.loop_carried.push((produced, consumed));
+        }
+    }
+
+    /// Finish and validate the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns any structural violation found by [`Dfg::validate`].
+    pub fn finish(self) -> Result<Dfg, DfgError> {
+        let dfg = Dfg {
+            name: self.name,
+            values: self.values,
+            ops: self.ops,
+            def: self.def,
+            uses: self.uses,
+            extra_prec: Vec::new(),
+            weak_prec: Vec::new(),
+            loop_carried: self.loop_carried,
+            value_names: self.value_names,
+            op_names: self.op_names,
+        };
+        dfg.validate()?;
+        Ok(dfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_op_rejected() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        b.op("N1", OpKind::Add, &[a, c], "x").unwrap();
+        assert!(matches!(
+            b.op("N1", OpKind::Add, &[a, c], "y"),
+            Err(DfgError::DuplicateOp(_))
+        ));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        assert!(matches!(
+            b.op("N1", OpKind::Add, &[a], "x"),
+            Err(DfgError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn redefinition_rejected() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        b.op("N1", OpKind::Add, &[a, c], "x").unwrap();
+        assert!(matches!(
+            b.op("N2", OpKind::Sub, &[a, c], "x"),
+            Err(DfgError::DuplicateValue(_))
+        ));
+        assert!(matches!(
+            b.op("N3", OpKind::Sub, &[a, c], "a"),
+            Err(DfgError::DuplicateValue(_))
+        ));
+    }
+
+    #[test]
+    fn input_idempotent() {
+        let mut b = DfgBuilder::new("t");
+        let a1 = b.input("a");
+        let a2 = b.input("a");
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn condition_flag_set() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let f = b.op("N1", OpKind::Lt, &[a, c], "flag").unwrap();
+        let d = b.finish().unwrap();
+        assert!(d.value(f).is_condition());
+    }
+
+    #[test]
+    fn loop_carried_recorded_once() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x");
+        let dx = b.input("dx");
+        let x1 = b.op("N1", OpKind::Add, &[x, dx], "x1").unwrap();
+        b.mark_output(x1);
+        b.loop_carried(x1, x);
+        b.loop_carried(x1, x);
+        let d = b.finish().unwrap();
+        assert_eq!(d.loop_carried(), &[(x1, x)]);
+    }
+
+    #[test]
+    fn constant_kind() {
+        let mut b = DfgBuilder::new("t");
+        let three = b.constant("3", 3);
+        let x = b.input("x");
+        let y = b.op("N1", OpKind::Mul, &[three, x], "y").unwrap();
+        b.mark_output(y);
+        let d = b.finish().unwrap();
+        assert!(d.value(three).kind().is_const());
+    }
+}

@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, parsing or analyzing a [`Dfg`].
+///
+/// [`Dfg`]: crate::Dfg
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DfgError {
+    /// A value name was defined twice.
+    DuplicateValue(String),
+    /// An operation name was defined twice.
+    DuplicateOp(String),
+    /// A value was used before being defined and is not a primary input.
+    UndefinedValue(String),
+    /// A value is defined by more than one operation (the IR is SSA-like).
+    MultipleDefinitions(String),
+    /// An operation has the wrong number of inputs for its kind.
+    ArityMismatch {
+        /// The offending operation's name.
+        op: String,
+        /// Inputs expected by the operation kind.
+        expected: usize,
+        /// Inputs actually supplied.
+        got: usize,
+    },
+    /// The precedence relation (data dependences plus added constraints)
+    /// contains a cycle, so no schedule exists.
+    PrecedenceCycle {
+        /// Name of one operation on the cycle.
+        on: String,
+    },
+    /// A syntax error from the textual parser.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A primary input is also written by an operation.
+    InputWritten(String),
+    /// An id was out of range for this graph.
+    InvalidId(String),
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::DuplicateValue(n) => write!(f, "duplicate value `{n}`"),
+            DfgError::DuplicateOp(n) => write!(f, "duplicate operation `{n}`"),
+            DfgError::UndefinedValue(n) => write!(f, "use of undefined value `{n}`"),
+            DfgError::MultipleDefinitions(n) => {
+                write!(f, "value `{n}` is defined by more than one operation")
+            }
+            DfgError::ArityMismatch { op, expected, got } => write!(
+                f,
+                "operation `{op}` expects {expected} input(s) but got {got}"
+            ),
+            DfgError::PrecedenceCycle { on } => {
+                write!(f, "precedence cycle through operation `{on}`")
+            }
+            DfgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DfgError::InputWritten(n) => write!(f, "primary input `{n}` is written"),
+            DfgError::InvalidId(what) => write!(f, "invalid id: {what}"),
+        }
+    }
+}
+
+impl Error for DfgError {}

@@ -1,0 +1,637 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DfgError, OpKind, Value, ValueId, ValueKind};
+
+/// Index of an [`Operation`] inside its [`Dfg`].
+///
+/// Ids are dense (0..num_ops) and stable for the lifetime of the graph.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// The dense index of this operation.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a dense index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        OpId(u32::try_from(index).expect("op index fits in u32"))
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// One operation node of the data-flow graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Operation {
+    pub(crate) id: OpId,
+    pub(crate) name: String,
+    pub(crate) kind: OpKind,
+    pub(crate) inputs: Vec<ValueId>,
+    pub(crate) output: Option<ValueId>,
+}
+
+impl Operation {
+    /// The operation's id.
+    #[must_use]
+    pub fn id(&self) -> OpId {
+        self.id
+    }
+
+    /// The source-level node name, e.g. `"N21"`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operation kind.
+    #[must_use]
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// The values read by this operation, in port order.
+    #[must_use]
+    pub fn inputs(&self) -> &[ValueId] {
+        &self.inputs
+    }
+
+    /// The value defined by this operation, if any.
+    #[must_use]
+    pub fn output(&self) -> Option<ValueId> {
+        self.output
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.kind)
+    }
+}
+
+/// A behavioral data-flow graph: values, operations and precedence.
+///
+/// Construct with [`DfgBuilder`](crate::DfgBuilder) or [`parse`](crate::parse).
+/// The graph is SSA-like: every non-input value has exactly one defining
+/// operation. Besides data dependences, extra *precedence arcs* can be added
+/// (see [`Dfg::add_precedence`]); the synthesis algorithm uses these to
+/// materialize the scheduling constraints imposed by module and register
+/// mergers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dfg {
+    pub(crate) name: String,
+    pub(crate) values: Vec<Value>,
+    pub(crate) ops: Vec<Operation>,
+    /// Defining operation per value (None for inputs/constants).
+    pub(crate) def: Vec<Option<OpId>>,
+    /// Consumer operations per value.
+    pub(crate) uses: Vec<Vec<OpId>>,
+    /// Extra precedence arcs (from, to) beyond data dependences.
+    pub(crate) extra_prec: Vec<(OpId, OpId)>,
+    /// Weak precedence arcs: `step(from) <= step(to)` (same step allowed).
+    /// Used for register-sharing constraints, where a value may be read
+    /// in the very step its successor value is defined (registers are
+    /// read at the start of a cycle and written at its end).
+    #[serde(default)]
+    pub(crate) weak_prec: Vec<(OpId, OpId)>,
+    /// Loop-carried value pairs `(produced, consumed-next-iteration)`.
+    pub(crate) loop_carried: Vec<(ValueId, ValueId)>,
+    pub(crate) value_names: HashMap<String, ValueId>,
+    pub(crate) op_names: HashMap<String, OpId>,
+}
+
+impl Dfg {
+    /// The graph's name (benchmark name).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of values.
+    #[must_use]
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// All operations in id order.
+    #[must_use]
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// All values in id order.
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Look up an operation by id.
+    #[must_use]
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// Look up a value by id.
+    #[must_use]
+    pub fn value(&self, id: ValueId) -> &Value {
+        &self.values[id.index()]
+    }
+
+    /// Find an operation by name.
+    #[must_use]
+    pub fn op_by_name(&self, name: &str) -> Option<OpId> {
+        self.op_names.get(name).copied()
+    }
+
+    /// Find a value by name.
+    #[must_use]
+    pub fn value_by_name(&self, name: &str) -> Option<ValueId> {
+        self.value_names.get(name).copied()
+    }
+
+    /// The operation defining `value`, if any (inputs and constants have
+    /// none).
+    #[must_use]
+    pub fn def_of(&self, value: ValueId) -> Option<OpId> {
+        self.def[value.index()]
+    }
+
+    /// The operations consuming `value`.
+    #[must_use]
+    pub fn uses_of(&self, value: ValueId) -> &[OpId] {
+        &self.uses[value.index()]
+    }
+
+    /// Iterator over primary-input value ids.
+    pub fn inputs(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.values
+            .iter()
+            .filter(|v| v.kind.is_input())
+            .map(Value::id)
+    }
+
+    /// Iterator over primary-output value ids.
+    pub fn outputs(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.values
+            .iter()
+            .filter(|v| v.kind.is_output())
+            .map(Value::id)
+    }
+
+    /// Loop-carried `(produced, consumed-next-iteration)` value pairs.
+    #[must_use]
+    pub fn loop_carried(&self) -> &[(ValueId, ValueId)] {
+        &self.loop_carried
+    }
+
+    /// Direct data-dependence predecessors of `op` (producers of its
+    /// inputs), deduplicated.
+    #[must_use]
+    pub fn data_preds(&self, op: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        for &v in &self.ops[op.index()].inputs {
+            if let Some(p) = self.def[v.index()] {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Direct data-dependence successors of `op` (consumers of its output),
+    /// deduplicated.
+    #[must_use]
+    pub fn data_succs(&self, op: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        if let Some(v) = self.ops[op.index()].output {
+            for &u in &self.uses[v.index()] {
+                if !out.contains(&u) {
+                    out.push(u);
+                }
+            }
+        }
+        out
+    }
+
+    /// Extra (non-data) precedence arcs.
+    #[must_use]
+    pub fn extra_precedence(&self) -> &[(OpId, OpId)] {
+        &self.extra_prec
+    }
+
+    /// Direct precedence predecessors: data predecessors plus extra-arc
+    /// sources.
+    #[must_use]
+    pub fn preds(&self, op: OpId) -> Vec<OpId> {
+        let mut out = self.data_preds(op);
+        for &(a, b) in &self.extra_prec {
+            if b == op && !out.contains(&a) {
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    /// Direct precedence successors: data successors plus extra-arc targets.
+    #[must_use]
+    pub fn succs(&self, op: OpId) -> Vec<OpId> {
+        let mut out = self.data_succs(op);
+        for &(a, b) in &self.extra_prec {
+            if a == op && !out.contains(&b) {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Add an extra precedence arc `from -> to` (a scheduling constraint:
+    /// `from` strictly before `to`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::PrecedenceCycle`] (and leaves the graph
+    /// unchanged) if the arc would make the precedence relation cyclic, and
+    /// [`DfgError::InvalidId`] if either id is out of range.
+    pub fn add_precedence(&mut self, from: OpId, to: OpId) -> Result<(), DfgError> {
+        if from.index() >= self.ops.len() || to.index() >= self.ops.len() {
+            return Err(DfgError::InvalidId(format!("{from} -> {to}")));
+        }
+        if from == to {
+            return Err(DfgError::PrecedenceCycle {
+                on: self.ops[from.index()].name.clone(),
+            });
+        }
+        if self.extra_prec.contains(&(from, to)) {
+            return Ok(());
+        }
+        // Adding from->to creates a cycle iff to already reaches from
+        // (through strict or weak arcs — a weak back-path plus this
+        // strict arc is already unsatisfiable).
+        if self.reaches(to, from) {
+            return Err(DfgError::PrecedenceCycle {
+                on: self.ops[from.index()].name.clone(),
+            });
+        }
+        self.extra_prec.push((from, to));
+        Ok(())
+    }
+
+    /// Add a weak precedence arc `from -> to`: `from` must be scheduled
+    /// no later than `to` (the same control step is allowed). Register-
+    /// sharing constraints use this form — a register may be read in the
+    /// very step its next value is written.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Dfg::add_precedence`]. Weak cycles are also rejected
+    /// (conservatively: `a <= b <= a` would be satisfiable but is never
+    /// useful for lifetime ordering and would complicate scheduling).
+    pub fn add_weak_precedence(&mut self, from: OpId, to: OpId) -> Result<(), DfgError> {
+        if from.index() >= self.ops.len() || to.index() >= self.ops.len() {
+            return Err(DfgError::InvalidId(format!("{from} ~> {to}")));
+        }
+        if from == to {
+            // `step(x) <= step(x)` is trivially true.
+            return Ok(());
+        }
+        if self.weak_prec.contains(&(from, to)) {
+            return Ok(());
+        }
+        if self.reaches(to, from) {
+            return Err(DfgError::PrecedenceCycle {
+                on: self.ops[from.index()].name.clone(),
+            });
+        }
+        self.weak_prec.push((from, to));
+        Ok(())
+    }
+
+    /// Weak (same-step-allowed) precedence arcs.
+    #[must_use]
+    pub fn weak_precedence(&self) -> &[(OpId, OpId)] {
+        &self.weak_prec
+    }
+
+    /// Direct weak predecessors of `op`.
+    #[must_use]
+    pub fn weak_preds(&self, op: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        for &(a, b) in &self.weak_prec {
+            if b == op && !out.contains(&a) {
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    /// Direct weak successors of `op`.
+    #[must_use]
+    pub fn weak_succs(&self, op: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        for &(a, b) in &self.weak_prec {
+            if a == op && !out.contains(&b) {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Remove a previously added extra precedence arc. Returns whether the
+    /// arc was present.
+    pub fn remove_precedence(&mut self, from: OpId, to: OpId) -> bool {
+        let before = self.extra_prec.len();
+        self.extra_prec.retain(|&(a, b)| (a, b) != (from, to));
+        self.extra_prec.len() != before
+    }
+
+    /// Whether `from` (transitively) precedes-or-equals `to` under data
+    /// dependences, extra strict arcs and weak arcs. An operation does
+    /// not reach itself.
+    #[must_use]
+    pub fn reaches(&self, from: OpId, to: OpId) -> bool {
+        if from == to {
+            return false;
+        }
+        let mut seen = vec![false; self.ops.len()];
+        let mut stack = vec![from];
+        seen[from.index()] = true;
+        while let Some(n) = stack.pop() {
+            for s in self.succs(n).into_iter().chain(self.weak_succs(n)) {
+                if s == to {
+                    return true;
+                }
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// A topological order of all operations under the full precedence
+    /// relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::PrecedenceCycle`] if the relation is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<OpId>, DfgError> {
+        let n = self.ops.len();
+        let mut indeg = vec![0usize; n];
+        for op in &self.ops {
+            indeg[op.id.index()] = self.preds(op.id).len() + self.weak_preds(op.id).len();
+        }
+        let mut queue: Vec<OpId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(OpId::from_index)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(u);
+            for s in self.succs(u).into_iter().chain(self.weak_succs(u)) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if order.len() != n {
+            let on = (0..n)
+                .find(|&i| indeg[i] > 0)
+                .map(|i| self.ops[i].name.clone())
+                .unwrap_or_default();
+            return Err(DfgError::PrecedenceCycle { on });
+        }
+        Ok(order)
+    }
+
+    /// Length (in operations) of the longest path in the precedence DAG —
+    /// a lower bound on the number of control steps of any schedule where
+    /// each operation takes one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::PrecedenceCycle`] if the relation is cyclic.
+    pub fn critical_path_len(&self) -> Result<usize, DfgError> {
+        let order = self.topo_order()?;
+        let mut depth = vec![1usize; self.ops.len()];
+        for &u in &order {
+            for s in self.succs(u) {
+                depth[s.index()] = depth[s.index()].max(depth[u.index()] + 1);
+            }
+        }
+        Ok(depth.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Structural sanity check: arities, SSA property, input/use wiring.
+    ///
+    /// Builders and the parser validate on construction; this re-checks a
+    /// graph that has been further mutated.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), DfgError> {
+        for op in &self.ops {
+            if op.inputs.len() != op.kind.arity() {
+                return Err(DfgError::ArityMismatch {
+                    op: op.name.clone(),
+                    expected: op.kind.arity(),
+                    got: op.inputs.len(),
+                });
+            }
+            if let Some(out) = op.output {
+                let v = &self.values[out.index()];
+                if v.kind.is_input() {
+                    return Err(DfgError::InputWritten(v.name.clone()));
+                }
+                if self.def[out.index()] != Some(op.id) {
+                    return Err(DfgError::MultipleDefinitions(v.name.clone()));
+                }
+            }
+        }
+        for v in &self.values {
+            match v.kind {
+                ValueKind::Input | ValueKind::Const(_) => {
+                    if self.def[v.id.index()].is_some() {
+                        return Err(DfgError::InputWritten(v.name.clone()));
+                    }
+                }
+                ValueKind::Output | ValueKind::Intermediate => {
+                    if self.def[v.id.index()].is_none() {
+                        return Err(DfgError::UndefinedValue(v.name.clone()));
+                    }
+                }
+            }
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+
+    /// Count operations per kind — the "operation mix" of a benchmark.
+    #[must_use]
+    pub fn op_mix(&self) -> HashMap<OpKind, usize> {
+        let mut m = HashMap::new();
+        for op in &self.ops {
+            *m.entry(op.kind).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+impl fmt::Display for Dfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "dfg {} ({} ops, {} values)",
+            self.name,
+            self.ops.len(),
+            self.values.len()
+        )?;
+        for op in &self.ops {
+            let ins: Vec<&str> = op
+                .inputs
+                .iter()
+                .map(|&v| self.values[v.index()].name.as_str())
+                .collect();
+            let out = op
+                .output
+                .map(|v| self.values[v.index()].name.clone())
+                .unwrap_or_else(|| "_".into());
+            writeln!(f, "  {}: {} = {} {}", op.name, out, op.kind, ins.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DfgBuilder;
+
+    fn diamond() -> Dfg {
+        // a,b inputs; t1 = a+b; t2 = a*b; y = t1 - t2
+        let mut b = DfgBuilder::new("diamond");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let t1 = b.op("N1", OpKind::Add, &[a, bb], "t1").unwrap();
+        let t2 = b.op("N2", OpKind::Mul, &[a, bb], "t2").unwrap();
+        let y = b.op("N3", OpKind::Sub, &[t1, t2], "y").unwrap();
+        b.mark_output(y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let d = diamond();
+        let n1 = d.op_by_name("N1").unwrap();
+        let n2 = d.op_by_name("N2").unwrap();
+        let n3 = d.op_by_name("N3").unwrap();
+        assert!(d.data_preds(n1).is_empty());
+        assert_eq!(d.data_succs(n1), vec![n3]);
+        let mut p = d.data_preds(n3);
+        p.sort();
+        assert_eq!(p, vec![n1, n2]);
+    }
+
+    #[test]
+    fn reaches_is_transitive_and_irreflexive() {
+        let d = diamond();
+        let n1 = d.op_by_name("N1").unwrap();
+        let n3 = d.op_by_name("N3").unwrap();
+        assert!(d.reaches(n1, n3));
+        assert!(!d.reaches(n3, n1));
+        assert!(!d.reaches(n1, n1));
+    }
+
+    #[test]
+    fn extra_precedence_cycle_rejected() {
+        let mut d = diamond();
+        let n1 = d.op_by_name("N1").unwrap();
+        let n2 = d.op_by_name("N2").unwrap();
+        let n3 = d.op_by_name("N3").unwrap();
+        d.add_precedence(n1, n2).unwrap();
+        assert!(matches!(
+            d.add_precedence(n2, n1),
+            Err(DfgError::PrecedenceCycle { .. })
+        ));
+        assert!(matches!(
+            d.add_precedence(n3, n1),
+            Err(DfgError::PrecedenceCycle { .. })
+        ));
+        // graph unchanged by failed insertion
+        assert_eq!(d.extra_precedence().len(), 1);
+    }
+
+    #[test]
+    fn add_precedence_is_idempotent() {
+        let mut d = diamond();
+        let n1 = d.op_by_name("N1").unwrap();
+        let n2 = d.op_by_name("N2").unwrap();
+        d.add_precedence(n1, n2).unwrap();
+        d.add_precedence(n1, n2).unwrap();
+        assert_eq!(d.extra_precedence().len(), 1);
+        assert!(d.remove_precedence(n1, n2));
+        assert!(!d.remove_precedence(n1, n2));
+    }
+
+    #[test]
+    fn topo_order_respects_extra_arcs() {
+        let mut d = diamond();
+        let n1 = d.op_by_name("N1").unwrap();
+        let n2 = d.op_by_name("N2").unwrap();
+        d.add_precedence(n2, n1).unwrap();
+        let order = d.topo_order().unwrap();
+        let pos = |o: OpId| order.iter().position(|&x| x == o).unwrap();
+        assert!(pos(n2) < pos(n1));
+    }
+
+    #[test]
+    fn critical_path_of_diamond_is_two() {
+        let d = diamond();
+        assert_eq!(d.critical_path_len().unwrap(), 2);
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        diamond().validate().unwrap();
+    }
+
+    #[test]
+    fn op_mix_counts() {
+        let d = diamond();
+        let mix = d.op_mix();
+        assert_eq!(mix[&OpKind::Add], 1);
+        assert_eq!(mix[&OpKind::Mul], 1);
+        assert_eq!(mix[&OpKind::Sub], 1);
+    }
+
+    #[test]
+    fn display_contains_ops() {
+        let s = diamond().to_string();
+        assert!(s.contains("N1"));
+        assert!(s.contains("t1"));
+    }
+}

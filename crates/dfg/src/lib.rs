@@ -1,0 +1,62 @@
+//! # hlts-dfg — behavioral data-flow graph IR
+//!
+//! This crate provides the behavioral front end of the `hlts` high-level test
+//! synthesis system: a data-flow graph ([`Dfg`]) of operations over named
+//! values, reconstructible from a small textual format ([`parse`]) or built
+//! programmatically ([`DfgBuilder`]).
+//!
+//! The paper this system reproduces (Yang & Peng, DATE 1998) takes VHDL
+//! behavioral specifications as input; the synthesis algorithm itself only
+//! consumes the data-flow structure, so this IR plays the role of the
+//! compiled VHDL process body.
+//!
+//! A [`Dfg`] consists of:
+//!
+//! * **values** — primary inputs, primary outputs, constants and intermediate
+//!   variables ([`Value`], [`ValueKind`]);
+//! * **operations** — arithmetic/logic/relational nodes ([`Operation`],
+//!   [`OpKind`]) each reading one or two values and defining at most one;
+//! * **precedence** — the partial order induced by data dependences plus any
+//!   explicitly added scheduling-constraint arcs (the integrated synthesis
+//!   algorithm materializes module/register merge constraints this way);
+//! * **loop-carried pairs** — `(src, dst)` value pairs expressing that in a
+//!   looping behavior the value produced as `src` feeds `dst` in the next
+//!   iteration (e.g. `x1 -> x` in the Diffeq benchmark).
+//!
+//! # Example
+//!
+//! ```
+//! use hlts_dfg::{DfgBuilder, OpKind};
+//!
+//! # fn main() -> Result<(), hlts_dfg::DfgError> {
+//! let mut b = DfgBuilder::new("tiny");
+//! let a = b.input("a");
+//! let c = b.input("c");
+//! let t = b.op("N1", OpKind::Mul, &[a, c], "t")?;
+//! let y = b.op("N2", OpKind::Add, &[t, a], "y")?;
+//! b.mark_output(y);
+//! let dfg = b.finish()?;
+//! assert_eq!(dfg.num_ops(), 2);
+//! assert!(dfg.topo_order()?.len() == 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod graph;
+mod op;
+mod parser;
+mod timing;
+mod value;
+
+pub use builder::DfgBuilder;
+pub use error::DfgError;
+pub use graph::{Dfg, OpId, Operation};
+pub use op::{FuClass, OpKind};
+pub use parser::parse;
+pub use timing::{AsapAlap, Mobility};
+pub use value::{Value, ValueId, ValueKind};

@@ -1,0 +1,373 @@
+//! A tiny textual format for data-flow graphs.
+//!
+//! The format plays the role of the paper's VHDL behavioral input: it is
+//! what a VHDL process body compiles to after the front end. One statement
+//! per line; `#` and `//` start comments.
+//!
+//! ```text
+//! dfg diffeq {
+//!   input x, y, u, dx, a;
+//!   const three = 3;
+//!   N26: t1 = three * x;
+//!   N27: t2 = u * dx;
+//!   N25: x1 = x + dx;
+//!   N24: c  = x1 < a;
+//!   output x1;
+//!   loop x1 -> x;
+//! }
+//! ```
+//!
+//! Statements:
+//!
+//! * `input NAME, NAME, ...;` — primary inputs;
+//! * `const NAME = INT;` — named constants;
+//! * `output NAME, NAME, ...;` — marks defined values as primary outputs
+//!   (may appear before or after the defining operation);
+//! * `loop SRC -> DST;` — loop-carried value pair;
+//! * `OPNAME: OUT = A <op> B;` with `<op>` one of `+ - * < > == & | ^`;
+//! * `OPNAME: OUT = ~A;` / `shl A` / `shr A` / `mov A` — unary forms.
+//!
+//! Operations must appear after the values they read (the natural order of
+//! a straight-line behavioral description).
+
+use crate::{Dfg, DfgBuilder, DfgError, OpKind, ValueId};
+
+/// Parse the textual DFG format (see the grammar in this module's
+/// source documentation header).
+///
+/// # Errors
+///
+/// Returns [`DfgError::Parse`] for syntax errors (with 1-based line number)
+/// and any structural error from the underlying builder.
+///
+/// # Example
+///
+/// ```
+/// let dfg = hlts_dfg::parse(
+///     "dfg t { input a, b; N1: s = a + b; output s; }",
+/// )?;
+/// assert_eq!(dfg.num_ops(), 1);
+/// # Ok::<(), hlts_dfg::DfgError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Dfg, DfgError> {
+    Parser::new(text).run()
+}
+
+struct Parser<'a> {
+    text: &'a str,
+}
+
+struct PendingOutputs(Vec<(usize, String)>);
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { text }
+    }
+
+    fn run(self) -> Result<Dfg, DfgError> {
+        // Strip comments, split into ;-terminated statements while keeping
+        // line numbers for diagnostics.
+        let mut statements: Vec<(usize, String)> = Vec::new();
+        let mut current = String::new();
+        let mut current_line = 1usize;
+        for (i, raw) in self.text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("");
+            let line = line.split("//").next().unwrap_or("");
+            for ch in line.chars() {
+                match ch {
+                    ';' => {
+                        statements.push((current_line, std::mem::take(&mut current)));
+                        current_line = i + 1;
+                    }
+                    '{' | '}' => {
+                        // header/footer brace: flush whatever precedes it
+                        if !current.trim().is_empty() {
+                            statements.push((current_line, std::mem::take(&mut current)));
+                        }
+                        current.clear();
+                        current_line = i + 1;
+                    }
+                    _ => {
+                        if current.trim().is_empty() {
+                            current_line = i + 1;
+                        }
+                        current.push(ch);
+                    }
+                }
+            }
+            current.push(' ');
+        }
+        if !current.trim().is_empty() {
+            return Err(DfgError::Parse {
+                line: current_line,
+                message: format!("unterminated statement `{}`", current.trim()),
+            });
+        }
+
+        // The first statement must be the header `dfg NAME`.
+        let mut iter = statements.into_iter();
+        let (hline, header) = iter.next().ok_or(DfgError::Parse {
+            line: 1,
+            message: "empty input".into(),
+        })?;
+        let header = header.trim();
+        let name = header
+            .strip_prefix("dfg")
+            .map(str::trim)
+            .filter(|s| !s.is_empty() && s.split_whitespace().count() == 1)
+            .ok_or(DfgError::Parse {
+                line: hline,
+                message: format!("expected `dfg NAME {{`, got `{header}`"),
+            })?;
+
+        let mut b = DfgBuilder::new(name);
+        let mut pending = PendingOutputs(Vec::new());
+        let mut pending_loops: Vec<(usize, String, String)> = Vec::new();
+
+        for (line, stmt) in iter {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("input ") {
+                for n in rest.split(',') {
+                    let n = ident(n, line)?;
+                    b.input(&n);
+                }
+            } else if let Some(rest) = stmt.strip_prefix("output ") {
+                for n in rest.split(',') {
+                    pending.0.push((line, ident(n, line)?));
+                }
+            } else if let Some(rest) = stmt.strip_prefix("const ") {
+                let (n, v) = rest.split_once('=').ok_or(DfgError::Parse {
+                    line,
+                    message: "expected `const NAME = INT`".into(),
+                })?;
+                let n = ident(n, line)?;
+                let v: i64 = v.trim().parse().map_err(|_| DfgError::Parse {
+                    line,
+                    message: format!("bad constant value `{}`", v.trim()),
+                })?;
+                b.constant(&n, v);
+            } else if let Some(rest) = stmt.strip_prefix("loop ") {
+                let (src, dst) = rest.split_once("->").ok_or(DfgError::Parse {
+                    line,
+                    message: "expected `loop SRC -> DST`".into(),
+                })?;
+                pending_loops.push((line, ident(src, line)?, ident(dst, line)?));
+            } else if let Some((opname, rhs)) = stmt.split_once(':') {
+                let opname = ident(opname, line)?;
+                let (out, expr) = rhs.split_once('=').ok_or(DfgError::Parse {
+                    line,
+                    message: "expected `NAME: OUT = EXPR`".into(),
+                })?;
+                // `==` would be split at the first `=`; re-join if so.
+                let (out, expr) = if let Some(rest_eq) = expr.strip_prefix('=') {
+                    let (o, e2) =
+                        out.trim()
+                            .split_once(char::is_whitespace)
+                            .ok_or(DfgError::Parse {
+                                line,
+                                message: "malformed `==` expression".into(),
+                            })?;
+                    (o.to_owned(), format!("{e2} == {rest_eq}"))
+                } else {
+                    (out.trim().to_owned(), expr.trim().to_owned())
+                };
+                let out = ident(&out, line)?;
+                let (kind, operands) = parse_expr(&expr, line)?;
+                let mut ids: Vec<ValueId> = Vec::with_capacity(operands.len());
+                for o in &operands {
+                    let id = resolve(&b, o).ok_or(DfgError::Parse {
+                        line,
+                        message: format!("use of undeclared value `{o}` (declare inputs/consts, keep ops in dependence order)"),
+                    })?;
+                    ids.push(id);
+                }
+                b.op(&opname, kind, &ids, &out)?;
+            } else {
+                return Err(DfgError::Parse {
+                    line,
+                    message: format!("unrecognized statement `{stmt}`"),
+                });
+            }
+        }
+
+        for (line, n) in pending.0 {
+            let id = resolve(&b, &n).ok_or(DfgError::Parse {
+                line,
+                message: format!("output `{n}` is never defined"),
+            })?;
+            b.mark_output(id);
+        }
+        for (line, src, dst) in pending_loops {
+            let s = resolve(&b, &src).ok_or(DfgError::Parse {
+                line,
+                message: format!("loop source `{src}` is never defined"),
+            })?;
+            let d = resolve(&b, &dst).ok_or(DfgError::Parse {
+                line,
+                message: format!("loop destination `{dst}` is never defined"),
+            })?;
+            b.loop_carried(s, d);
+        }
+        b.finish()
+    }
+}
+
+fn resolve(b: &DfgBuilder, name: &str) -> Option<ValueId> {
+    b.lookup(name)
+}
+
+fn ident(s: &str, line: usize) -> Result<String, DfgError> {
+    let s = s.trim();
+    if s.is_empty()
+        || !s
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '\'')
+    {
+        return Err(DfgError::Parse {
+            line,
+            message: format!("bad identifier `{s}`"),
+        });
+    }
+    Ok(s.to_owned())
+}
+
+fn parse_expr(expr: &str, line: usize) -> Result<(OpKind, Vec<String>), DfgError> {
+    let expr = expr.trim();
+    // Unary forms first.
+    if let Some(rest) = expr.strip_prefix('~') {
+        return Ok((OpKind::Not, vec![ident(rest, line)?]));
+    }
+    for (kw, kind) in [
+        ("shl ", OpKind::Shl),
+        ("shr ", OpKind::Shr),
+        ("mov ", OpKind::Mov),
+    ] {
+        if let Some(rest) = expr.strip_prefix(kw) {
+            return Ok((kind, vec![ident(rest, line)?]));
+        }
+    }
+    // Binary operators, longest first so `==` wins over `=`.
+    for (sym, kind) in [
+        ("==", OpKind::Eq),
+        ("+", OpKind::Add),
+        ("-", OpKind::Sub),
+        ("*", OpKind::Mul),
+        ("<", OpKind::Lt),
+        (">", OpKind::Gt),
+        ("&", OpKind::And),
+        ("|", OpKind::Or),
+        ("^", OpKind::Xor),
+    ] {
+        if let Some((a, b)) = expr.split_once(sym) {
+            return Ok((kind, vec![ident(a, line)?, ident(b, line)?]));
+        }
+    }
+    Err(DfgError::Parse {
+        line,
+        message: format!("unrecognized expression `{expr}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ValueKind;
+
+    #[test]
+    fn parses_simple_graph() {
+        let d = parse(
+            "dfg t {\n  input a, b;\n  N1: s = a + b; # comment\n  N2: p = a * s;\n  output p;\n}",
+        )
+        .unwrap();
+        assert_eq!(d.name(), "t");
+        assert_eq!(d.num_ops(), 2);
+        let p = d.value_by_name("p").unwrap();
+        assert!(d.value(p).kind().is_output());
+    }
+
+    #[test]
+    fn parses_all_binary_ops() {
+        let d = parse(
+            "dfg t { input a, b;
+              N1: s1 = a + b; N2: s2 = a - b; N3: s3 = a * b;
+              N4: s4 = a < b; N5: s5 = a > b; N6: s6 = a == b;
+              N7: s7 = a & b; N8: s8 = a | b; N9: s9 = a ^ b;
+              output s1, s2, s3; }",
+        )
+        .unwrap();
+        assert_eq!(d.num_ops(), 9);
+        assert_eq!(d.op(d.op_by_name("N6").unwrap()).kind(), OpKind::Eq);
+    }
+
+    #[test]
+    fn parses_unary_ops() {
+        let d = parse(
+            "dfg t { input a; N1: x = ~a; N2: y = shl x; N3: z = shr y; N4: w = mov z; output w; }",
+        )
+        .unwrap();
+        assert_eq!(d.num_ops(), 4);
+        assert_eq!(d.op(d.op_by_name("N1").unwrap()).kind(), OpKind::Not);
+        assert_eq!(d.op(d.op_by_name("N4").unwrap()).kind(), OpKind::Mov);
+    }
+
+    #[test]
+    fn parses_const_and_loop() {
+        let d = parse(
+            "dfg t { input x, dx; const three = 3;
+              N1: t = three * x; N2: x1 = x + dx;
+              output x1; loop x1 -> x; }",
+        )
+        .unwrap();
+        let three = d.value_by_name("three").unwrap();
+        assert_eq!(d.value(three).kind(), ValueKind::Const(3));
+        assert_eq!(d.loop_carried().len(), 1);
+    }
+
+    #[test]
+    fn output_before_definition_is_ok() {
+        let d = parse("dfg t { input a, b; output s; N1: s = a + b; }").unwrap();
+        let s = d.value_by_name("s").unwrap();
+        assert!(d.value(s).kind().is_output());
+    }
+
+    #[test]
+    fn undeclared_use_is_error() {
+        let e = parse("dfg t { input a; N1: s = a + q; }").unwrap_err();
+        assert!(matches!(e, DfgError::Parse { .. }), "{e}");
+    }
+
+    #[test]
+    fn bad_header_is_error() {
+        assert!(parse("graph t { }").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn unterminated_statement_is_error() {
+        // missing ';' before '}' — the op is flushed by '}' so this parses:
+        parse("dfg t { input a, b; N1: s = a + b }").unwrap();
+        // but a trailing fragment without ';' or '}' must error:
+        let e2 = parse("dfg t { input a, b; N1: s = a + b; output s").unwrap_err();
+        assert!(matches!(e2, DfgError::Parse { .. }));
+    }
+
+    #[test]
+    fn line_numbers_in_errors() {
+        let e = parse("dfg t {\ninput a;\nN1: s = a !! a;\n}").unwrap_err();
+        match e {
+            DfgError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_display_parse_op_count() {
+        let src = "dfg t { input a, b; N1: s = a + b; N2: p = s * b; output p; }";
+        let d = parse(src).unwrap();
+        assert_eq!(d.num_ops(), 2);
+        assert_eq!(d.num_values(), 4);
+    }
+}

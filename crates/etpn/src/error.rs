@@ -1,0 +1,23 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from ETPN structural operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EtpnError {
+    /// An id referenced a node/arc/place/transition that does not exist.
+    InvalidId(String),
+    /// The control net has no initial or no final place.
+    MalformedControl(String),
+}
+
+impl fmt::Display for EtpnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtpnError::InvalidId(s) => write!(f, "invalid id: {s}"),
+            EtpnError::MalformedControl(s) => write!(f, "malformed control net: {s}"),
+        }
+    }
+}
+
+impl Error for EtpnError {}

@@ -1,0 +1,86 @@
+//! # hlts-etpn — the Extended Timed Petri Net design representation
+//!
+//! The kernel of the `hlts` system, after Peng & Kuchcinski (TCAD 1994):
+//! an intermediate design representation consisting of two related parts:
+//!
+//! * a **data path** ([`DataPath`]) — a directed graph whose nodes are
+//!   registers, functional modules, ports and constants, and whose arcs
+//!   are guarded data transfers;
+//! * a **control part** ([`ControlNet`]) — a timed Petri net with
+//!   restricted firing rules whose places enable the data-path transfers
+//!   and whose transitions may be guarded by condition signals produced
+//!   in the data path.
+//!
+//! [`Etpn::from_parts`] lowers a scheduled, allocated behavioral
+//! description into this representation; [`ControlNet::critical_path`]
+//! extracts the execution time `E` from the net's reachability tree — the
+//! quantity the synthesis algorithm uses for its ΔE estimates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+mod data_path;
+mod dot;
+mod error;
+mod petri;
+
+pub use build::EtpnBuildError;
+pub use data_path::{DataPath, DpArc, DpArcId, DpNode, DpNodeId, DpNodeKind};
+pub use dot::{control_to_dot, data_path_to_dot};
+pub use error::EtpnError;
+pub use petri::{ControlNet, PlaceId, Reachability, TransitionId, TransitionView};
+
+use hlts_alloc::Allocation;
+use hlts_dfg::Dfg;
+use hlts_sched::Schedule;
+
+/// A complete ETPN design: data path plus control part.
+#[derive(Debug, Clone)]
+pub struct Etpn {
+    data_path: DataPath,
+    control: ControlNet,
+}
+
+impl Etpn {
+    /// Lower a scheduled and allocated behavioral description into ETPN.
+    ///
+    /// See the crate's `build` module documentation for the lowering
+    /// rules (one data-path node per physical resource; transfer arcs
+    /// guarded by the control places of their steps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EtpnBuildError`] if the schedule or allocation is
+    /// inconsistent with the graph.
+    pub fn from_parts(
+        dfg: &Dfg,
+        schedule: &Schedule,
+        allocation: &Allocation,
+    ) -> Result<Self, EtpnBuildError> {
+        build::build(dfg, schedule, allocation)
+    }
+
+    /// The structural data path.
+    #[must_use]
+    pub fn data_path(&self) -> &DataPath {
+        &self.data_path
+    }
+
+    /// The Petri-net control part.
+    #[must_use]
+    pub fn control(&self) -> &ControlNet {
+        &self.control
+    }
+
+    /// Execution time `E`: the critical-path length of the control part,
+    /// in control steps, extracted from the reachability tree.
+    #[must_use]
+    pub fn execution_time(&self) -> usize {
+        self.control.critical_path()
+    }
+
+    pub(crate) fn new(data_path: DataPath, control: ControlNet) -> Self {
+        Etpn { data_path, control }
+    }
+}

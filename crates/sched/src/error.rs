@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+use hlts_dfg::DfgError;
+
+/// Errors produced by the scheduling algorithms and legality checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The underlying graph is malformed or cyclic.
+    Dfg(DfgError),
+    /// A precedence arc `from -> to` is violated: `from` is not scheduled
+    /// strictly before `to`.
+    PrecedenceViolated {
+        /// Name of the earlier operation.
+        from: String,
+        /// Name of the later operation.
+        to: String,
+    },
+    /// Two operations bound to the same functional unit share a control
+    /// step.
+    GroupConflict {
+        /// First operation's name.
+        a: String,
+        /// Second operation's name.
+        b: String,
+        /// The offending control step.
+        step: usize,
+    },
+    /// The schedule does not cover every operation of the graph.
+    IncompleteSchedule {
+        /// Operations expected.
+        expected: usize,
+        /// Operations scheduled.
+        got: usize,
+    },
+    /// No feasible schedule exists under the given latency bound.
+    Infeasible {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Dfg(e) => write!(f, "graph error: {e}"),
+            SchedError::PrecedenceViolated { from, to } => {
+                write!(f, "precedence violated: `{from}` must precede `{to}`")
+            }
+            SchedError::GroupConflict { a, b, step } => write!(
+                f,
+                "operations `{a}` and `{b}` share a functional unit but both occupy step {step}"
+            ),
+            SchedError::IncompleteSchedule { expected, got } => {
+                write!(f, "schedule covers {got} of {expected} operations")
+            }
+            SchedError::Infeasible { reason } => write!(f, "no feasible schedule: {reason}"),
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Dfg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DfgError> for SchedError {
+    fn from(e: DfgError) -> Self {
+        SchedError::Dfg(e)
+    }
+}

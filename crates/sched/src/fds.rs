@@ -1,0 +1,281 @@
+//! Force-directed scheduling (Paulin & Knight, IEEE TCAD 8(6), 1989).
+//!
+//! FDS minimizes expected functional-unit concurrency under a fixed
+//! latency: each unscheduled operation is uniformly distributed over its
+//! time frame `[asap, alap]`; *distribution graphs* accumulate the expected
+//! number of concurrent operations per FU class per step; and the
+//! operation/step pair with the lowest total *force* (self force plus the
+//! force its assignment exerts on predecessor/successor frames) is fixed
+//! each iteration.
+//!
+//! This is the scheduling front end of the paper's **Approach 1** baseline
+//! ("force-directed scheduling without testability consideration followed
+//! by the same allocation algorithm as in Approach 2").
+
+use std::collections::HashMap;
+
+use hlts_dfg::{AsapAlap, Dfg, FuClass, OpId};
+
+use crate::{SchedError, Schedule};
+
+/// Schedule `dfg` with force-directed scheduling at the given latency.
+///
+/// `latency = None` uses the critical-path length (the tightest feasible
+/// latency), which is how the DATE'98 comparison configures Approach 1.
+///
+/// # Errors
+///
+/// * [`SchedError::Dfg`] for cyclic precedence;
+/// * [`SchedError::Infeasible`] if `latency` is below the critical path.
+///
+/// # Example
+///
+/// ```
+/// use hlts_dfg::parse;
+/// use hlts_sched::fds_schedule;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dfg = parse("dfg t { input a, b; N1: x = a * b; N2: y = a + b;
+///                  N3: z = x + y; output z; }")?;
+/// let s = fds_schedule(&dfg, None)?;
+/// assert_eq!(s.num_steps(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fds_schedule(dfg: &Dfg, latency: Option<usize>) -> Result<Schedule, SchedError> {
+    let aa = AsapAlap::compute(dfg, latency).map_err(|e| match e {
+        hlts_dfg::DfgError::InvalidId(msg) => SchedError::Infeasible { reason: msg },
+        other => SchedError::Dfg(other),
+    })?;
+    let latency = aa.latency();
+    let n = dfg.num_ops();
+    if n == 0 {
+        return Ok(Schedule::from_step_vec(Vec::new()));
+    }
+
+    // Current time frames, collapsing as operations are fixed.
+    let mut lo: Vec<usize> = (0..n).map(|i| aa.asap(OpId::from_index(i))).collect();
+    let mut hi: Vec<usize> = (0..n).map(|i| aa.alap(OpId::from_index(i))).collect();
+    let mut fixed = vec![false; n];
+
+    for _round in 0..n {
+        // Anything already collapsed counts as fixed.
+        for i in 0..n {
+            if lo[i] == hi[i] {
+                fixed[i] = true;
+            }
+        }
+        if fixed.iter().all(|&f| f) {
+            break;
+        }
+
+        let dg = distribution_graphs(dfg, &lo, &hi, latency);
+
+        // Evaluate the force of every feasible (op, step) assignment.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for i in 0..n {
+            if fixed[i] {
+                continue;
+            }
+            for t in lo[i]..=hi[i] {
+                let force = assignment_force(dfg, &dg, &lo, &hi, i, t);
+                let better = match best {
+                    None => true,
+                    Some((bf, bi, bt)) => {
+                        force < bf - 1e-12 || ((force - bf).abs() <= 1e-12 && (i, t) < (bi, bt))
+                    }
+                };
+                if better {
+                    best = Some((force, i, t));
+                }
+            }
+        }
+        let (_, i, t) = best.expect("at least one unfixed op");
+        lo[i] = t;
+        hi[i] = t;
+        fixed[i] = true;
+        propagate_frames(dfg, &mut lo, &mut hi, i);
+    }
+
+    let schedule = Schedule::from_step_vec(lo);
+    schedule.validate(dfg)?;
+    Ok(schedule)
+}
+
+/// Expected concurrency per (FU class, step).
+fn distribution_graphs(
+    dfg: &Dfg,
+    lo: &[usize],
+    hi: &[usize],
+    latency: usize,
+) -> HashMap<FuClass, Vec<f64>> {
+    let mut dg: HashMap<FuClass, Vec<f64>> = HashMap::new();
+    for op in dfg.ops() {
+        let i = op.id().index();
+        let class = op.kind().fu_class();
+        let row = dg.entry(class).or_insert_with(|| vec![0.0; latency]);
+        let width = (hi[i] - lo[i] + 1) as f64;
+        for slot in row.iter_mut().take(hi[i] + 1).skip(lo[i]) {
+            *slot += 1.0 / width;
+        }
+    }
+    dg
+}
+
+/// Probability-weighted DG sum of op `i` over frame `[l, h]`.
+fn frame_force(dfg: &Dfg, dg: &HashMap<FuClass, Vec<f64>>, i: usize, l: usize, h: usize) -> f64 {
+    let class = dfg.ops()[i].kind().fu_class();
+    let row = &dg[&class];
+    let width = (h - l + 1) as f64;
+    (l..=h).map(|s| row[s]).sum::<f64>() / width
+}
+
+/// Total force of tentatively fixing op `i` at step `t`: the self force
+/// plus the force change on every predecessor/successor whose frame the
+/// assignment tightens (one level of look-ahead, per Paulin & Knight).
+fn assignment_force(
+    dfg: &Dfg,
+    dg: &HashMap<FuClass, Vec<f64>>,
+    lo: &[usize],
+    hi: &[usize],
+    i: usize,
+    t: usize,
+) -> f64 {
+    let op = OpId::from_index(i);
+    let mut force = frame_force(dfg, dg, i, t, t) - frame_force(dfg, dg, i, lo[i], hi[i]);
+    for p in dfg.preds(op) {
+        let j = p.index();
+        if hi[j] >= t {
+            // predecessor must now finish by t-1
+            let new_hi = t.saturating_sub(1).min(hi[j]);
+            if new_hi < hi[j] && new_hi >= lo[j] {
+                force +=
+                    frame_force(dfg, dg, j, lo[j], new_hi) - frame_force(dfg, dg, j, lo[j], hi[j]);
+            }
+        }
+    }
+    for s in dfg.succs(op) {
+        let j = s.index();
+        if lo[j] <= t {
+            let new_lo = (t + 1).max(lo[j]);
+            if new_lo > lo[j] && new_lo <= hi[j] {
+                force +=
+                    frame_force(dfg, dg, j, new_lo, hi[j]) - frame_force(dfg, dg, j, lo[j], hi[j]);
+            }
+        }
+    }
+    force
+}
+
+/// After fixing op `i`, tighten the frames of all transitively affected
+/// operations.
+fn propagate_frames(dfg: &Dfg, lo: &mut [usize], hi: &mut [usize], i: usize) {
+    // Backward: predecessors must end before lo[i].
+    let mut stack = vec![OpId::from_index(i)];
+    while let Some(u) = stack.pop() {
+        for p in dfg.preds(u) {
+            let j = p.index();
+            let bound = lo[u.index()].saturating_sub(1);
+            if hi[j] > bound {
+                hi[j] = bound;
+                stack.push(p);
+            }
+        }
+    }
+    // Forward: successors must start after hi[i].
+    let mut stack = vec![OpId::from_index(i)];
+    while let Some(u) = stack.pop() {
+        for s in dfg.succs(u) {
+            let j = s.index();
+            let bound = hi[u.index()] + 1;
+            if lo[j] < bound {
+                lo[j] = bound;
+                stack.push(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_dfg::{DfgBuilder, OpKind};
+
+    /// Two independent multiply chains of length 2 and a latency of 3:
+    /// FDS should stagger the multiplies to use one multiplier.
+    #[test]
+    fn fds_balances_multipliers() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let m1 = b.op("M1", OpKind::Mul, &[a, c], "m1").unwrap();
+        let _m2 = b.op("M2", OpKind::Mul, &[m1, c], "m2").unwrap();
+        let m3 = b.op("M3", OpKind::Mul, &[a, c], "m3").unwrap();
+        let _m4 = b.op("M4", OpKind::Mul, &[m3, c], "m4").unwrap();
+        let d = b.finish().unwrap();
+        let s = fds_schedule(&d, Some(4)).unwrap();
+        s.validate(&d).unwrap();
+        // count max concurrent multiplies
+        let max_conc = (0..s.num_steps())
+            .map(|st| s.ops_in_step(st).len())
+            .max()
+            .unwrap();
+        assert!(
+            max_conc <= 1,
+            "FDS should serialize the chains at latency 4, got schedule\n{}",
+            s.render(&d)
+        );
+    }
+
+    #[test]
+    fn fds_at_critical_path_is_legal() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t1 = b.op("N1", OpKind::Add, &[a, c], "t1").unwrap();
+        let t2 = b.op("N2", OpKind::Mul, &[a, c], "t2").unwrap();
+        let y = b.op("N3", OpKind::Sub, &[t1, t2], "y").unwrap();
+        b.mark_output(y);
+        let d = b.finish().unwrap();
+        let s = fds_schedule(&d, None).unwrap();
+        assert_eq!(s.num_steps(), 2);
+        s.validate(&d).unwrap();
+    }
+
+    #[test]
+    fn fds_rejects_infeasible_latency() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t1 = b.op("N1", OpKind::Add, &[a, c], "t1").unwrap();
+        let _ = b.op("N2", OpKind::Add, &[t1, c], "t2").unwrap();
+        let d = b.finish().unwrap();
+        assert!(matches!(
+            fds_schedule(&d, Some(1)),
+            Err(SchedError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn fds_empty_graph() {
+        let b = DfgBuilder::new("empty");
+        let d = b.finish().unwrap();
+        let s = fds_schedule(&d, None).unwrap();
+        assert_eq!(s.num_steps(), 0);
+    }
+
+    #[test]
+    fn fds_is_deterministic() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        for i in 0..6 {
+            b.op(&format!("N{i}"), OpKind::Add, &[a, c], &format!("t{i}"))
+                .unwrap();
+        }
+        let d = b.finish().unwrap();
+        let s1 = fds_schedule(&d, Some(3)).unwrap();
+        let s2 = fds_schedule(&d, Some(3)).unwrap();
+        assert_eq!(s1, s2);
+    }
+}

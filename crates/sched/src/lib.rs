@@ -1,0 +1,36 @@
+//! # hlts-sched — scheduling substrate
+//!
+//! Operation scheduling for the `hlts` high-level test synthesis system:
+//!
+//! * [`Schedule`] — an assignment of operations to control steps, with
+//!   legality checking against a [`Dfg`]'s precedence relation and against
+//!   *conflict groups* (sets of operations bound to one functional unit);
+//! * [`list_schedule`] — priority list scheduling under precedence and
+//!   conflict-group constraints; this is the rescheduling engine the
+//!   integrated synthesis algorithm invokes after each merger;
+//! * [`fds_schedule`] — force-directed scheduling (Paulin & Knight,
+//!   TCAD 1989), the front end of the paper's *Approach 1* baseline;
+//! * [`mobility_path_schedule`] — mobility-path scheduling in the style of
+//!   Lee, Wolf & Jha (ICCAD 1992), the front end of the paper's
+//!   *Approach 2* baseline;
+//! * [`Lifetimes`] — variable lifetime analysis over a schedule, the input
+//!   to register allocation and register-merge legality checks.
+//!
+//! [`Dfg`]: hlts_dfg::Dfg
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fds;
+mod lifetime;
+mod list;
+mod mobility_path;
+mod schedule;
+
+pub use error::SchedError;
+pub use fds::fds_schedule;
+pub use lifetime::{Interval, Lifetimes};
+pub use list::{list_schedule, ListPriority};
+pub use mobility_path::{mobility_path_schedule, FuLimits};
+pub use schedule::Schedule;

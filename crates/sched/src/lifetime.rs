@@ -1,0 +1,405 @@
+//! Variable lifetime analysis over a schedule.
+//!
+//! Register-transfer timing convention: a functional unit reads its source
+//! registers at the *beginning* of its control step and its result is
+//! latched at the *end* of the step. A value defined in step `s` therefore
+//! occupies a register from step `s + 1` on, and a value last read in step
+//! `d` must be held through step `d`.
+//!
+//! Two values can share a register exactly when their intervals are
+//! disjoint — the legality condition for the paper's register mergers.
+//!
+//! **Loop-carried pairs** `(src, dst)` get special treatment: the source
+//! must stay alive until the loop edge (it *is* the next iteration's
+//! `dst`), so its death extends to the latency `L`; and unless the pair
+//! shares one register, a copy into `dst`'s register fires at the end of
+//! the last step, so `dst` additionally occupies the virtual slot
+//! `[L, L]`. The pair itself is exempted from the `[L, L]` clash (the
+//! copy carries the very value the source holds).
+
+use hlts_dfg::{Dfg, ValueId, ValueKind};
+
+use crate::Schedule;
+
+/// A closed interval of control steps `[birth, death]` during which a value
+/// occupies a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// First step the value occupies a register.
+    pub birth: usize,
+    /// Last step the value must be held.
+    pub death: usize,
+}
+
+impl Interval {
+    /// Whether two intervals overlap (i.e. the values cannot share a
+    /// register).
+    #[must_use]
+    pub fn overlaps(self, other: Interval) -> bool {
+        self.birth <= other.death && other.birth <= self.death
+    }
+
+    /// Interval length in steps (at least 1).
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.death - self.birth + 1
+    }
+
+    /// Intervals are never empty under this convention.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+}
+
+/// The computed lifetime of every value of a [`Dfg`] under a [`Schedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lifetimes {
+    intervals: Vec<Option<Interval>>,
+    /// Additional loop-copy occupation (`[L, L]`) per value.
+    extra: Vec<Option<Interval>>,
+    /// Loop-carried pairs by value index (src, dst).
+    loop_pairs: Vec<(usize, usize)>,
+    latency: usize,
+}
+
+impl Lifetimes {
+    /// Compute lifetimes.
+    ///
+    /// Conventions (following the paper's treatment of the benchmarks —
+    /// its register tables share registers among primary inputs, e.g. Ex's
+    /// `R: a, c, x`, which requires inputs loaded on demand rather than
+    /// preloaded, and share a register between two outputs, which requires
+    /// outputs observed when produced rather than held to the end):
+    ///
+    /// * a **primary input** is latched from its port at the start of the
+    ///   step of its first consumer and held through its last consumer's
+    ///   step;
+    /// * an **intermediate** defined in step `s` is born at `s + 1` and
+    ///   held through its last consumer's step;
+    /// * a **primary output** is born at `def + 1`, observed there, and
+    ///   held through any later internal consumer's step;
+    /// * a **constant** occupies no register (hardwired): no interval;
+    /// * a **condition flag** feeds the controller, not a data register:
+    ///   no interval;
+    /// * a value with no consumers is held one step;
+    /// * **loop-carried sources** are held through the latency; their
+    ///   destinations additionally occupy the virtual end-of-iteration
+    ///   slot (see the module docs).
+    #[must_use]
+    pub fn compute(dfg: &Dfg, schedule: &Schedule) -> Self {
+        let latency = schedule.num_steps();
+        let mut intervals = Vec::with_capacity(dfg.num_values());
+        for v in dfg.values() {
+            let id = v.id();
+            let interval = match v.kind() {
+                ValueKind::Const(_) => None,
+                _ if v.is_condition() => None,
+                ValueKind::Input => {
+                    let birth = dfg
+                        .uses_of(id)
+                        .iter()
+                        .map(|&o| schedule.step_of(o))
+                        .min()
+                        .unwrap_or(0);
+                    let death = dfg
+                        .uses_of(id)
+                        .iter()
+                        .map(|&o| schedule.step_of(o))
+                        .max()
+                        .unwrap_or(birth);
+                    Some(Interval { birth, death })
+                }
+                // Outputs and intermediates share the defined-value rule;
+                // `ValueKind` is non-exhaustive and unknown future kinds
+                // are treated the same conservative way (they get a
+                // register).
+                _ => {
+                    let birth = dfg.def_of(id).map(|o| schedule.step_of(o) + 1).unwrap_or(0);
+                    let death = dfg
+                        .uses_of(id)
+                        .iter()
+                        .map(|&o| schedule.step_of(o))
+                        .max()
+                        .unwrap_or(birth);
+                    Some(Interval {
+                        birth,
+                        death: death.max(birth),
+                    })
+                }
+            };
+            intervals.push(interval);
+        }
+        // Loop-carried handling.
+        let mut extra = vec![None; dfg.num_values()];
+        let mut loop_pairs = Vec::new();
+        for &(src, dst) in dfg.loop_carried() {
+            loop_pairs.push((src.index(), dst.index()));
+            if let Some(iv) = intervals[src.index()].as_mut() {
+                iv.death = iv.death.max(latency);
+            }
+            if intervals[dst.index()].is_some() {
+                extra[dst.index()] = Some(Interval {
+                    birth: latency,
+                    death: latency,
+                });
+            }
+        }
+        Lifetimes {
+            intervals,
+            extra,
+            loop_pairs,
+            latency,
+        }
+    }
+
+    /// The primary interval of `value`, or `None` when the value occupies
+    /// no register (constants, condition flags).
+    #[must_use]
+    pub fn interval(&self, value: ValueId) -> Option<Interval> {
+        self.intervals[value.index()]
+    }
+
+    /// The loop-copy occupation slot of `value`, if any.
+    #[must_use]
+    pub fn loop_slot(&self, value: ValueId) -> Option<Interval> {
+        self.extra[value.index()]
+    }
+
+    /// Whether the two values may share a register: every interval of one
+    /// is disjoint from every interval of the other. A loop-carried
+    /// `(src, dst)` pair is exempt from clashes involving the pair's own
+    /// extended/virtual slots (the copy carries the source's value).
+    #[must_use]
+    pub fn disjoint(&self, a: ValueId, b: ValueId) -> bool {
+        let (ia, ib) = (a.index(), b.index());
+        let (Some(pa), Some(pb)) = (self.intervals[ia], self.intervals[ib]) else {
+            return false;
+        };
+        let is_loop_pair = self
+            .loop_pairs
+            .iter()
+            .any(|&(s, d)| (s, d) == (ia, ib) || (s, d) == (ib, ia));
+        if is_loop_pair {
+            // Compare the un-extended cores: the src tail and dst loop
+            // slot describe the same physical hand-over.
+            let core = |i: usize, iv: Interval| -> Interval {
+                let extended = self
+                    .loop_pairs
+                    .iter()
+                    .any(|&(s, _)| s == i && iv.death >= self.latency);
+                if extended && iv.birth < self.latency {
+                    Interval {
+                        birth: iv.birth,
+                        death: iv.death.min(self.latency.saturating_sub(1)),
+                    }
+                } else {
+                    iv
+                }
+            };
+            return !core(ia, pa).overlaps(core(ib, pb));
+        }
+        if pa.overlaps(pb) {
+            return false;
+        }
+        if let Some(ea) = self.extra[ia] {
+            if ea.overlaps(pb) || self.extra[ib].is_some_and(|eb| eb.overlaps(ea)) {
+                return false;
+            }
+        }
+        if let Some(eb) = self.extra[ib] {
+            if eb.overlaps(pa) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The latency the analysis was computed for.
+    #[must_use]
+    pub fn latency(&self) -> usize {
+        self.latency
+    }
+
+    /// Maximum number of simultaneously live values over all steps
+    /// (including the virtual end-of-iteration slot) — a lower bound on
+    /// the number of registers any allocation needs.
+    #[must_use]
+    pub fn max_live(&self) -> usize {
+        (0..=self.latency)
+            .map(|s| {
+                (0..self.intervals.len())
+                    .filter(|&i| {
+                        self.intervals[i].is_some_and(|iv| iv.birth <= s && s <= iv.death)
+                            || self.extra[i].is_some_and(|iv| iv.birth <= s && s <= iv.death)
+                    })
+                    .count()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Ids of all values that occupy a register, sorted by increasing
+    /// birth then death (left-edge order).
+    #[must_use]
+    pub fn register_values(&self) -> Vec<ValueId> {
+        let mut ids: Vec<ValueId> = (0..self.intervals.len())
+            .filter(|&i| self.intervals[i].is_some())
+            .map(ValueId::from_index)
+            .collect();
+        ids.sort_by_key(|&v| {
+            let iv = self.intervals[v.index()].expect("filtered to Some");
+            (iv.birth, iv.death, v.index())
+        });
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_dfg::{DfgBuilder, OpKind};
+
+    /// a,b inputs; t = a+b (step 0); y = t*b (step 1); y output.
+    fn fixture() -> (Dfg, Schedule) {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let t = b.op("N1", OpKind::Add, &[a, bb], "t").unwrap();
+        let y = b.op("N2", OpKind::Mul, &[t, bb], "y").unwrap();
+        b.mark_output(y);
+        (b.finish().unwrap(), Schedule::from_step_vec(vec![0, 1]))
+    }
+
+    #[test]
+    fn input_lifetime_spans_uses() {
+        let (d, s) = fixture();
+        let lt = Lifetimes::compute(&d, &s);
+        let a = d.value_by_name("a").unwrap();
+        let b = d.value_by_name("b").unwrap();
+        assert_eq!(lt.interval(a), Some(Interval { birth: 0, death: 0 }));
+        // b is read by N2 in step 1.
+        assert_eq!(lt.interval(b), Some(Interval { birth: 0, death: 1 }));
+    }
+
+    #[test]
+    fn intermediate_born_after_def() {
+        let (d, s) = fixture();
+        let lt = Lifetimes::compute(&d, &s);
+        let t = d.value_by_name("t").unwrap();
+        assert_eq!(lt.interval(t), Some(Interval { birth: 1, death: 1 }));
+    }
+
+    #[test]
+    fn output_observed_at_production() {
+        let (d, s) = fixture();
+        let lt = Lifetimes::compute(&d, &s);
+        let y = d.value_by_name("y").unwrap();
+        assert_eq!(lt.interval(y), Some(Interval { birth: 2, death: 2 }));
+    }
+
+    #[test]
+    fn disjointness() {
+        let (d, s) = fixture();
+        let lt = Lifetimes::compute(&d, &s);
+        let a = d.value_by_name("a").unwrap();
+        let t = d.value_by_name("t").unwrap();
+        let b = d.value_by_name("b").unwrap();
+        // a dies at 0, t born at 1: can share.
+        assert!(lt.disjoint(a, t));
+        // b alive through 1, t born 1: overlap.
+        assert!(!lt.disjoint(b, t));
+    }
+
+    #[test]
+    fn constants_and_conditions_have_no_register() {
+        let mut b = DfgBuilder::new("t");
+        let three = b.constant("three", 3);
+        let x = b.input("x");
+        let a = b.input("a");
+        let p = b.op("N1", OpKind::Mul, &[three, x], "p").unwrap();
+        let c = b.op("N2", OpKind::Lt, &[p, a], "c").unwrap();
+        let d = b.finish().unwrap();
+        let s = Schedule::from_step_vec(vec![0, 1]);
+        let lt = Lifetimes::compute(&d, &s);
+        assert_eq!(lt.interval(three), None);
+        assert_eq!(lt.interval(c), None);
+        assert!(!lt.disjoint(three, c));
+    }
+
+    #[test]
+    fn max_live_counts_overlaps() {
+        let (d, s) = fixture();
+        let lt = Lifetimes::compute(&d, &s);
+        assert_eq!(lt.max_live(), 2);
+    }
+
+    #[test]
+    fn register_values_left_edge_order() {
+        let (d, s) = fixture();
+        let lt = Lifetimes::compute(&d, &s);
+        let order = lt.register_values();
+        let births: Vec<usize> = order
+            .iter()
+            .map(|&v| lt.interval(v).expect("register value").birth)
+            .collect();
+        let mut sorted = births.clone();
+        sorted.sort_unstable();
+        assert_eq!(births, sorted);
+    }
+
+    #[test]
+    fn interval_overlap_is_symmetric() {
+        let x = Interval { birth: 0, death: 2 };
+        let y = Interval { birth: 2, death: 5 };
+        let z = Interval { birth: 3, death: 4 };
+        assert!(x.overlaps(y) && y.overlaps(x));
+        assert!(!x.overlaps(z) && !z.overlaps(x));
+        assert_eq!(x.len(), 3);
+    }
+
+    /// x1 = x + dx with loop x1 -> x.
+    fn loopy() -> (Dfg, Schedule) {
+        let mut b = DfgBuilder::new("loopy");
+        let x = b.input("x");
+        let dx = b.input("dx");
+        let x1 = b.op("N1", OpKind::Add, &[x, dx], "x1").unwrap();
+        let y = b.op("N2", OpKind::Mul, &[x1, dx], "y").unwrap();
+        b.mark_output(x1);
+        b.mark_output(y);
+        b.loop_carried(x1, x);
+        (b.finish().unwrap(), Schedule::from_step_vec(vec![0, 1]))
+    }
+
+    #[test]
+    fn loop_source_held_to_latency() {
+        let (d, s) = loopy();
+        let lt = Lifetimes::compute(&d, &s);
+        let x1 = d.value_by_name("x1").unwrap();
+        // born 1, used at 1, but held to the loop edge (latency 2)
+        assert_eq!(lt.interval(x1), Some(Interval { birth: 1, death: 2 }));
+    }
+
+    #[test]
+    fn loop_destination_occupies_copy_slot() {
+        let (d, s) = loopy();
+        let lt = Lifetimes::compute(&d, &s);
+        let x = d.value_by_name("x").unwrap();
+        assert_eq!(lt.loop_slot(x), Some(Interval { birth: 2, death: 2 }));
+        // a value born at the latency slot (output y, def step 1 -> born
+        // 2) cannot share x's register: the loop copy lands there.
+        let y = d.value_by_name("y").unwrap();
+        assert!(!lt.disjoint(x, y));
+    }
+
+    #[test]
+    fn loop_pair_itself_may_share() {
+        let (d, s) = loopy();
+        let lt = Lifetimes::compute(&d, &s);
+        let x = d.value_by_name("x").unwrap();
+        let x1 = d.value_by_name("x1").unwrap();
+        // x dies at 0, x1 born 1; the extended tail / copy slot belongs
+        // to the pair's own hand-over.
+        assert!(lt.disjoint(x, x1));
+    }
+}

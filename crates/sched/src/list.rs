@@ -1,0 +1,265 @@
+//! Priority list scheduling under precedence and conflict-group
+//! constraints.
+//!
+//! This is the rescheduling engine of the integrated synthesis algorithm:
+//! after every module/register merger the accumulated scheduling
+//! constraints (precedence arcs added to the [`Dfg`] plus the conflict
+//! groups induced by the module binding) are re-solved into a concrete
+//! schedule.
+
+use hlts_dfg::{AsapAlap, Dfg, OpId};
+
+use crate::{SchedError, Schedule};
+
+/// Priority function for [`list_schedule`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum ListPriority {
+    /// Critical-path first: smaller ALAP time wins (classic list
+    /// scheduling; minimizes latency growth).
+    #[default]
+    CriticalPath,
+    /// Stability: keep operations close to a previous schedule — the
+    /// vector is the previous per-op step (indexed by [`OpId::index`]);
+    /// ties broken by ALAP.
+    Previous(Vec<usize>),
+}
+
+/// Schedule `dfg` by priority list scheduling.
+///
+/// `groups` are conflict groups: operations inside one group are bound to
+/// the same functional unit and therefore must occupy pairwise distinct
+/// control steps. Operations absent from every group are unconstrained
+/// (each has its own unit).
+///
+/// The returned schedule is legal for `dfg` and `groups` and is as short
+/// as the greedy heuristic achieves (not necessarily optimal — list
+/// scheduling is the standard polynomial heuristic here).
+///
+/// # Errors
+///
+/// * [`SchedError::Dfg`] if the precedence relation is cyclic;
+/// * [`SchedError::Infeasible`] if an operation appears in two different
+///   groups (a binding must partition operations).
+///
+/// # Example
+///
+/// ```
+/// use hlts_dfg::{DfgBuilder, OpKind};
+/// use hlts_sched::{list_schedule, ListPriority};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DfgBuilder::new("t");
+/// let (a, c) = (b.input("a"), b.input("c"));
+/// let t1 = b.op("N1", OpKind::Add, &[a, c], "t1")?;
+/// let t2 = b.op("N2", OpKind::Add, &[a, c], "t2")?;
+/// # let _ = (t1, t2);
+/// let dfg = b.finish()?;
+/// // Independent ops, but sharing one adder forces two steps:
+/// let groups = vec![dfg.ops().iter().map(|o| o.id()).collect()];
+/// let s = list_schedule(&dfg, &groups, ListPriority::CriticalPath)?;
+/// assert_eq!(s.num_steps(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn list_schedule(
+    dfg: &Dfg,
+    groups: &[Vec<OpId>],
+    priority: ListPriority,
+) -> Result<Schedule, SchedError> {
+    let n = dfg.num_ops();
+    // Map op -> group index; detect overlap.
+    let mut group_of = vec![usize::MAX; n];
+    for (gi, g) in groups.iter().enumerate() {
+        for &op in g {
+            if op.index() >= n {
+                return Err(SchedError::Infeasible {
+                    reason: format!("group references unknown op {op}"),
+                });
+            }
+            if group_of[op.index()] != usize::MAX && group_of[op.index()] != gi {
+                return Err(SchedError::Infeasible {
+                    reason: format!(
+                        "operation `{}` appears in two conflict groups",
+                        dfg.op(op).name()
+                    ),
+                });
+            }
+            group_of[op.index()] = gi;
+        }
+    }
+
+    let aa = AsapAlap::compute(dfg, None)?;
+    let prio = |op: OpId| -> (usize, usize, usize) {
+        match &priority {
+            ListPriority::CriticalPath => (aa.alap(op), aa.asap(op), op.index()),
+            ListPriority::Previous(prev) => {
+                let p = prev.get(op.index()).copied().unwrap_or(usize::MAX);
+                (p, aa.alap(op), op.index())
+            }
+        }
+    };
+
+    let mut unsched_preds: Vec<usize> = (0..n)
+        .map(|i| {
+            let o = OpId::from_index(i);
+            dfg.preds(o).len() + dfg.weak_preds(o).len()
+        })
+        .collect();
+    let mut ready: Vec<OpId> = (0..n)
+        .filter(|&i| unsched_preds[i] == 0)
+        .map(OpId::from_index)
+        .collect();
+    let mut step_of = vec![usize::MAX; n];
+    let mut scheduled = 0usize;
+    let mut step = 0usize;
+    while scheduled < n {
+        let mut group_busy: Vec<bool> = vec![false; groups.len()];
+        // Place ready ops in `step`, best priority first, iterating to a
+        // fixpoint: an op enabled by a *weak* predecessor placed in this
+        // very step may legally join the same step (strict predecessors
+        // always push their successors to step + 1 via the lower bound).
+        loop {
+            ready.sort_by_key(|&o| prio(o));
+            let mut placed_any = false;
+            let mut i = 0;
+            while i < ready.len() {
+                let op = ready[i];
+                let lower = dfg
+                    .preds(op)
+                    .iter()
+                    .map(|p| step_of[p.index()] + 1)
+                    .chain(dfg.weak_preds(op).iter().map(|p| step_of[p.index()]))
+                    .max()
+                    .unwrap_or(0);
+                let g = group_of[op.index()];
+                if lower <= step && (g == usize::MAX || !group_busy[g]) {
+                    if g != usize::MAX {
+                        group_busy[g] = true;
+                    }
+                    step_of[op.index()] = step;
+                    scheduled += 1;
+                    ready.remove(i);
+                    placed_any = true;
+                    for s in dfg.succs(op).into_iter().chain(dfg.weak_succs(op)) {
+                        unsched_preds[s.index()] -= 1;
+                        if unsched_preds[s.index()] == 0 {
+                            ready.push(s);
+                        }
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            if !placed_any {
+                break;
+            }
+        }
+        step += 1;
+        // Safety valve: with a DAG and per-step conflicts the loop always
+        // makes progress once `ready` is non-empty; a fully empty ready
+        // list with unscheduled ops means a cycle, which AsapAlap already
+        // rejected.
+        debug_assert!(step <= 2 * n + 2, "list scheduler failed to converge");
+    }
+    let schedule = Schedule::from_step_vec(step_of);
+    debug_assert!(schedule.validate(dfg).is_ok());
+    debug_assert!(schedule.validate_groups(dfg, groups).is_ok());
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_dfg::{DfgBuilder, OpKind};
+
+    fn four_independent_adds() -> Dfg {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        for i in 0..4 {
+            b.op(&format!("N{i}"), OpKind::Add, &[a, c], &format!("t{i}"))
+                .unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn no_groups_is_single_step() {
+        let d = four_independent_adds();
+        let s = list_schedule(&d, &[], ListPriority::CriticalPath).unwrap();
+        assert_eq!(s.num_steps(), 1);
+    }
+
+    #[test]
+    fn one_group_serializes() {
+        let d = four_independent_adds();
+        let all: Vec<OpId> = d.ops().iter().map(|o| o.id()).collect();
+        let s = list_schedule(&d, std::slice::from_ref(&all), ListPriority::CriticalPath).unwrap();
+        assert_eq!(s.num_steps(), 4);
+        s.validate_groups(&d, &[all]).unwrap();
+    }
+
+    #[test]
+    fn two_groups_of_two() {
+        let d = four_independent_adds();
+        let ids: Vec<OpId> = d.ops().iter().map(|o| o.id()).collect();
+        let groups = vec![vec![ids[0], ids[1]], vec![ids[2], ids[3]]];
+        let s = list_schedule(&d, &groups, ListPriority::CriticalPath).unwrap();
+        assert_eq!(s.num_steps(), 2);
+        s.validate_groups(&d, &groups).unwrap();
+    }
+
+    #[test]
+    fn respects_precedence_and_groups_together() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t1 = b.op("N1", OpKind::Add, &[a, c], "t1").unwrap();
+        let _t2 = b.op("N2", OpKind::Add, &[t1, c], "t2").unwrap();
+        let _t3 = b.op("N3", OpKind::Add, &[a, c], "t3").unwrap();
+        let d = b.finish().unwrap();
+        let n1 = d.op_by_name("N1").unwrap();
+        let n2 = d.op_by_name("N2").unwrap();
+        let n3 = d.op_by_name("N3").unwrap();
+        // all three share one adder
+        let groups = vec![vec![n1, n2, n3]];
+        let s = list_schedule(&d, &groups, ListPriority::CriticalPath).unwrap();
+        s.validate(&d).unwrap();
+        s.validate_groups(&d, &groups).unwrap();
+        assert!(s.step_of(n1) < s.step_of(n2));
+        assert_eq!(s.num_steps(), 3);
+    }
+
+    #[test]
+    fn overlapping_groups_rejected() {
+        let d = four_independent_adds();
+        let ids: Vec<OpId> = d.ops().iter().map(|o| o.id()).collect();
+        let groups = vec![vec![ids[0], ids[1]], vec![ids[1], ids[2]]];
+        assert!(matches!(
+            list_schedule(&d, &groups, ListPriority::CriticalPath),
+            Err(SchedError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn previous_priority_is_stable() {
+        let d = four_independent_adds();
+        let ids: Vec<OpId> = d.ops().iter().map(|o| o.id()).collect();
+        let groups = vec![ids.clone()];
+        // previous schedule put N3 first
+        let prev = vec![3, 2, 1, 0];
+        let s = list_schedule(&d, &groups, ListPriority::Previous(prev)).unwrap();
+        assert_eq!(s.step_of(ids[3]), 0);
+        assert_eq!(s.step_of(ids[0]), 3);
+    }
+
+    #[test]
+    fn extra_precedence_honored() {
+        let mut d = four_independent_adds();
+        let ids: Vec<OpId> = d.ops().iter().map(|o| o.id()).collect();
+        d.add_precedence(ids[2], ids[0]).unwrap();
+        let s = list_schedule(&d, &[], ListPriority::CriticalPath).unwrap();
+        assert!(s.step_of(ids[2]) < s.step_of(ids[0]));
+    }
+}

@@ -1,0 +1,320 @@
+//! Mobility-path scheduling in the style of Lee, Wolf & Jha (ICCAD 1992).
+//!
+//! Lee et al. schedule operations along *mobility paths* — chains of
+//! operations with equal scheduling freedom — under functional-unit
+//! resource limits, applying their testability rules: give priority to
+//! paths that move values quickly from controllable (primary-input-fed)
+//! registers toward observable (primary-output) registers, which shortens
+//! the sequential depth the subsequent allocation can achieve (rule SR1).
+//!
+//! The original paper gives the algorithm only in prose; this module is a
+//! documented reconstruction (see DESIGN.md §4.6): operations are
+//! processed in increasing mobility (critical paths first, following each
+//! chain of equal mobility), and each is placed at the earliest
+//! resource-feasible step — earliest placement minimizes the number of
+//! register-to-register hops between inputs and outputs, which is the
+//! SR1 objective at scheduling time. This is the front end of the paper's
+//! **Approach 2** baseline.
+
+use std::collections::HashMap;
+
+use hlts_dfg::{AsapAlap, Dfg, FuClass, OpId};
+
+use crate::{SchedError, Schedule};
+
+/// Per-class functional-unit limits for resource-constrained scheduling.
+///
+/// A class without an entry is unlimited.
+///
+/// # Example
+///
+/// ```
+/// use hlts_dfg::FuClass;
+/// use hlts_sched::FuLimits;
+///
+/// let limits = FuLimits::new()
+///     .with(FuClass::Multiplier, 2)
+///     .with(FuClass::AddSub, 1);
+/// assert_eq!(limits.limit(FuClass::Multiplier), Some(2));
+/// assert_eq!(limits.limit(FuClass::Logic), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuLimits {
+    limits: HashMap<FuClass, usize>,
+}
+
+impl FuLimits {
+    /// No limits.
+    #[must_use]
+    pub fn new() -> Self {
+        FuLimits::default()
+    }
+
+    /// Set the limit for one class (builder style).
+    #[must_use]
+    pub fn with(mut self, class: FuClass, n: usize) -> Self {
+        self.limits.insert(class, n);
+        self
+    }
+
+    /// The limit for `class`, or `None` when unlimited.
+    #[must_use]
+    pub fn limit(&self, class: FuClass) -> Option<usize> {
+        self.limits.get(&class).copied()
+    }
+}
+
+/// Schedule `dfg` by mobility-path scheduling under `limits`.
+///
+/// `latency` is a target; when resource limits force it, the schedule
+/// grows beyond the target (resource-constrained mode). `None` targets
+/// the critical-path length.
+///
+/// # Errors
+///
+/// * [`SchedError::Dfg`] for cyclic precedence;
+/// * [`SchedError::Infeasible`] if any class limit is zero while the graph
+///   contains an operation of that class.
+pub fn mobility_path_schedule(
+    dfg: &Dfg,
+    limits: &FuLimits,
+    latency: Option<usize>,
+) -> Result<Schedule, SchedError> {
+    let n = dfg.num_ops();
+    if n == 0 {
+        return Ok(Schedule::from_step_vec(Vec::new()));
+    }
+    for op in dfg.ops() {
+        if limits.limit(op.kind().fu_class()) == Some(0) {
+            return Err(SchedError::Infeasible {
+                reason: format!(
+                    "limit for class `{}` is 0 but `{}` needs it",
+                    op.kind().fu_class(),
+                    op.name()
+                ),
+            });
+        }
+    }
+    let aa = AsapAlap::compute(dfg, None)?;
+    let target = latency.unwrap_or(aa.latency()).max(aa.latency());
+
+    // Mobility under the target latency.
+    let aat = AsapAlap::compute(dfg, Some(target))?;
+
+    // Process order: follow mobility paths — repeatedly take the
+    // least-mobile unvisited op (ties: smaller ASAP, then id), then walk
+    // down its successors of equal mobility, appending each chain.
+    let mut order: Vec<OpId> = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut seeds: Vec<OpId> = (0..n).map(OpId::from_index).collect();
+    seeds.sort_by_key(|&o| (aat.mobility(o).0, aat.asap(o), o.index()));
+    for seed in seeds {
+        let mut cur = seed;
+        while !visited[cur.index()] {
+            visited[cur.index()] = true;
+            order.push(cur);
+            // continue the path through an equal-mobility successor
+            let next = dfg
+                .succs(cur)
+                .into_iter()
+                .filter(|&s| !visited[s.index()] && aat.mobility(s) == aat.mobility(cur))
+                .min_by_key(|&s| (aat.asap(s), s.index()));
+            match next {
+                Some(s) => cur = s,
+                None => break,
+            }
+        }
+    }
+
+    // Greedy placement at the earliest resource-feasible step.
+    let mut step_of = vec![usize::MAX; n];
+    let mut usage: HashMap<(FuClass, usize), usize> = HashMap::new();
+    for &op in &order {
+        let i = op.index();
+        let class = dfg.op(op).kind().fu_class();
+        // Earliest step allowed by already-placed predecessors (unplaced
+        // predecessors come later in path order only if they have larger
+        // mobility; guard by also respecting ASAP).
+        let mut lo = aat.asap(op);
+        for p in dfg.preds(op) {
+            if step_of[p.index()] != usize::MAX {
+                lo = lo.max(step_of[p.index()] + 1);
+            }
+        }
+        // Latest bound from already-placed successors.
+        let mut hi = usize::MAX;
+        for s in dfg.succs(op) {
+            if step_of[s.index()] != usize::MAX {
+                hi = hi.min(step_of[s.index()].saturating_sub(1));
+            }
+        }
+        let mut t = lo;
+        let mut feasible = true;
+        loop {
+            if t > hi {
+                // Resource pressure pushed this op past an already-pinned
+                // successor: the path-order placement is stuck. Fall back
+                // to a strict topological greedy, which cannot deadlock.
+                feasible = false;
+                break;
+            }
+            let used = usage.get(&(class, t)).copied().unwrap_or(0);
+            let free = limits.limit(class).is_none_or(|l| used < l);
+            if free {
+                break;
+            }
+            t += 1;
+        }
+        if !feasible {
+            return greedy_topological(dfg, limits, &aat);
+        }
+        step_of[i] = t;
+        *usage.entry((class, t)).or_insert(0) += 1;
+    }
+
+    let schedule = Schedule::from_step_vec(step_of);
+    schedule.validate(dfg)?;
+    Ok(schedule)
+}
+
+/// Fallback placement in dependence order (repeated ready-set sweeps,
+/// mobility-informed ASAP priority): predecessors are always placed
+/// first, so every operation has a feasible step and resource limits
+/// can only delay, never deadlock.
+fn greedy_topological(
+    dfg: &Dfg,
+    limits: &FuLimits,
+    aat: &AsapAlap,
+) -> Result<Schedule, SchedError> {
+    let mut order = dfg.topo_order()?;
+    order.sort_by_key(|&o| (aat.asap(o), aat.mobility(o).0, o.index()));
+    let mut step_of = vec![usize::MAX; dfg.num_ops()];
+    let mut usage: HashMap<(FuClass, usize), usize> = HashMap::new();
+    let mut placed = 0usize;
+    while placed < dfg.num_ops() {
+        let mut progressed = false;
+        for &op in &order {
+            if step_of[op.index()] != usize::MAX {
+                continue;
+            }
+            let preds_placed = dfg
+                .preds(op)
+                .iter()
+                .chain(dfg.weak_preds(op).iter())
+                .all(|p| step_of[p.index()] != usize::MAX);
+            if !preds_placed {
+                continue;
+            }
+            let mut lo = 0usize;
+            for p in dfg.preds(op) {
+                lo = lo.max(step_of[p.index()] + 1);
+            }
+            for p in dfg.weak_preds(op) {
+                lo = lo.max(step_of[p.index()]);
+            }
+            let class = dfg.op(op).kind().fu_class();
+            let mut t = lo;
+            while limits
+                .limit(class)
+                .is_some_and(|l| usage.get(&(class, t)).copied().unwrap_or(0) >= l)
+            {
+                t += 1;
+            }
+            step_of[op.index()] = t;
+            *usage.entry((class, t)).or_insert(0) += 1;
+            placed += 1;
+            progressed = true;
+        }
+        if !progressed {
+            return Err(SchedError::Infeasible {
+                reason: "cyclic precedence in fallback placement".into(),
+            });
+        }
+    }
+    let schedule = Schedule::from_step_vec(step_of);
+    schedule.validate(dfg)?;
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_dfg::{DfgBuilder, OpKind};
+
+    fn mixed_dfg() -> Dfg {
+        // two mul chains + one add, as in small HAL-like kernels
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let m1 = b.op("M1", OpKind::Mul, &[a, c], "m1").unwrap();
+        let _m2 = b.op("M2", OpKind::Mul, &[m1, c], "m2").unwrap();
+        let m3 = b.op("M3", OpKind::Mul, &[a, c], "m3").unwrap();
+        let _m4 = b.op("M4", OpKind::Mul, &[m3, c], "m4").unwrap();
+        let s = b.op("A1", OpKind::Add, &[a, c], "s").unwrap();
+        b.mark_output(s);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn respects_single_multiplier_limit() {
+        let d = mixed_dfg();
+        let limits = FuLimits::new().with(FuClass::Multiplier, 1);
+        let s = mobility_path_schedule(&d, &limits, None).unwrap();
+        s.validate(&d).unwrap();
+        for st in 0..s.num_steps() {
+            let muls = s
+                .ops_in_step(st)
+                .iter()
+                .filter(|&&o| d.op(o).kind() == OpKind::Mul)
+                .count();
+            assert!(muls <= 1, "step {st} has {muls} muls:\n{}", s.render(&d));
+        }
+        // 4 muls on 1 multiplier: at least 4 steps
+        assert!(s.num_steps() >= 4);
+    }
+
+    #[test]
+    fn unlimited_matches_asap_latency() {
+        let d = mixed_dfg();
+        let s = mobility_path_schedule(&d, &FuLimits::new(), None).unwrap();
+        assert_eq!(s.num_steps(), 2);
+    }
+
+    #[test]
+    fn zero_limit_rejected() {
+        let d = mixed_dfg();
+        let limits = FuLimits::new().with(FuClass::Multiplier, 0);
+        assert!(matches!(
+            mobility_path_schedule(&d, &limits, None),
+            Err(SchedError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn critical_chain_scheduled_first_and_contiguously() {
+        let d = mixed_dfg();
+        let limits = FuLimits::new().with(FuClass::Multiplier, 2);
+        let s = mobility_path_schedule(&d, &limits, None).unwrap();
+        let m1 = d.op_by_name("M1").unwrap();
+        let m2 = d.op_by_name("M2").unwrap();
+        assert_eq!(s.step_of(m1), 0);
+        assert_eq!(s.step_of(m2), 1);
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let d = DfgBuilder::new("e").finish().unwrap();
+        let s = mobility_path_schedule(&d, &FuLimits::new(), None).unwrap();
+        assert_eq!(s.num_ops(), 0);
+    }
+
+    #[test]
+    fn honors_extra_precedence() {
+        let mut d = mixed_dfg();
+        let m1 = d.op_by_name("M1").unwrap();
+        let a1 = d.op_by_name("A1").unwrap();
+        d.add_precedence(a1, m1).unwrap();
+        let s = mobility_path_schedule(&d, &FuLimits::new(), None).unwrap();
+        assert!(s.step_of(a1) < s.step_of(m1));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the scheduling substrate: every scheduler
+//! must produce legal schedules on random graphs with random conflict
+//! groups, and lifetime analysis must be consistent with them.
+
+use hlts_dfg::{Dfg, DfgBuilder, FuClass, OpId, OpKind};
+use hlts_sched::{fds_schedule, list_schedule, FuLimits, Lifetimes, ListPriority};
+use proptest::prelude::*;
+
+fn build_dfg(spec: &[(u8, u8, u8)]) -> Dfg {
+    let mut b = DfgBuilder::new("prop");
+    let mut vals = vec![b.input("i0"), b.input("i1")];
+    for (n, &(k, x, y)) in spec.iter().enumerate() {
+        let kinds = [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Xor];
+        let kind = kinds[k as usize % kinds.len()];
+        let a = vals[x as usize % vals.len()];
+        let c = vals[y as usize % vals.len()];
+        let out = b
+            .op(&format!("N{n}"), kind, &[a, c], &format!("v{n}"))
+            .expect("fresh name");
+        vals.push(out);
+    }
+    let last = *vals.last().expect("nonempty");
+    b.mark_output(last);
+    b.finish().expect("well-formed")
+}
+
+fn spec_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..12)
+}
+
+/// Partition the ops into groups by a random assignment, keeping only
+/// FU-compatible groups.
+fn groups_from(dfg: &Dfg, assignment: &[u8], buckets: u8) -> Vec<Vec<OpId>> {
+    let buckets = buckets.max(1);
+    let mut groups: Vec<Vec<OpId>> = vec![Vec::new(); buckets as usize];
+    for op in dfg.ops() {
+        let g = assignment.get(op.id().index()).copied().unwrap_or(0) % buckets;
+        let target = &mut groups[g as usize];
+        let compatible = target.iter().all(|&o| {
+            dfg.op(o)
+                .kind()
+                .fu_class()
+                .compatible(dfg.op(op.id()).kind().fu_class())
+        });
+        if compatible {
+            target.push(op.id());
+        } else {
+            groups.push(vec![op.id()]);
+        }
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+proptest! {
+    /// List scheduling is always legal for the precedence relation and
+    /// the conflict groups.
+    #[test]
+    fn list_schedule_is_legal(
+        spec in spec_strategy(),
+        assignment in prop::collection::vec(any::<u8>(), 0..12),
+        buckets in 1u8..5,
+    ) {
+        let d = build_dfg(&spec);
+        let groups = groups_from(&d, &assignment, buckets);
+        let s = list_schedule(&d, &groups, ListPriority::CriticalPath).expect("schedulable");
+        prop_assert!(s.validate(&d).is_ok());
+        prop_assert!(s.validate_groups(&d, &groups).is_ok());
+    }
+
+    /// Unconstrained list scheduling achieves the critical-path latency.
+    #[test]
+    fn unconstrained_list_schedule_is_asap(spec in spec_strategy()) {
+        let d = build_dfg(&spec);
+        let s = list_schedule(&d, &[], ListPriority::CriticalPath).expect("schedulable");
+        prop_assert_eq!(s.num_steps(), d.critical_path_len().expect("acyclic"));
+    }
+
+    /// Force-directed scheduling is legal at any feasible latency.
+    #[test]
+    fn fds_is_legal(spec in spec_strategy(), slack in 0usize..3) {
+        let d = build_dfg(&spec);
+        let cp = d.critical_path_len().expect("acyclic");
+        let s = fds_schedule(&d, Some(cp + slack)).expect("feasible");
+        prop_assert!(s.validate(&d).is_ok());
+        prop_assert!(s.num_steps() <= cp + slack);
+    }
+
+    /// Mobility-path scheduling respects per-class limits.
+    #[test]
+    fn mobility_path_respects_limits(spec in spec_strategy(), mul_limit in 1usize..3) {
+        let d = build_dfg(&spec);
+        let limits = FuLimits::new().with(FuClass::Multiplier, mul_limit);
+        let s = hlts_sched::mobility_path_schedule(&d, &limits, None).expect("feasible");
+        prop_assert!(s.validate(&d).is_ok());
+        for step in 0..s.num_steps() {
+            let muls = s
+                .ops_in_step(step)
+                .iter()
+                .filter(|&&o| d.op(o).kind() == OpKind::Mul)
+                .count();
+            prop_assert!(muls <= mul_limit);
+        }
+    }
+
+    /// Lifetimes: every value's death is not before its birth, intervals
+    /// sit inside [0, latency], and `disjoint` is symmetric.
+    #[test]
+    fn lifetimes_are_wellformed(spec in spec_strategy()) {
+        let d = build_dfg(&spec);
+        let s = list_schedule(&d, &[], ListPriority::CriticalPath).expect("schedulable");
+        let lt = Lifetimes::compute(&d, &s);
+        for v in d.values() {
+            if let Some(iv) = lt.interval(v.id()) {
+                prop_assert!(iv.birth <= iv.death);
+                prop_assert!(iv.death <= s.num_steps());
+            }
+            for w in d.values() {
+                prop_assert_eq!(lt.disjoint(v.id(), w.id()), lt.disjoint(w.id(), v.id()));
+            }
+        }
+        prop_assert!(lt.max_live() <= d.num_values());
+    }
+}

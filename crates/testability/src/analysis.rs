@@ -1,0 +1,565 @@
+//! The CC/SC/CO/SO fixpoint analysis over an ETPN data path.
+
+use hlts_dfg::OpKind;
+use hlts_etpn::{DataPath, DpArcId, DpNodeId, DpNodeKind};
+
+use crate::factors::{ctf, otf};
+
+/// Sequential-cost sentinel for "not yet reachable".
+const UNREACHED: f64 = 1.0e9;
+/// Weight of the sequential factor when scalarizing a measure for
+/// comparisons (one extra time frame ≈ 5% combinational quality).
+const SEQ_WEIGHT: f64 = 0.05;
+/// Fixpoint iteration cap (loops converge geometrically; this bounds
+/// pathological inputs).
+const MAX_SWEEPS: usize = 64;
+const EPS: f64 = 1.0e-9;
+
+/// Controllability of a line or node: combinational factor `cc ∈ [0, 1]`
+/// (1 = freely controllable) and sequential factor `sc ≥ 0` (time frames
+/// needed to load a value).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Controllability {
+    /// Combinational controllability.
+    pub cc: f64,
+    /// Sequential controllability (time frames).
+    pub sc: f64,
+}
+
+impl Controllability {
+    /// The uncontrollable bottom element.
+    #[must_use]
+    pub fn none() -> Self {
+        Controllability {
+            cc: 0.0,
+            sc: UNREACHED,
+        }
+    }
+
+    /// Scalar quality for ranking: `cc − w·sc` (higher is better).
+    #[must_use]
+    pub fn scalar(self) -> f64 {
+        if self.sc >= UNREACHED {
+            return 0.0;
+        }
+        (self.cc - SEQ_WEIGHT * self.sc).max(0.0)
+    }
+
+    /// Unclamped ordering key for the fixpoint: unlike
+    /// [`Controllability::scalar`], deeply attenuated values stay
+    /// comparable instead of saturating at zero.
+    fn rank(self) -> f64 {
+        if self.sc >= UNREACHED {
+            return f64::NEG_INFINITY;
+        }
+        self.cc - SEQ_WEIGHT * self.sc
+    }
+
+    fn better_than(self, other: Controllability) -> bool {
+        self.rank() > other.rank() + EPS
+    }
+}
+
+/// Observability of a line or node: combinational factor `co ∈ [0, 1]`
+/// (1 = directly observable) and sequential factor `so ≥ 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observability {
+    /// Combinational observability.
+    pub co: f64,
+    /// Sequential observability (time frames).
+    pub so: f64,
+}
+
+impl Observability {
+    /// The unobservable bottom element.
+    #[must_use]
+    pub fn none() -> Self {
+        Observability {
+            co: 0.0,
+            so: UNREACHED,
+        }
+    }
+
+    /// Scalar quality for ranking: `co − w·so` (higher is better).
+    #[must_use]
+    pub fn scalar(self) -> f64 {
+        if self.so >= UNREACHED {
+            return 0.0;
+        }
+        (self.co - SEQ_WEIGHT * self.so).max(0.0)
+    }
+
+    /// Unclamped ordering key for the fixpoint (see
+    /// [`Controllability`]'s equivalent).
+    fn rank(self) -> f64 {
+        if self.so >= UNREACHED {
+            return f64::NEG_INFINITY;
+        }
+        self.co - SEQ_WEIGHT * self.so
+    }
+
+    fn better_than(self, other: Observability) -> bool {
+        self.rank() > other.rank() + EPS
+    }
+}
+
+/// The full analysis result: per-node output-line controllability and
+/// per-arc observability, plus the node summaries of the paper's §3.
+#[derive(Debug, Clone)]
+pub struct TestabilityAnalysis {
+    /// Controllability of each node's output line.
+    out_ctrl: Vec<Controllability>,
+    /// Observability of each arc (a line into its sink).
+    arc_obs: Vec<Observability>,
+    sweeps_used: usize,
+}
+
+impl TestabilityAnalysis {
+    /// Run the analysis to fixpoint.
+    ///
+    /// Initialization follows the paper: "assigns first ones to CCs and
+    /// zeros to SCs for all primary inputs in the data path ... these
+    /// values will then be propagated ... until the primary outputs are
+    /// reached. A similar approach can be used for calculating
+    /// observability in the reverse direction." Feedback loops are
+    /// handled by sweeping to a fixpoint from a pessimistic start.
+    #[must_use]
+    pub fn analyze(dp: &DataPath) -> Self {
+        let n = dp.num_nodes();
+        let mut out_ctrl = vec![Controllability::none(); n];
+
+        // Seed sources.
+        for node in dp.nodes() {
+            out_ctrl[node.id().index()] = match node.kind() {
+                DpNodeKind::PrimaryInput(_) => Controllability { cc: 1.0, sc: 0.0 },
+                // A constant drives one fixed value: usable, but useless
+                // for justifying arbitrary patterns.
+                DpNodeKind::Const(_) => Controllability { cc: 0.5, sc: 0.0 },
+                _ => Controllability::none(),
+            };
+        }
+
+        // Forward fixpoint for controllability.
+        let mut sweeps_used = 0;
+        for sweep in 0..MAX_SWEEPS {
+            sweeps_used = sweep + 1;
+            let mut changed = false;
+            for node in dp.nodes() {
+                let i = node.id().index();
+                let new = match node.kind() {
+                    DpNodeKind::PrimaryInput(_) | DpNodeKind::Const(_) => continue,
+                    DpNodeKind::Register(_) => {
+                        // best over input lines, plus one time frame
+                        let best = best_input(dp, node.id(), &out_ctrl);
+                        Controllability {
+                            cc: best.cc,
+                            sc: if best.sc >= UNREACHED {
+                                UNREACHED
+                            } else {
+                                best.sc + 1.0
+                            },
+                        }
+                    }
+                    DpNodeKind::Module { kinds, .. } => {
+                        module_output_ctrl(dp, node.id(), kinds.iter().copied(), &out_ctrl)
+                    }
+                    // Ports/conditions produce nothing further.
+                    DpNodeKind::PrimaryOutput(_) | DpNodeKind::ConditionOut(_) => continue,
+                    _ => continue,
+                };
+                if new.better_than(out_ctrl[i]) {
+                    out_ctrl[i] = new;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Backward fixpoint for observability, per arc.
+        let mut arc_obs = vec![Observability::none(); dp.num_arcs()];
+        // node output observability = best over its out-arcs
+        let node_out_obs = |dp: &DataPath, arc_obs: &[Observability], n: DpNodeId| {
+            dp.out_arcs(n).iter().map(|a| arc_obs[a.id().index()]).fold(
+                Observability::none(),
+                |acc, o| {
+                    if o.better_than(acc) {
+                        o
+                    } else {
+                        acc
+                    }
+                },
+            )
+        };
+        for _sweep in 0..MAX_SWEEPS {
+            let mut changed = false;
+            for arc in dp.arcs() {
+                let sink = dp.node(arc.to());
+                let new = match sink.kind() {
+                    DpNodeKind::PrimaryOutput(_) => Observability { co: 1.0, so: 0.0 },
+                    // a condition is observed through the controller's
+                    // branching behavior: indirect but cheap
+                    DpNodeKind::ConditionOut(_) => Observability { co: 0.9, so: 0.0 },
+                    DpNodeKind::Register(_) => {
+                        let out = node_out_obs(dp, &arc_obs, sink.id());
+                        Observability {
+                            co: out.co,
+                            so: if out.so >= UNREACHED {
+                                UNREACHED
+                            } else {
+                                out.so + 1.0
+                            },
+                        }
+                    }
+                    DpNodeKind::Module { kinds, .. } => {
+                        let out = node_out_obs(dp, &arc_obs, sink.id());
+                        if out.so >= UNREACHED {
+                            Observability::none()
+                        } else {
+                            // propagating through the module requires
+                            // controlling its other input ports
+                            let side = side_ports_ctrl(dp, sink.id(), arc.port(), &out_ctrl);
+                            let f = kinds.iter().copied().map(otf).fold(1.0, f64::min);
+                            Observability {
+                                co: f * out.co * side.cc,
+                                so: out.so
+                                    + if side.sc >= UNREACHED {
+                                        // no side value needed (unary)
+                                        0.0
+                                    } else {
+                                        side.sc
+                                    },
+                            }
+                        }
+                    }
+                    _ => Observability::none(),
+                };
+                let slot = &mut arc_obs[arc.id().index()];
+                if new.better_than(*slot) {
+                    *slot = new;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        TestabilityAnalysis {
+            out_ctrl,
+            arc_obs,
+            sweeps_used,
+        }
+    }
+
+    /// Controllability of a node's output line.
+    #[must_use]
+    pub fn output_controllability(&self, node: DpNodeId) -> Controllability {
+        self.out_ctrl[node.index()]
+    }
+
+    /// Observability of a specific arc (line).
+    #[must_use]
+    pub fn arc_observability(&self, arc: DpArcId) -> Observability {
+        self.arc_obs[arc.index()]
+    }
+
+    /// The paper's node controllability: the best controllability of any
+    /// of the node's *input* lines (an input line carries the source
+    /// node's output controllability). Source nodes (PIs, constants) use
+    /// their own output controllability.
+    #[must_use]
+    pub fn node_controllability(&self, dp: &DataPath, node: DpNodeId) -> Controllability {
+        let ins = dp.in_arcs(node);
+        if ins.is_empty() {
+            return self.out_ctrl[node.index()];
+        }
+        ins.iter().map(|a| self.out_ctrl[a.from().index()]).fold(
+            Controllability::none(),
+            |acc, c| {
+                if c.better_than(acc) {
+                    c
+                } else {
+                    acc
+                }
+            },
+        )
+    }
+
+    /// The paper's node observability: the best observability of any of
+    /// the node's *output* lines.
+    #[must_use]
+    pub fn node_observability(&self, dp: &DataPath, node: DpNodeId) -> Observability {
+        dp.out_arcs(node)
+            .iter()
+            .map(|a| self.arc_obs[a.id().index()])
+            .fold(Observability::none(), |acc, o| {
+                if o.better_than(acc) {
+                    o
+                } else {
+                    acc
+                }
+            })
+    }
+
+    /// Number of forward sweeps the fixpoint needed (diagnostics).
+    #[must_use]
+    pub fn sweeps_used(&self) -> usize {
+        self.sweeps_used
+    }
+}
+
+/// Best controllability over all input lines of `node`.
+fn best_input(dp: &DataPath, node: DpNodeId, out_ctrl: &[Controllability]) -> Controllability {
+    dp.in_arcs(node)
+        .iter()
+        .map(|a| out_ctrl[a.from().index()])
+        .fold(Controllability::none(), |acc, c| {
+            if c.better_than(acc) {
+                c
+            } else {
+                acc
+            }
+        })
+}
+
+/// Output controllability of a module: CTF × the *worst* port (to control
+/// the output you must control every input port; each port contributes
+/// its best source).
+fn module_output_ctrl(
+    dp: &DataPath,
+    node: DpNodeId,
+    kinds: impl Iterator<Item = OpKind>,
+    out_ctrl: &[Controllability],
+) -> Controllability {
+    let f = kinds.map(ctf).fold(1.0, f64::min);
+    let ins = dp.in_arcs(node);
+    let max_port = ins.iter().map(|a| a.port()).max().unwrap_or(0);
+    let mut cc: f64 = 1.0;
+    let mut sc: f64 = 0.0;
+    for port in 0..=max_port {
+        let best = ins
+            .iter()
+            .filter(|a| a.port() == port)
+            .map(|a| out_ctrl[a.from().index()])
+            .fold(Controllability::none(), |acc, c| {
+                if c.better_than(acc) {
+                    c
+                } else {
+                    acc
+                }
+            });
+        cc = cc.min(best.cc);
+        sc = sc.max(best.sc);
+    }
+    if sc >= UNREACHED || ins.is_empty() {
+        return Controllability::none();
+    }
+    Controllability { cc: f * cc, sc }
+}
+
+/// Combined controllability of all ports of `node` other than `port` —
+/// the side values that must be justified to propagate through the
+/// module. Returns the *worst* side port (all must be set).
+fn side_ports_ctrl(
+    dp: &DataPath,
+    node: DpNodeId,
+    port: usize,
+    out_ctrl: &[Controllability],
+) -> Controllability {
+    let ins = dp.in_arcs(node);
+    let max_port = ins.iter().map(|a| a.port()).max().unwrap_or(0);
+    let mut cc: f64 = 1.0;
+    let mut sc: f64 = 0.0;
+    let mut any = false;
+    for p in 0..=max_port {
+        if p == port {
+            continue;
+        }
+        let best = ins
+            .iter()
+            .filter(|a| a.port() == p)
+            .map(|a| out_ctrl[a.from().index()])
+            .fold(Controllability::none(), |acc, c| {
+                if c.better_than(acc) {
+                    c
+                } else {
+                    acc
+                }
+            });
+        if best.sc >= UNREACHED {
+            return Controllability::none();
+        }
+        any = true;
+        cc = cc.min(best.cc);
+        sc = sc.max(best.sc);
+    }
+    if any {
+        Controllability { cc, sc }
+    } else {
+        // unary module: nothing to justify
+        Controllability {
+            cc: 1.0,
+            sc: UNREACHED,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_alloc::Allocation;
+    use hlts_dfg::{Dfg, DfgBuilder, OpKind};
+    use hlts_etpn::Etpn;
+    use hlts_sched::{list_schedule, ListPriority, Schedule};
+
+    fn lower(dfg: &Dfg) -> (Etpn, Schedule, Allocation) {
+        let s = list_schedule(dfg, &[], ListPriority::CriticalPath).unwrap();
+        let a = Allocation::one_to_one(dfg);
+        let e = Etpn::from_parts(dfg, &s, &a).unwrap();
+        (e, s, a)
+    }
+
+    fn chain(len: usize) -> Dfg {
+        let mut b = DfgBuilder::new("chain");
+        let a = b.input("a");
+        let c = b.input("c");
+        let mut cur = a;
+        for i in 0..len {
+            cur = b
+                .op(&format!("N{i}"), OpKind::Add, &[cur, c], &format!("t{i}"))
+                .unwrap();
+        }
+        b.mark_output(cur);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn primary_input_is_fully_controllable() {
+        let d = chain(2);
+        let (e, _, _) = lower(&d);
+        let dp = e.data_path();
+        let ta = TestabilityAnalysis::analyze(dp);
+        for node in dp.nodes() {
+            if node.kind().is_primary_input() {
+                let c = ta.output_controllability(node.id());
+                assert_eq!(c.cc, 1.0);
+                assert_eq!(c.sc, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sc_counts_register_stages() {
+        let d = chain(3);
+        let (e, _, alloc) = lower(&d);
+        let dp = e.data_path();
+        let ta = TestabilityAnalysis::analyze(dp);
+        // register of t0: PI -> R(a) -> FU -> R(t0): 2 time frames
+        let t0 = d.value_by_name("t0").unwrap();
+        let r0 = dp.node_of_register(alloc.register_of(t0).unwrap()).unwrap();
+        let c0 = ta.output_controllability(r0);
+        let t2 = d.value_by_name("t2").unwrap();
+        let r2 = dp.node_of_register(alloc.register_of(t2).unwrap()).unwrap();
+        let c2 = ta.output_controllability(r2);
+        assert!(c2.sc > c0.sc, "deeper register has larger SC");
+        assert!(c2.cc < c0.cc, "deeper register has smaller CC");
+    }
+
+    #[test]
+    fn so_counts_stages_to_output() {
+        let d = chain(3);
+        let (e, _, alloc) = lower(&d);
+        let dp = e.data_path();
+        let ta = TestabilityAnalysis::analyze(dp);
+        let near = d.value_by_name("t2").unwrap(); // output, directly observed
+        let far = d.value_by_name("t0").unwrap();
+        let rn = dp
+            .node_of_register(alloc.register_of(near).unwrap())
+            .unwrap();
+        let rf = dp
+            .node_of_register(alloc.register_of(far).unwrap())
+            .unwrap();
+        let on = ta.node_observability(dp, rn);
+        let of_ = ta.node_observability(dp, rf);
+        assert!(on.scalar() > of_.scalar());
+        assert!(of_.so > on.so);
+    }
+
+    #[test]
+    fn multiplier_attenuates_more_than_adder() {
+        let build = |kind: OpKind| {
+            let mut b = DfgBuilder::new("t");
+            let a = b.input("a");
+            let c = b.input("c");
+            let y = b.op("N1", kind, &[a, c], "y").unwrap();
+            b.mark_output(y);
+            b.finish().unwrap()
+        };
+        let get_cc = |d: &Dfg| {
+            let (e, _, alloc) = lower(d);
+            let dp = e.data_path();
+            let ta = TestabilityAnalysis::analyze(dp);
+            let y = d.value_by_name("y").unwrap();
+            let r = dp.node_of_register(alloc.register_of(y).unwrap()).unwrap();
+            ta.output_controllability(r).cc
+        };
+        let da = build(OpKind::Add);
+        let dm = build(OpKind::Mul);
+        assert!(get_cc(&da) > get_cc(&dm));
+    }
+
+    #[test]
+    fn self_loop_converges_and_depresses_metrics() {
+        // x1 = x + dx, loop x1 -> x, with x and x1 sharing a register:
+        // the register feeds the adder which feeds the register.
+        let mut b = DfgBuilder::new("loopy");
+        let x = b.input("x");
+        let dx = b.input("dx");
+        let x1 = b.op("N1", OpKind::Add, &[x, dx], "x1").unwrap();
+        b.mark_output(x1);
+        b.loop_carried(x1, x);
+        let d = b.finish().unwrap();
+        let s = list_schedule(&d, &[], ListPriority::CriticalPath).unwrap();
+        let mut alloc = Allocation::one_to_one(&d);
+        let rx = alloc.register_of(x).unwrap();
+        let rx1 = alloc.register_of(d.value_by_name("x1").unwrap()).unwrap();
+        alloc.merge_registers(rx, rx1).unwrap();
+        let e = Etpn::from_parts(&d, &s, &alloc).unwrap();
+        let dp = e.data_path();
+        let ta = TestabilityAnalysis::analyze(dp);
+        assert!(ta.sweeps_used() < 64, "fixpoint must converge");
+        let rn = dp.node_of_register(rx).unwrap();
+        assert!(dp.on_self_loop(rn));
+        let c = ta.output_controllability(rn);
+        // still controllable (via the PI load path) but cheap
+        assert!(c.cc > 0.0);
+    }
+
+    #[test]
+    fn node_summaries_use_best_lines() {
+        let d = chain(1);
+        let (e, _, _) = lower(&d);
+        let dp = e.data_path();
+        let ta = TestabilityAnalysis::analyze(dp);
+        // module node: controllability = best input line = register of a
+        // or c, both fed by PIs at sc=1
+        for m in dp.module_nodes() {
+            let c = ta.node_controllability(dp, m);
+            assert!(c.cc > 0.9);
+            assert_eq!(c.sc, 1.0);
+        }
+    }
+
+    #[test]
+    fn scalar_ordering() {
+        let good = Controllability { cc: 1.0, sc: 0.0 };
+        let mid = Controllability { cc: 1.0, sc: 3.0 };
+        let bad = Controllability::none();
+        assert!(good.scalar() > mid.scalar());
+        assert!(mid.scalar() > bad.scalar());
+        let o1 = Observability { co: 0.9, so: 1.0 };
+        assert!(o1.scalar() > Observability::none().scalar());
+    }
+}

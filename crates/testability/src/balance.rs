@@ -1,0 +1,120 @@
+//! The controllability/observability balance objective (paper §3).
+//!
+//! "The basic idea is to fold nodes with good controllability and bad
+//! observability to nodes with good observability and bad
+//! controllability. ... the new node will inherit the good
+//! controllability from one of the old nodes and the good observability
+//! from the other."
+
+use hlts_etpn::{DataPath, DpNodeId};
+
+use crate::analysis::TestabilityAnalysis;
+
+/// A node's scalarized controllability/observability profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeProfile {
+    /// Scalarized controllability (0 = uncontrollable, ~1 = free).
+    pub c: f64,
+    /// Scalarized observability (0 = unobservable, ~1 = free).
+    pub o: f64,
+}
+
+impl NodeProfile {
+    /// Compute the profile of `node`.
+    #[must_use]
+    pub fn of(analysis: &TestabilityAnalysis, dp: &DataPath, node: DpNodeId) -> Self {
+        NodeProfile {
+            c: analysis.node_controllability(dp, node).scalar(),
+            o: analysis.node_observability(dp, node).scalar(),
+        }
+    }
+
+    /// The node's imbalance: positive when controllability dominates
+    /// (easy to set, hard to see), negative when observability dominates.
+    #[must_use]
+    pub fn imbalance(self) -> f64 {
+        self.c - self.o
+    }
+}
+
+/// The balance score of merging nodes `a` and `b`: how complementary
+/// their C/O profiles are. High when one node is
+/// controllability-dominant and the other observability-dominant —
+/// exactly the pairs the paper's allocation principle folds together.
+/// Symmetric in its arguments; can be negative for like-with-like pairs
+/// (both C-dominant or both O-dominant), which conventional
+/// connectivity-driven allocation tends to produce.
+///
+/// # Example
+///
+/// Pairs with opposite imbalance score higher:
+///
+/// ```
+/// use hlts_testability::NodeProfile;
+/// use hlts_testability::balance_score_profiles;
+///
+/// let c_dominant = NodeProfile { c: 0.9, o: 0.1 };
+/// let o_dominant = NodeProfile { c: 0.1, o: 0.9 };
+/// let both_c = NodeProfile { c: 0.8, o: 0.2 };
+/// assert!(balance_score_profiles(c_dominant, o_dominant)
+///     > balance_score_profiles(c_dominant, both_c));
+/// ```
+#[must_use]
+pub fn balance_score(
+    analysis: &TestabilityAnalysis,
+    dp: &DataPath,
+    a: DpNodeId,
+    b: DpNodeId,
+) -> f64 {
+    balance_score_profiles(
+        NodeProfile::of(analysis, dp, a),
+        NodeProfile::of(analysis, dp, b),
+    )
+}
+
+/// [`balance_score`] on precomputed profiles.
+#[must_use]
+pub fn balance_score_profiles(a: NodeProfile, b: NodeProfile) -> f64 {
+    // Complementarity: product of opposite imbalances, symmetrized, plus
+    // a small term rewarding overall testability mass so well-testable
+    // pairs win ties.
+    let complement = -(a.imbalance() * b.imbalance());
+    let mass = 0.1 * (a.c.max(b.c) + a.o.max(b.o));
+    complement + mass
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complementary_pairs_beat_similar_pairs() {
+        let cd = NodeProfile { c: 0.9, o: 0.2 };
+        let od = NodeProfile { c: 0.2, o: 0.9 };
+        let cd2 = NodeProfile { c: 0.8, o: 0.1 };
+        assert!(balance_score_profiles(cd, od) > balance_score_profiles(cd, cd2));
+        assert!(balance_score_profiles(cd, od) > 0.0);
+        assert!(balance_score_profiles(cd, cd2) < balance_score_profiles(od, cd));
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let a = NodeProfile { c: 0.7, o: 0.3 };
+        let b = NodeProfile { c: 0.2, o: 0.8 };
+        assert!((balance_score_profiles(a, b) - balance_score_profiles(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_sign() {
+        assert!(NodeProfile { c: 0.9, o: 0.1 }.imbalance() > 0.0);
+        assert!(NodeProfile { c: 0.1, o: 0.9 }.imbalance() < 0.0);
+    }
+
+    #[test]
+    fn balanced_nodes_prefer_testable_partner() {
+        let balanced = NodeProfile { c: 0.5, o: 0.5 };
+        let good = NodeProfile { c: 0.9, o: 0.9 };
+        let bad = NodeProfile { c: 0.1, o: 0.1 };
+        assert!(balance_score_profiles(balanced, good) > balance_score_profiles(balanced, bad));
+    }
+}

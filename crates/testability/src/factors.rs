@@ -1,0 +1,65 @@
+//! Controllability/observability transfer factors per operation kind.
+//!
+//! A transfer factor in `(0, 1]` models how much of a line's
+//! controllability (observability) survives propagation through a module
+//! of the given kind — the per-module ingredient of Gu et al.'s metric.
+//! Easy, information-preserving operations (add, xor, move) transfer
+//! nearly everything; information-losing operations (multiply, compare)
+//! attenuate strongly. The exact values are calibration constants; only
+//! their ordering matters for the synthesis decisions.
+
+use hlts_dfg::OpKind;
+
+/// Controllability transfer factor: how controllable a module's output is
+/// given perfectly controllable inputs.
+#[must_use]
+pub fn ctf(kind: OpKind) -> f64 {
+    match kind {
+        OpKind::Add | OpKind::Sub => 0.95,
+        OpKind::Mul => 0.60,
+        OpKind::Lt | OpKind::Gt | OpKind::Eq => 0.50,
+        OpKind::And | OpKind::Or => 0.80,
+        OpKind::Xor => 0.95,
+        OpKind::Not | OpKind::Mov => 1.0,
+        OpKind::Shl | OpKind::Shr => 0.90,
+        // Future kinds: conservative default.
+        _ => 0.50,
+    }
+}
+
+/// Observability transfer factor: how observable a module's input is
+/// through its output, given controllable side inputs.
+#[must_use]
+pub fn otf(kind: OpKind) -> f64 {
+    match kind {
+        OpKind::Add | OpKind::Sub => 0.95,
+        OpKind::Mul => 0.55,
+        OpKind::Lt | OpKind::Gt | OpKind::Eq => 0.30,
+        OpKind::And | OpKind::Or => 0.70,
+        OpKind::Xor => 0.95,
+        OpKind::Not | OpKind::Mov => 1.0,
+        OpKind::Shl | OpKind::Shr => 0.85,
+        _ => 0.40,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_in_unit_interval() {
+        for &k in OpKind::all() {
+            assert!(ctf(k) > 0.0 && ctf(k) <= 1.0, "{k:?}");
+            assert!(otf(k) > 0.0 && otf(k) <= 1.0, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn orderings_match_difficulty() {
+        assert!(ctf(OpKind::Add) > ctf(OpKind::Mul));
+        assert!(ctf(OpKind::Mul) > ctf(OpKind::Lt) - 0.2);
+        assert!(otf(OpKind::Add) > otf(OpKind::Mul));
+        assert!(otf(OpKind::Mul) > otf(OpKind::Lt));
+    }
+}

@@ -1,0 +1,221 @@
+//! `hlts` — command-line front end to the test-synthesis system.
+//!
+//! ```text
+//! hlts <file.dfg | bench:NAME> [--flow ours|camad|approach1|approach2]
+//!      [--bits N] [--k N] [--alpha X] [--beta X] [--atpg] [--quiet]
+//! ```
+//!
+//! Reads a behavioral description in the textual DFG format (or one of
+//! the built-in benchmarks via `bench:ex`, `bench:dct`, …), synthesizes
+//! it with the requested flow, prints the resulting schedule/allocation
+//! and metrics, and optionally grades the elaborated netlist with the
+//! two-phase ATPG.
+
+use std::process::ExitCode;
+
+use hlts::atpg::{AtpgConfig, TestGenerator};
+use hlts::core::{baselines, IntegratedSynthesizer, SynthesisParams, SynthesisResult};
+use hlts::etpn::Etpn;
+use hlts::netlist::elaborate;
+
+struct Options {
+    source: String,
+    flow: String,
+    bits: u32,
+    k: Option<usize>,
+    alpha: Option<f64>,
+    beta: Option<f64>,
+    atpg: bool,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: hlts <file.dfg | bench:NAME> [--flow ours|camad|approach1|approach2]\n\
+     \x20            [--bits N] [--k N] [--alpha X] [--beta X] [--atpg] [--quiet]\n\
+     built-in benchmarks: ex, dct, diffeq, ewf, paulin, tseng"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        source: String::new(),
+        flow: "ours".into(),
+        bits: 8,
+        k: None,
+        alpha: None,
+        beta: None,
+        atpg: false,
+        quiet: false,
+    };
+    let take = |it: &mut dyn Iterator<Item = String>, what: &str| {
+        it.next().ok_or(format!("missing value for {what}"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--flow" => opts.flow = take(&mut args, "--flow")?,
+            "--bits" => {
+                opts.bits = take(&mut args, "--bits")?
+                    .parse()
+                    .map_err(|e| format!("--bits: {e}"))?;
+            }
+            "--k" => {
+                opts.k = Some(
+                    take(&mut args, "--k")?
+                        .parse()
+                        .map_err(|e| format!("--k: {e}"))?,
+                );
+            }
+            "--alpha" => {
+                opts.alpha = Some(
+                    take(&mut args, "--alpha")?
+                        .parse()
+                        .map_err(|e| format!("--alpha: {e}"))?,
+                );
+            }
+            "--beta" => {
+                opts.beta = Some(
+                    take(&mut args, "--beta")?
+                        .parse()
+                        .map_err(|e| format!("--beta: {e}"))?,
+                );
+            }
+            "--atpg" => opts.atpg = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other if opts.source.is_empty() => opts.source = other.to_owned(),
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    if opts.source.is_empty() {
+        return Err(usage().to_owned());
+    }
+    Ok(opts)
+}
+
+fn load(source: &str) -> Result<hlts::dfg::Dfg, String> {
+    if let Some(name) = source.strip_prefix("bench:") {
+        return match name {
+            "ex" => Ok(hlts::benchmarks::ex()),
+            "dct" => Ok(hlts::benchmarks::dct()),
+            "diffeq" => Ok(hlts::benchmarks::diffeq()),
+            "ewf" => Ok(hlts::benchmarks::ewf()),
+            "paulin" => Ok(hlts::benchmarks::paulin()),
+            "tseng" => Ok(hlts::benchmarks::tseng()),
+            other => Err(format!("unknown benchmark `{other}`")),
+        };
+    }
+    let text = std::fs::read_to_string(source).map_err(|e| format!("{source}: {e}"))?;
+    hlts::dfg::parse(&text).map_err(|e| format!("{source}: {e}"))
+}
+
+fn synthesize(opts: &Options, dfg: &hlts::dfg::Dfg) -> Result<SynthesisResult, String> {
+    let mut params = SynthesisParams::paper_defaults(opts.bits);
+    if let Some(k) = opts.k {
+        params.k = k;
+    }
+    if let Some(a) = opts.alpha {
+        params.alpha = a;
+    }
+    if let Some(b) = opts.beta {
+        params.beta = b;
+    }
+    let run = match opts.flow.as_str() {
+        "ours" => IntegratedSynthesizer::new(params).run(dfg),
+        "camad" => baselines::camad(
+            dfg,
+            &SynthesisParams {
+                alpha: opts.alpha.unwrap_or(0.1),
+                beta: opts.beta.unwrap_or(10.0),
+                ..params
+            },
+        ),
+        "approach1" => baselines::approach1(dfg, &params),
+        "approach2" => baselines::approach2(dfg, &params),
+        other => return Err(format!("unknown flow `{other}`\n{}", usage())),
+    };
+    run.map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dfg = match load(&opts.source) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match synthesize(&opts, &dfg) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !opts.quiet {
+        println!("{}", result.render());
+        for m in &result.merge_log {
+            println!("  {m}");
+        }
+    }
+    println!(
+        "E = {} steps, modules = {}, registers = {}, muxes = {}, H = {:.3}, \
+         avg C = {:.2}, avg O = {:.2}, C->O depth = {:.1}",
+        result.metrics.execution_time,
+        result.metrics.num_modules,
+        result.metrics.num_registers,
+        result.metrics.mux_count,
+        result.metrics.hardware.total(),
+        result.metrics.avg_controllability,
+        result.metrics.avg_observability,
+        result.metrics.co_depth,
+    );
+    if opts.atpg {
+        let etpn = match Etpn::from_parts(&result.dfg, &result.schedule, &result.allocation) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let nl = match elaborate(
+            &result.dfg,
+            &result.schedule,
+            &result.allocation,
+            &etpn,
+            opts.bits,
+        ) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cfg = AtpgConfig {
+            sequence_cycles: (result.schedule.num_steps() + 1) * 2,
+            frames: result.schedule.num_steps() + 3,
+            fault_sample: Some(2000),
+            ..AtpgConfig::default()
+        };
+        let rep = TestGenerator::new(cfg).run(&nl);
+        println!(
+            "gates = {}, fault coverage = {:.2}% ({} random + {} deterministic of {}), \
+             effort = {:.0}, test cycles = {}, wall = {:?}",
+            nl.num_gates(),
+            rep.coverage(),
+            rep.detected_random,
+            rep.detected_deterministic,
+            rep.total_faults,
+            rep.effort(),
+            rep.test_cycles,
+            rep.wall,
+        );
+    }
+    ExitCode::SUCCESS
+}

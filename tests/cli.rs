@@ -1,0 +1,66 @@
+//! Smoke tests of the `hlts` command-line front end.
+
+use std::process::Command;
+
+fn hlts() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hlts"))
+}
+
+#[test]
+fn synthesizes_builtin_benchmark() {
+    let out = hlts()
+        .args(["bench:tseng", "--quiet"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("E = "), "{text}");
+    assert!(text.contains("registers = "), "{text}");
+}
+
+#[test]
+fn reads_a_dfg_file() {
+    let dir = std::env::temp_dir().join("hlts-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("mini.dfg");
+    std::fs::write(
+        &path,
+        "dfg mini { input a, b; N1: s = a + b; N2: p = s * b; output p; }",
+    )
+    .expect("write dfg");
+    let out = hlts()
+        .args([path.to_str().expect("utf8 path"), "--flow", "approach1"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("modules ="), "{text}");
+}
+
+#[test]
+fn rejects_unknown_flow() {
+    let out = hlts()
+        .args(["bench:ex", "--flow", "wat"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flow"), "{err}");
+}
+
+#[test]
+fn rejects_missing_file() {
+    let out = hlts()
+        .arg("/nonexistent/path.dfg")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn usage_on_no_args() {
+    let out = hlts().output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}

@@ -1,0 +1,105 @@
+//! The strongest whole-stack check: a synthesized, gate-elaborated
+//! design must still *compute its behavior*. We interpret each
+//! benchmark's data-flow graph over random inputs and drive the
+//! elaborated netlist through its schedule protocol, comparing every
+//! primary output word at its production time.
+
+mod common;
+
+use std::collections::HashMap;
+
+use hlts::core::{baselines, IntegratedSynthesizer, SynthesisParams};
+use hlts::etpn::Etpn;
+use hlts::netlist::elaborate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn check_equivalence(
+    name: &str,
+    dfg: &hlts::dfg::Dfg,
+    r: &hlts::core::SynthesisResult,
+    bits: u32,
+    seeds: u64,
+) {
+    let etpn = Etpn::from_parts(&r.dfg, &r.schedule, &r.allocation).expect("lowerable");
+    let nl = elaborate(&r.dfg, &r.schedule, &r.allocation, &etpn, bits).expect("elaborates");
+    let mask = (1u64 << bits) - 1;
+    let mut rng = StdRng::seed_from_u64(0xE0 + seeds);
+    for trial in 0..8 {
+        let inputs: HashMap<String, u64> = dfg
+            .values()
+            .iter()
+            .filter(|v| v.kind().is_input())
+            .map(|v| (v.name().to_owned(), rng.gen::<u64>() & mask))
+            .collect();
+        let expected = common::interpret(dfg, &inputs, bits);
+        let got = common::run_protocol(&r.dfg, &r.schedule, &nl, &inputs, bits);
+        for (out, &want) in &expected {
+            let have = got
+                .get(out)
+                .unwrap_or_else(|| panic!("{name} trial {trial}: output {out} not captured"));
+            assert_eq!(
+                *have,
+                want,
+                "{name} trial {trial}: output {out} = {have:#x}, expected {want:#x} \
+                 (inputs {inputs:?})\nschedule:\n{}",
+                r.schedule.render(&r.dfg)
+            );
+        }
+    }
+}
+
+#[test]
+fn one_to_one_designs_compute_their_behavior() {
+    for (name, dfg) in hlts::benchmarks::all() {
+        let state = hlts::core::DesignState::initial(&dfg).expect("initial");
+        let r = hlts::core::SynthesisResult {
+            metrics: hlts::core::DesignMetrics::of(&state, 8, &hlts::cost::ModuleLibrary::new())
+                .expect("metrics"),
+            dfg: state.dfg,
+            schedule: state.schedule,
+            allocation: state.allocation,
+            merge_log: Vec::new(),
+        };
+        check_equivalence(name, &dfg, &r, 8, 1);
+    }
+}
+
+#[test]
+fn integrated_designs_compute_their_behavior() {
+    for (name, dfg) in hlts::benchmarks::all() {
+        let r = IntegratedSynthesizer::new(SynthesisParams::paper_defaults(8))
+            .run(&dfg)
+            .expect("synthesis");
+        check_equivalence(name, &dfg, &r, 8, 2);
+    }
+}
+
+#[test]
+fn baseline_designs_compute_their_behavior() {
+    let p = SynthesisParams::paper_defaults(8);
+    for (name, dfg) in hlts::benchmarks::all() {
+        let a1 = baselines::approach1(&dfg, &p).expect("approach1");
+        check_equivalence(name, &dfg, &a1, 8, 3);
+        let a2 = baselines::approach2(&dfg, &p).expect("approach2");
+        check_equivalence(name, &dfg, &a2, 8, 4);
+        let camad_p = SynthesisParams {
+            alpha: 0.1,
+            beta: 10.0,
+            ..p.clone()
+        };
+        let cm = baselines::camad(&dfg, &camad_p).expect("camad");
+        check_equivalence(name, &dfg, &cm, 8, 5);
+    }
+}
+
+#[test]
+fn equivalence_holds_at_4_and_16_bits() {
+    let dfg = hlts::benchmarks::ex();
+    for bits in [4u32, 16] {
+        let r = IntegratedSynthesizer::new(SynthesisParams::paper_defaults(bits))
+            .run(&dfg)
+            .expect("synthesis");
+        check_equivalence("ex", &dfg, &r, bits, u64::from(bits));
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end pipeline tests: every benchmark through every synthesis
+//! flow, with full structural validation and ETPN/netlist lowering.
+
+mod common;
+
+use hlts::alloc::Allocation;
+use hlts::core::{baselines, DesignState, IntegratedSynthesizer, SynthesisParams};
+use hlts::etpn::Etpn;
+use hlts::netlist::elaborate;
+use hlts::sched::Lifetimes;
+
+type FlowFn = Box<dyn Fn(&hlts::dfg::Dfg) -> hlts::core::SynthesisResult>;
+
+fn flows() -> Vec<(&'static str, FlowFn)> {
+    let p = SynthesisParams::paper_defaults(8);
+    let camad_p = SynthesisParams {
+        alpha: 0.1,
+        beta: 10.0,
+        ..p.clone()
+    };
+    let p1 = p.clone();
+    let p2 = p.clone();
+    let p3 = p;
+    vec![
+        (
+            "camad",
+            Box::new(move |d| baselines::camad(d, &camad_p).expect("camad")),
+        ),
+        (
+            "approach1",
+            Box::new(move |d| baselines::approach1(d, &p1).expect("approach1")),
+        ),
+        (
+            "approach2",
+            Box::new(move |d| baselines::approach2(d, &p2).expect("approach2")),
+        ),
+        (
+            "ours",
+            Box::new(move |d| IntegratedSynthesizer::new(p3.clone()).run(d).expect("ours")),
+        ),
+    ]
+}
+
+#[test]
+fn every_flow_produces_valid_designs_on_every_benchmark() {
+    for (bench, dfg) in hlts::benchmarks::all() {
+        for (flow, run) in flows() {
+            let r = run(&dfg);
+            // schedule legal for precedence and binding
+            r.schedule
+                .validate(&r.dfg)
+                .unwrap_or_else(|e| panic!("{bench}/{flow}: {e}"));
+            r.schedule
+                .validate_groups(&r.dfg, &r.allocation.conflict_groups())
+                .unwrap_or_else(|e| panic!("{bench}/{flow}: {e}"));
+            // register sharing legal for lifetimes
+            let lt = Lifetimes::compute(&r.dfg, &r.schedule);
+            r.allocation
+                .validate(&r.dfg, &r.schedule, &lt)
+                .unwrap_or_else(|e| panic!("{bench}/{flow}: {e}"));
+            // lowers to ETPN with consistent execution time
+            let etpn = Etpn::from_parts(&r.dfg, &r.schedule, &r.allocation)
+                .unwrap_or_else(|e| panic!("{bench}/{flow}: {e}"));
+            assert_eq!(
+                etpn.execution_time(),
+                r.metrics.execution_time,
+                "{bench}/{flow}"
+            );
+            // elaborates to a netlist with state and observability
+            let nl = elaborate(&r.dfg, &r.schedule, &r.allocation, &etpn, 4)
+                .unwrap_or_else(|e| panic!("{bench}/{flow}: {e}"));
+            assert!(!nl.dffs().is_empty(), "{bench}/{flow}");
+            assert!(!nl.outputs().is_empty(), "{bench}/{flow}");
+        }
+    }
+}
+
+#[test]
+fn integrated_synthesis_strictly_compacts() {
+    for (bench, dfg) in hlts::benchmarks::all() {
+        let initial = DesignState::initial(&dfg).expect("initial state");
+        let r = IntegratedSynthesizer::new(SynthesisParams::paper_defaults(8))
+            .run(&dfg)
+            .expect("synthesis");
+        let before = initial.allocation.num_modules() + initial.allocation.num_registers();
+        let after = r.allocation.num_modules() + r.allocation.num_registers();
+        assert!(
+            after < before,
+            "{bench}: no compaction ({before} -> {after})"
+        );
+        assert_eq!(
+            r.merge_log.len(),
+            before - after,
+            "{bench}: one log per merge"
+        );
+    }
+}
+
+#[test]
+fn default_allocation_is_one_to_one() {
+    for (bench, dfg) in hlts::benchmarks::all() {
+        let a = Allocation::one_to_one(&dfg);
+        assert_eq!(a.num_modules(), dfg.num_ops(), "{bench}");
+        let expected_regs = dfg
+            .values()
+            .iter()
+            .filter(|v| !v.kind().is_const() && !v.is_condition())
+            .count();
+        assert_eq!(a.num_registers(), expected_regs, "{bench}");
+    }
+}
+
+#[test]
+fn execution_time_never_beats_critical_path() {
+    for (bench, dfg) in hlts::benchmarks::all() {
+        let cp = dfg.critical_path_len().expect("acyclic");
+        for (flow, run) in flows() {
+            let r = run(&dfg);
+            assert!(
+                r.metrics.execution_time >= cp,
+                "{bench}/{flow}: E {} below critical path {cp}",
+                r.metrics.execution_time
+            );
+        }
+    }
+}
