@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate for the hlts workspace. No network access is assumed
+# (or possible): every dependency is an in-tree path crate, so the
+# whole gate runs with --offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> OK: build + tests + clippy all green"

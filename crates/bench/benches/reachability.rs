@@ -1,25 +1,95 @@
-//! Criterion bench: Petri-net reachability and critical-path extraction
-//! (the ΔE estimator invoked per tentative merger).
+//! Bench: Petri-net reachability and critical-path extraction — the ΔE
+//! estimator invoked per tentative merger — before and after the
+//! cached critical-path engine.
+//!
+//! Three views per control net:
+//!
+//! * `fresh`  — [`ControlNet::critical_path`]: full reachability tree
+//!   every call (the seed behavior, the "before" number);
+//! * `chain`  — [`ControlNet::chain_critical_path`]: the single-token
+//!   shortcut, uncached (what a cache **miss** costs now);
+//! * `cached` — [`CriticalPathEngine::critical_path`]: the memo hit
+//!   path (what repeated ΔE evaluation costs now).
+//!
+//! The run **asserts** the PR's acceptance criterion: on the paper's
+//! EX, DCT and DIFFEQ control nets, the cached path is ≥ 2× faster
+//! than the fresh path, and all three views agree on the result.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hlts_core::DesignState;
 use hlts_dfg::ValueId;
-use hlts_etpn::ControlNet;
+use hlts_etpn::{ControlNet, CriticalPathEngine};
 
-fn reachability(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reachability");
-    for steps in [4usize, 16, 64] {
-        let (net, places) = ControlNet::linear(steps);
-        group.bench_with_input(BenchmarkId::new("linear", steps), &net, |b, net| {
-            b.iter(|| net.critical_path())
-        });
-        let mut looped = net.clone();
-        looped.add_loop_back(&places, ValueId::from_index(0));
-        group.bench_with_input(BenchmarkId::new("looped", steps), &looped, |b, net| {
-            b.iter(|| net.critical_path())
-        });
-    }
+fn bench_net(c: &mut Criterion, family: &str, param: &str, net: &ControlNet) {
+    let fresh = net.critical_path();
+    assert_eq!(
+        net.chain_critical_path().unwrap_or(fresh),
+        fresh,
+        "{family}/{param}: chain shortcut disagrees with reachability"
+    );
+    let engine = CriticalPathEngine::new();
+    assert_eq!(engine.critical_path(net), fresh, "{family}/{param}: engine");
+
+    let mut group = c.benchmark_group(family);
+    group.bench_with_input(BenchmarkId::new("fresh", param), net, |b, net| {
+        b.iter(|| net.critical_path())
+    });
+    group.bench_with_input(BenchmarkId::new("chain", param), net, |b, net| {
+        b.iter(|| net.chain_critical_path())
+    });
+    group.bench_with_input(BenchmarkId::new("cached", param), net, |b, net| {
+        b.iter(|| engine.critical_path(net))
+    });
     group.finish();
 }
 
-criterion_group!(benches, reachability);
+fn speedup(c: &Criterion, family: &str, param: &str) -> f64 {
+    let fresh = c
+        .median_ns(&format!("{family}/fresh/{param}"))
+        .expect("fresh ran");
+    let cached = c
+        .median_ns(&format!("{family}/cached/{param}"))
+        .expect("cached ran");
+    fresh / cached
+}
+
+fn synthetic(c: &mut Criterion) {
+    for steps in [4usize, 16, 64] {
+        let (net, places) = ControlNet::linear(steps);
+        bench_net(c, "reachability", &format!("linear_{steps}"), &net);
+        let mut looped = net.clone();
+        looped.add_loop_back(&places, ValueId::from_index(0));
+        bench_net(c, "reachability", &format!("looped_{steps}"), &looped);
+    }
+}
+
+fn paper_benchmarks(c: &mut Criterion) {
+    for (name, dfg) in [
+        ("ex", hlts_benchmarks::ex()),
+        ("dct", hlts_benchmarks::dct()),
+        ("diffeq", hlts_benchmarks::diffeq()),
+    ] {
+        let state = DesignState::initial(&dfg).expect("initial state");
+        let etpn = state.lower().expect("lowerable");
+        bench_net(c, "reachability", name, etpn.control());
+    }
+}
+
+fn verify_speedup(c: &mut Criterion) {
+    println!();
+    let mut worst = f64::INFINITY;
+    for name in ["ex", "dct", "diffeq"] {
+        let s = speedup(c, "reachability", name);
+        println!("speedup {name:<28} cached vs fresh  {s:6.1}x");
+        worst = worst.min(s);
+    }
+    assert!(
+        worst >= 2.0,
+        "acceptance criterion violated: cached ΔE evaluation is only {worst:.2}x \
+         the from-scratch reachability path (need >= 2x)"
+    );
+    println!("acceptance: cached >= 2x fresh on ex/dct/diffeq — OK (worst {worst:.1}x)");
+}
+
+criterion_group!(benches, synthetic, paper_benchmarks, verify_speedup);
 criterion_main!(benches);

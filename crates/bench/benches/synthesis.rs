@@ -1,10 +1,17 @@
-//! Criterion bench: runtime of the four synthesis flows on the six
-//! benchmarks (the algorithmic cost of Tables 1–3's synthesis column).
+//! Bench: runtime of the synthesis flows on the six benchmarks, plus
+//! the sequential-vs-parallel candidate evaluation comparison on the
+//! paper's EX/DCT/DIFFEQ tables.
+//!
+//! The run **asserts** that the parallel k-candidate evaluation
+//! produces a `SynthesisResult` bit-identical to the sequential path
+//! on EX, DCT and DIFFEQ (the PR's acceptance criterion) — same
+//! schedule, binding, metrics and merge log.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hlts_bench::Flow;
+use hlts_core::{EvalMode, IntegratedSynthesizer, SynthesisParams};
 
-fn synthesis(c: &mut Criterion) {
+fn flows(c: &mut Criterion) {
     let mut group = c.benchmark_group("synthesis");
     group.sample_size(10);
     for (name, dfg) in hlts_benchmarks::all() {
@@ -19,5 +26,35 @@ fn synthesis(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, synthesis);
+fn seq_vs_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_eval");
+    group.sample_size(10);
+    for (name, dfg) in [
+        ("ex", hlts_benchmarks::ex()),
+        ("dct", hlts_benchmarks::dct()),
+        ("diffeq", hlts_benchmarks::diffeq()),
+    ] {
+        let synth = IntegratedSynthesizer::new(SynthesisParams::paper_defaults(8));
+        let seq = synth
+            .run_mode(&dfg, EvalMode::Sequential)
+            .expect("sequential synthesis");
+        let par = synth
+            .run_mode(&dfg, EvalMode::Parallel)
+            .expect("parallel synthesis");
+        assert_eq!(
+            seq, par,
+            "{name}: parallel candidate evaluation diverged from sequential"
+        );
+        group.bench_with_input(BenchmarkId::new("sequential", name), &dfg, |b, dfg| {
+            b.iter(|| synth.run_mode(dfg, EvalMode::Sequential).expect("synthesis"))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", name), &dfg, |b, dfg| {
+            b.iter(|| synth.run_mode(dfg, EvalMode::Parallel).expect("synthesis"))
+        });
+    }
+    group.finish();
+    println!("\nacceptance: sequential == parallel SynthesisResult on ex/dct/diffeq — OK");
+}
+
+criterion_group!(benches, flows, seq_vs_parallel);
 criterion_main!(benches);

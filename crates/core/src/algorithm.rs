@@ -1,14 +1,34 @@
 //! Algorithm 1: the iterative integrated synthesis loop.
 
-use hlts_cost::{estimate_cost, ModuleLibrary};
+use hlts_cost::ModuleLibrary;
 use hlts_dfg::Dfg;
 use hlts_testability::TestabilityAnalysis;
 
 use crate::candidates::{enumerate_candidates, MergeCandidate, MergeKind};
+use crate::delta_eval::DeltaEvaluator;
 use crate::resched::{
     merge_modules_with_resched_using, merge_registers_with_resched_using, OrderStrategy,
 };
 use crate::{CoreError, DesignState, SynthesisResult};
+
+/// How the *k* shortlisted candidates of each iteration are evaluated.
+///
+/// Both modes produce **bit-identical** results: candidate evaluations
+/// are independent (each clones the design state), and the winner is
+/// reduced by (ΔC, shortlist index), which is exactly the sequential
+/// first-strictly-smaller rule. The parallel mode merely computes them
+/// on scoped threads sharing one [`DeltaEvaluator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Evaluate candidates one at a time on the calling thread.
+    #[cfg_attr(not(feature = "parallel"), default)]
+    Sequential,
+    /// Evaluate each shortlist chunk's candidates on scoped threads.
+    /// Without the `parallel` cargo feature this mode still exists but
+    /// behaves exactly like [`EvalMode::Sequential`].
+    #[cfg_attr(feature = "parallel", default)]
+    Parallel,
+}
 
 /// The user parameters of the synthesis algorithm.
 ///
@@ -132,6 +152,34 @@ impl IntegratedSynthesizer {
     /// Only construction-level failures (cyclic input graph, inconsistent
     /// state) are errors; rejected mergers are part of normal operation.
     pub fn run(&self, dfg: &Dfg) -> Result<SynthesisResult, CoreError> {
+        self.run_mode(dfg, EvalMode::default())
+    }
+
+    /// Run Algorithm 1 with an explicit candidate-evaluation mode (see
+    /// [`EvalMode`]; results are bit-identical across modes).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](IntegratedSynthesizer::run).
+    pub fn run_mode(&self, dfg: &Dfg, mode: EvalMode) -> Result<SynthesisResult, CoreError> {
+        self.run_mode_with(dfg, mode, &DeltaEvaluator::new())
+    }
+
+    /// Run Algorithm 1 with an explicit mode and a caller-owned
+    /// [`DeltaEvaluator`], whose cache statistics can be inspected
+    /// afterwards. The evaluator must not have been used with a
+    /// different graph, bit width or library (its cache is keyed on
+    /// (schedule, binding) only).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](IntegratedSynthesizer::run).
+    pub fn run_mode_with(
+        &self,
+        dfg: &Dfg,
+        mode: EvalMode,
+        evaluator: &DeltaEvaluator,
+    ) -> Result<SynthesisResult, CoreError> {
         let mut state = DesignState::initial(dfg)?;
         let mut merge_log: Vec<String> = Vec::new();
 
@@ -145,13 +193,15 @@ impl IntegratedSynthesizer {
             if self.params.selection_policy == SelectionPolicy::Arbitrary {
                 candidates.sort_by(|a, b| format!("{:?}", a.kind).cmp(&format!("{:?}", b.kind)));
             }
-            let e0 = etpn.execution_time() as f64;
-            let h0 =
-                estimate_cost(etpn.data_path(), self.params.bits, &self.params.library).total();
+            // The baseline (E, H) goes through the evaluator too: after
+            // the first iteration this is a cache hit (the committed
+            // trial of iteration i is the baseline of iteration i+1).
+            let (e0_steps, h0) = evaluator.eval(&state, self.params.bits, &self.params.library)?;
+            let e0 = e0_steps as f64;
 
             let mut committed = false;
             for chunk in candidates.chunks(self.params.k.max(1)) {
-                if let Some((dc, trial, desc)) = self.best_in_chunk(&state, chunk, e0, h0) {
+                if let Some((dc, trial, desc)) = self.best_in_chunk(&state, chunk, e0, h0, mode, evaluator) {
                     if dc <= self.params.accept_threshold {
                         merge_log.push(format!("{desc} (ΔC = {dc:+.4})"));
                         state = trial;
@@ -170,77 +220,135 @@ impl IntegratedSynthesizer {
     }
 
     /// Tentatively apply each candidate of `chunk`; return the smallest-
-    /// ΔC applicable one.
+    /// ΔC applicable one (ties keep the earliest shortlist position, in
+    /// both modes).
     fn best_in_chunk(
         &self,
         state: &DesignState,
         chunk: &[MergeCandidate],
         e0: f64,
         h0: f64,
+        mode: EvalMode,
+        evaluator: &DeltaEvaluator,
     ) -> Option<(f64, DesignState, String)> {
+        let evaluated: Vec<Option<(f64, DesignState, String)>> = match mode {
+            EvalMode::Sequential => chunk
+                .iter()
+                .map(|cand| self.eval_candidate(state, cand, e0, h0, evaluator))
+                .collect(),
+            EvalMode::Parallel => self.eval_chunk_parallel(state, chunk, e0, h0, evaluator),
+        };
+        // Deterministic reduction: strictly-smaller ΔC wins, so the
+        // earliest shortlist index is kept on ties — exactly the
+        // sequential fold regardless of evaluation order.
         let mut best: Option<(f64, DesignState, String)> = None;
-        for cand in chunk {
-            let mut trial = state.clone();
-            let desc = match cand.kind {
-                MergeKind::Modules(a, b) => {
-                    if merge_modules_with_resched_using(
-                        &mut trial,
-                        a,
-                        b,
-                        self.params.order_strategy,
-                    )
-                    .is_err()
-                    {
-                        continue;
-                    }
-                    let label = trial
-                        .allocation
-                        .module(a)
-                        .map(|m| {
-                            m.ops()
-                                .iter()
-                                .map(|&o| trial.dfg.op(o).name().to_owned())
-                                .collect::<Vec<_>>()
-                                .join(",")
-                        })
-                        .unwrap_or_default();
-                    format!("merge modules -> {{{label}}}")
-                }
-                MergeKind::Registers(a, b) => {
-                    if merge_registers_with_resched_using(
-                        &mut trial,
-                        a,
-                        b,
-                        self.params.order_strategy,
-                    )
-                    .is_err()
-                    {
-                        continue;
-                    }
-                    let label = trial
-                        .allocation
-                        .register(a)
-                        .map(|r| {
-                            r.values()
-                                .iter()
-                                .map(|&v| trial.dfg.value(v).name().to_owned())
-                                .collect::<Vec<_>>()
-                                .join(",")
-                        })
-                        .unwrap_or_default();
-                    format!("merge registers -> {{{label}}}")
-                }
-            };
-            let Ok(etpn) = trial.lower() else { continue };
-            let e1 = etpn.execution_time() as f64;
-            let h1 =
-                estimate_cost(etpn.data_path(), self.params.bits, &self.params.library).total();
-            let dc = self.params.alpha * (e1 - e0) + self.params.beta * (h1 - h0);
-            if best.as_ref().is_none_or(|(b, _, _)| dc < *b) {
-                best = Some((dc, trial, desc));
+        for entry in evaluated.into_iter().flatten() {
+            if best.as_ref().is_none_or(|(b, _, _)| entry.0 < *b) {
+                best = Some(entry);
             }
         }
         best
+    }
+
+    /// Evaluate one candidate against the baseline (`e0`, `h0`):
+    /// tentatively apply it (merge + merge-sort rescheduling, which
+    /// re-runs the lifetime checks), then price ΔC through the shared
+    /// evaluator. `None` if the merger is infeasible.
+    fn eval_candidate(
+        &self,
+        state: &DesignState,
+        cand: &MergeCandidate,
+        e0: f64,
+        h0: f64,
+        evaluator: &DeltaEvaluator,
+    ) -> Option<(f64, DesignState, String)> {
+        let mut trial = state.clone();
+        let desc = match cand.kind {
+            MergeKind::Modules(a, b) => {
+                merge_modules_with_resched_using(&mut trial, a, b, self.params.order_strategy)
+                    .ok()?;
+                let label = trial
+                    .allocation
+                    .module(a)
+                    .map(|m| {
+                        m.ops()
+                            .iter()
+                            .map(|&o| trial.dfg.op(o).name().to_owned())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .unwrap_or_default();
+                format!("merge modules -> {{{label}}}")
+            }
+            MergeKind::Registers(a, b) => {
+                merge_registers_with_resched_using(&mut trial, a, b, self.params.order_strategy)
+                    .ok()?;
+                let label = trial
+                    .allocation
+                    .register(a)
+                    .map(|r| {
+                        r.values()
+                            .iter()
+                            .map(|&v| trial.dfg.value(v).name().to_owned())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .unwrap_or_default();
+                format!("merge registers -> {{{label}}}")
+            }
+        };
+        let (e1, h1) = evaluator
+            .eval(&trial, self.params.bits, &self.params.library)
+            .ok()?;
+        let dc = self.params.alpha * (e1 as f64 - e0) + self.params.beta * (h1 - h0);
+        Some((dc, trial, desc))
+    }
+
+    /// Evaluate a shortlist chunk on scoped threads (one per candidate;
+    /// `k` is small). Results come back in shortlist order, so the
+    /// reduction in [`best_in_chunk`](Self::best_in_chunk) is
+    /// unaffected by thread completion order.
+    #[cfg(feature = "parallel")]
+    fn eval_chunk_parallel(
+        &self,
+        state: &DesignState,
+        chunk: &[MergeCandidate],
+        e0: f64,
+        h0: f64,
+        evaluator: &DeltaEvaluator,
+    ) -> Vec<Option<(f64, DesignState, String)>> {
+        if chunk.len() < 2 {
+            return chunk
+                .iter()
+                .map(|cand| self.eval_candidate(state, cand, e0, h0, evaluator))
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk
+                .iter()
+                .map(|cand| scope.spawn(move || self.eval_candidate(state, cand, e0, h0, evaluator)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("candidate evaluation thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Sequential stand-in when the `parallel` feature is disabled.
+    #[cfg(not(feature = "parallel"))]
+    fn eval_chunk_parallel(
+        &self,
+        state: &DesignState,
+        chunk: &[MergeCandidate],
+        e0: f64,
+        h0: f64,
+        evaluator: &DeltaEvaluator,
+    ) -> Vec<Option<(f64, DesignState, String)>> {
+        chunk
+            .iter()
+            .map(|cand| self.eval_candidate(state, cand, e0, h0, evaluator))
+            .collect()
     }
 }
 

@@ -1,0 +1,190 @@
+//! Cached (E, H) evaluation of tentative design states — the ΔC inner
+//! loop's fast path.
+//!
+//! Every candidate evaluation in Algorithm 1 needs the execution time
+//! `E` (critical path of the control Petri net) and hardware cost `H`
+//! (floorplanned area) of a tentatively merged design. Both are pure
+//! functions of the **(schedule, binding)** pair: ETPN lowering reads
+//! only the graph's data edges (fixed for the whole run — merges add
+//! precedence arcs, which only constrain *scheduling*), the step
+//! assignment and the binding partition. [`DeltaEvaluator`] therefore
+//! memoizes (E, H) keyed by
+//! [`Schedule::content_hash`](hlts_sched::Schedule::content_hash) ⊕
+//! [`Allocation::content_hash`](hlts_alloc::Allocation::content_hash),
+//! and routes critical-path extraction through a shared
+//! [`CriticalPathEngine`] so that even distinct states with
+//! structurally identical control nets share work.
+//!
+//! No invalidation is ever needed: committing a merge changes the
+//! state's fingerprint, so stale entries are simply never looked up
+//! again, and entries stay valid because the data-flow content they
+//! were computed from is immutable within a run.
+//!
+//! The evaluator is `Sync` — the `parallel` feature evaluates the *k*
+//! shortlisted candidates on scoped threads sharing one evaluator.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use hlts_cost::{estimate_cost, ModuleLibrary};
+use hlts_etpn::{CacheStats, CriticalPathEngine};
+
+use crate::{CoreError, DesignState};
+
+/// Counters describing how the (E, H) cache resolved its queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvalStats {
+    /// (E, H) pairs answered from the state-level cache.
+    pub state_hits: u64,
+    /// States that had to be lowered and measured.
+    pub state_misses: u64,
+    /// The shared critical-path engine's own counters.
+    pub critical_path: CacheStats,
+}
+
+/// Memoizing, thread-safe evaluator of a design state's (E, H).
+///
+/// Create one per synthesis run (the cache assumes a fixed underlying
+/// data-flow graph, bit width and module library, which is exactly the
+/// scope of one [`IntegratedSynthesizer::run`] call).
+///
+/// [`IntegratedSynthesizer::run`]: crate::IntegratedSynthesizer::run
+#[derive(Debug, Default)]
+pub struct DeltaEvaluator {
+    engine: CriticalPathEngine,
+    cache: Mutex<HashMap<u64, (usize, f64)>>,
+    state_hits: AtomicU64,
+    state_misses: AtomicU64,
+}
+
+impl DeltaEvaluator {
+    /// An empty evaluator.
+    #[must_use]
+    pub fn new() -> Self {
+        DeltaEvaluator::default()
+    }
+
+    /// The cache key of a state: its schedule and binding fingerprints
+    /// combined. The graph's data content is deliberately excluded — it
+    /// is fixed for the lifetime of the evaluator (see module docs).
+    #[must_use]
+    pub fn fingerprint(state: &DesignState) -> u64 {
+        let s = state.schedule.content_hash();
+        let a = state.allocation.content_hash();
+        // 64-bit mix of the two halves (splitmix-style finalizer).
+        let mut z = s ^ a.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// (execution time, hardware cost) of `state`, memoized.
+    ///
+    /// On a miss this lowers the state to ETPN, extracts the critical
+    /// path through the shared engine and floorplans the data path; on
+    /// a hit it is two hash lookups.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering failures (inconsistent state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal mutex was poisoned (a prior panic in
+    /// another evaluation thread).
+    pub fn eval(
+        &self,
+        state: &DesignState,
+        bits: u32,
+        library: &ModuleLibrary,
+    ) -> Result<(usize, f64), CoreError> {
+        let key = Self::fingerprint(state);
+        if let Some(&hit) = self.cache.lock().expect("eval cache poisoned").get(&key) {
+            self.state_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.state_misses.fetch_add(1, Ordering::Relaxed);
+        let etpn = state.lower()?;
+        let e = etpn.execution_time_with(&self.engine);
+        let h = estimate_cost(etpn.data_path(), bits, library).total();
+        self.cache
+            .lock()
+            .expect("eval cache poisoned")
+            .insert(key, (e, h));
+        Ok((e, h))
+    }
+
+    /// The shared critical-path engine.
+    #[must_use]
+    pub fn engine(&self) -> &CriticalPathEngine {
+        &self.engine
+    }
+
+    /// Snapshot of the cache counters.
+    #[must_use]
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            state_hits: self.state_hits.load(Ordering::Relaxed),
+            state_misses: self.state_misses.load(Ordering::Relaxed),
+            critical_path: self.engine.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_dfg::{DfgBuilder, OpKind};
+
+    fn state() -> DesignState {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t = b.op("N1", OpKind::Add, &[a, c], "t").unwrap();
+        let y = b.op("N2", OpKind::Mul, &[t, c], "y").unwrap();
+        b.mark_output(y);
+        DesignState::initial(&b.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn eval_matches_from_scratch() {
+        let s = state();
+        let ev = DeltaEvaluator::new();
+        let lib = ModuleLibrary::new();
+        let (e, h) = ev.eval(&s, 8, &lib).unwrap();
+        let etpn = s.lower().unwrap();
+        assert_eq!(e, etpn.execution_time());
+        assert!((h - estimate_cost(etpn.data_path(), 8, &lib).total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeat_eval_hits_cache() {
+        let s = state();
+        let ev = DeltaEvaluator::new();
+        let lib = ModuleLibrary::new();
+        let first = ev.eval(&s, 8, &lib).unwrap();
+        for _ in 0..4 {
+            assert_eq!(ev.eval(&s, 8, &lib).unwrap(), first);
+        }
+        let st = ev.stats();
+        assert_eq!((st.state_hits, st.state_misses), (4, 1));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_identity() {
+        let s1 = state();
+        let s2 = state();
+        assert_eq!(
+            DeltaEvaluator::fingerprint(&s1),
+            DeltaEvaluator::fingerprint(&s2)
+        );
+        let mut merged = state();
+        let regs: Vec<_> = merged.allocation.registers().map(|r| r.id()).collect();
+        merged.allocation.merge_registers(regs[0], regs[1]).unwrap();
+        assert_ne!(
+            DeltaEvaluator::fingerprint(&s1),
+            DeltaEvaluator::fingerprint(&merged)
+        );
+    }
+}

@@ -42,13 +42,15 @@
 mod algorithm;
 pub mod baselines;
 mod candidates;
+mod delta_eval;
 mod error;
 mod report;
 mod resched;
 mod state;
 
-pub use algorithm::{IntegratedSynthesizer, SelectionPolicy, SynthesisParams};
+pub use algorithm::{EvalMode, IntegratedSynthesizer, SelectionPolicy, SynthesisParams};
 pub use candidates::{MergeCandidate, MergeKind};
+pub use delta_eval::{DeltaEvaluator, EvalStats};
 pub use error::CoreError;
 pub use report::{DesignMetrics, SynthesisResult};
 pub use resched::{

@@ -69,7 +69,7 @@ impl DesignMetrics {
 
 /// The output of a synthesis driver: the final design plus its metrics
 /// and the merge decisions taken.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthesisResult {
     /// The graph, including all accumulated scheduling-constraint arcs.
     pub dfg: Dfg,

@@ -1,0 +1,243 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the `hlts-bench` benches use —
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, `bench_function`,
+//! `bench_with_input`, the [`criterion_group!`]/[`criterion_main!`]
+//! macros and [`black_box`] — backed by a simple median-of-samples
+//! wall-clock timer instead of criterion's statistical machinery.
+//!
+//! Each benchmark prints one line:
+//! `bench <group>/<id>  median <t>  (n = <iters/sample> x <samples>)`.
+//! Results are also recorded on the [`Criterion`] value so harness
+//! `main`s can assert on relative timings (see
+//! [`Criterion::median_ns`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that defeats constant-folding, mirroring
+/// `criterion::black_box`. (`std::hint::black_box` under the hood.)
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("function", parameter)`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Per-iteration timer handle passed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `f`, called in batches; the median batch time divided by the
+    /// batch size is the reported per-iteration cost.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up & batch sizing: aim for ≥ ~1ms per sample so Instant
+        // granularity is negligible, capped to keep total time bounded.
+        let probe = Instant::now();
+        black_box(f());
+        let one = probe.elapsed().max(Duration::from_nanos(20));
+        let iters = (Duration::from_millis(1).as_nanos() / one.as_nanos()).clamp(1, 100_000) as u64;
+        let samples = 15usize;
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut ns: Vec<u128> = self.samples.iter().map(Duration::as_nanos).collect();
+        ns.sort_unstable();
+        let mid = ns[ns.len() / 2];
+        mid as f64 / self.iters_per_sample as f64
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// The bench context, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: HashMap<String, f64>,
+}
+
+impl Criterion {
+    /// Run and report one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.record(name.to_string(), &b);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Median per-iteration nanoseconds of a completed benchmark
+    /// (`group/function/parameter`), if it ran. Extension over
+    /// criterion's API used by harness `main`s to assert speedups.
+    #[must_use]
+    pub fn median_ns(&self, full_name: &str) -> Option<f64> {
+        self.results.get(full_name).copied()
+    }
+
+    fn record(&mut self, full_name: String, b: &Bencher) {
+        let med = b.median_ns();
+        println!(
+            "bench {full_name:<48} median {}  (n = {} x {})",
+            human(med),
+            b.iters_per_sample,
+            b.samples.len()
+        );
+        self.results.insert(full_name, med);
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes time itself.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run and report one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        self.criterion.record(format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Run and report one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.criterion.record(format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Close the group (no-op; printing is immediate).
+    pub fn finish(self) {}
+}
+
+/// Bundle bench functions under one runner name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_result() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let med = c.median_ns("noop").expect("recorded");
+        assert!(med.is_finite() && med >= 0.0);
+    }
+
+    #[test]
+    fn group_names_compose() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert!(c.median_ns("g/f/3").is_some());
+    }
+}

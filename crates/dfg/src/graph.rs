@@ -1,7 +1,6 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::{DfgError, OpKind, Value, ValueId, ValueKind};
 
@@ -9,7 +8,7 @@ use crate::{DfgError, OpKind, Value, ValueId, ValueKind};
 ///
 /// Ids are dense (0..num_ops) and stable for the lifetime of the graph.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct OpId(pub(crate) u32);
 
@@ -34,7 +33,7 @@ impl fmt::Display for OpId {
 }
 
 /// One operation node of the data-flow graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Operation {
     pub(crate) id: OpId,
     pub(crate) name: String,
@@ -89,7 +88,7 @@ impl fmt::Display for Operation {
 /// (see [`Dfg::add_precedence`]); the synthesis algorithm uses these to
 /// materialize the scheduling constraints imposed by module and register
 /// mergers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dfg {
     pub(crate) name: String,
     pub(crate) values: Vec<Value>,
@@ -104,7 +103,6 @@ pub struct Dfg {
     /// Used for register-sharing constraints, where a value may be read
     /// in the very step its successor value is defined (registers are
     /// read at the start of a cycle and written at its end).
-    #[serde(default)]
     pub(crate) weak_prec: Vec<(OpId, OpId)>,
     /// Loop-carried value pairs `(produced, consumed-next-iteration)`.
     pub(crate) loop_carried: Vec<(ValueId, ValueId)>,

@@ -1,12 +1,11 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Kind of a data-flow operation.
 ///
 /// The set covers what the DATE'98 benchmarks need (arithmetic, relational
 /// and logic operations) plus `Mov` for plain copies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[non_exhaustive]
 pub enum OpKind {
     /// Two's-complement addition.
@@ -136,7 +135,7 @@ impl fmt::Display for OpKind {
 /// * `Multiplier` only with `Multiplier`;
 /// * `AddSub`, `Compare`, `Logic`, `Shift` and `Move` pairwise compatible
 ///   (an ALU covers all of them);
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[non_exhaustive]
 pub enum FuClass {
     /// Hardware multiplier.

@@ -1,12 +1,11 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Index of a [`Value`] inside its [`Dfg`](crate::Dfg).
 ///
 /// Ids are dense (0..num_values) and stable for the lifetime of the graph.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
 )]
 pub struct ValueId(pub(crate) u32);
 
@@ -33,7 +32,7 @@ impl fmt::Display for ValueId {
 }
 
 /// What role a value plays in the behavior.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum ValueKind {
     /// Primary input — externally controllable.
@@ -69,7 +68,7 @@ impl ValueKind {
 }
 
 /// A named value (variable) in the data-flow graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Value {
     pub(crate) id: ValueId,
     pub(crate) name: String,

@@ -20,12 +20,14 @@
 #![warn(missing_docs)]
 
 mod build;
+mod critical_path;
 mod data_path;
 mod dot;
 mod error;
 mod petri;
 
 pub use build::EtpnBuildError;
+pub use critical_path::{CacheStats, CriticalPathEngine};
 pub use data_path::{DataPath, DpArc, DpArcId, DpNode, DpNodeId, DpNodeKind};
 pub use dot::{control_to_dot, data_path_to_dot};
 pub use error::EtpnError;
@@ -74,10 +76,23 @@ impl Etpn {
     }
 
     /// Execution time `E`: the critical-path length of the control part,
-    /// in control steps, extracted from the reachability tree.
+    /// in control steps, extracted from the reachability tree. This is
+    /// the from-scratch reference; the synthesis inner loop uses
+    /// [`execution_time_with`] instead.
+    ///
+    /// [`execution_time_with`]: Etpn::execution_time_with
     #[must_use]
     pub fn execution_time(&self) -> usize {
         self.control.critical_path()
+    }
+
+    /// Execution time `E` via a shared [`CriticalPathEngine`]:
+    /// memoized across structurally identical control parts and using
+    /// the single-token shortcut where it applies. Result is identical
+    /// to [`execution_time`](Etpn::execution_time).
+    #[must_use]
+    pub fn execution_time_with(&self, engine: &CriticalPathEngine) -> usize {
+        engine.critical_path(&self.control)
     }
 
     pub(crate) fn new(data_path: DataPath, control: ControlNet) -> Self {

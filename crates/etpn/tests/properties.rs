@@ -4,7 +4,7 @@
 
 use hlts_alloc::Allocation;
 use hlts_dfg::{Dfg, DfgBuilder, OpKind};
-use hlts_etpn::Etpn;
+use hlts_etpn::{CriticalPathEngine, Etpn};
 use hlts_sched::{list_schedule, ListPriority};
 use proptest::prelude::*;
 
@@ -123,6 +123,47 @@ proptest! {
                 prop_assert!(p.index() < num_places);
             }
         }
+    }
+
+    /// The cached critical-path engine is an exact drop-in for the
+    /// from-scratch reachability tree: on random lowered control nets
+    /// the memoized answer (first query = miss, second = hit) and the
+    /// single-token chain shortcut all agree with
+    /// [`ControlNet::critical_path`].
+    #[test]
+    fn cached_engine_matches_fresh_reachability(
+        spec in spec_strategy(),
+        merges in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..6),
+    ) {
+        let (_d, _s, _a, e) = lowered(&spec, &merges);
+        let net = e.control();
+        let fresh = net.critical_path();
+        if let Some(chain) = net.chain_critical_path() {
+            prop_assert_eq!(chain, fresh, "chain shortcut diverged");
+        }
+        let engine = CriticalPathEngine::new();
+        prop_assert_eq!(engine.critical_path(net), fresh, "engine miss path diverged");
+        prop_assert_eq!(engine.critical_path(net), fresh, "engine hit path diverged");
+        prop_assert_eq!(engine.stats().hits, 1);
+    }
+
+    /// Incremental ΔE through the shared engine equals the from-scratch
+    /// difference of two independent reachability analyses, for random
+    /// (base, trial) pairs of lowered designs.
+    #[test]
+    fn engine_delta_e_matches_scratch_difference(
+        spec in spec_strategy(),
+        base_merges in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..6),
+        trial_merges in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..6),
+    ) {
+        let (_d, _s, _a, base) = lowered(&spec, &base_merges);
+        let (_d2, _s2, _a2, trial) = lowered(&spec, &trial_merges);
+        let scratch =
+            trial.control().critical_path() as i64 - base.control().critical_path() as i64;
+        let engine = CriticalPathEngine::new();
+        prop_assert_eq!(engine.delta_e(base.control(), trial.control()), scratch);
+        // and again, now answered entirely from the memo
+        prop_assert_eq!(engine.delta_e(base.control(), trial.control()), scratch);
     }
 
     /// Mux counting is consistent between the binding-level and the

@@ -27,6 +27,26 @@ impl Schedule {
         Schedule { step_of, latency }
     }
 
+    /// A 64-bit fingerprint of the full step assignment (FNV-1a over
+    /// the per-op step vector). Two schedules of the same graph collide
+    /// only if they assign every operation the same step — used to key
+    /// the ΔE/ΔH evaluation cache in `hlts-core`.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.step_of.len() as u64);
+        for &s in &self.step_of {
+            mix(s as u64);
+        }
+        h
+    }
+
     /// The control step of `op`.
     ///
     /// # Panics

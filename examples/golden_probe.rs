@@ -1,0 +1,25 @@
+//! Prints the (control steps, modules, registers) triple of the
+//! integrated synthesizer under each of the paper's parameter sets, for
+//! pinning in `tests/paper_claims.rs`.
+
+use hlts::core::{IntegratedSynthesizer, SynthesisParams};
+
+fn main() {
+    for (name, dfg) in [
+        ("ex", hlts::benchmarks::ex()),
+        ("dct", hlts::benchmarks::dct()),
+        ("diffeq", hlts::benchmarks::diffeq()),
+    ] {
+        for bits in [4u32, 8, 16] {
+            let r = IntegratedSynthesizer::new(SynthesisParams::paper_defaults(bits))
+                .run(&dfg)
+                .expect("synthesis");
+            println!(
+                "(\"{name}\", {bits}, {}, {}, {}),",
+                r.metrics.execution_time,
+                r.allocation.num_modules(),
+                r.allocation.num_registers()
+            );
+        }
+    }
+}
