@@ -16,4 +16,7 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> OK: build + tests + clippy all green"
+echo "==> bench smoke: testability solvers + speedup gate"
+cargo bench -q --bench testability --offline
+
+echo "==> OK: build + tests + clippy + bench smoke all green"

@@ -2,7 +2,6 @@
 
 use hlts_cost::ModuleLibrary;
 use hlts_dfg::Dfg;
-use hlts_testability::TestabilityAnalysis;
 
 use crate::candidates::{enumerate_candidates, MergeCandidate, MergeKind};
 use crate::delta_eval::DeltaEvaluator;
@@ -185,13 +184,22 @@ impl IntegratedSynthesizer {
 
         for _ in 0..self.params.max_merges {
             let etpn = state.lower()?;
-            let analysis = TestabilityAnalysis::analyze(etpn.data_path());
+            // The baseline analysis goes through the shared engine (a
+            // hit after iteration 1: the committed trial of iteration i
+            // is re-lowered as the baseline of i+1) and becomes the
+            // anchor that candidate misses re-analyze incrementally
+            // from — each candidate differs from it by one merge cone.
+            let analysis = state.testability_engine().analyze(etpn.data_path());
+            state.testability_engine().set_anchor(etpn.data_path(), &analysis);
             let mut candidates = enumerate_candidates(&state, &etpn, &analysis);
             if candidates.is_empty() {
                 break;
             }
             if self.params.selection_policy == SelectionPolicy::Arbitrary {
-                candidates.sort_by(|a, b| format!("{:?}", a.kind).cmp(&format!("{:?}", b.kind)));
+                candidates.sort_by_key(|c| match c.kind {
+                    MergeKind::Modules(a, b) => (0u8, a.index(), b.index()),
+                    MergeKind::Registers(a, b) => (1u8, a.index(), b.index()),
+                });
             }
             // The baseline (E, H) goes through the evaluator too: after
             // the first iteration this is a cache hit (the committed
@@ -201,8 +209,12 @@ impl IntegratedSynthesizer {
 
             let mut committed = false;
             for chunk in candidates.chunks(self.params.k.max(1)) {
-                if let Some((dc, trial, desc)) = self.best_in_chunk(&state, chunk, e0, h0, mode, evaluator) {
+                if let Some((dc, trial, kind)) = self.best_in_chunk(&state, chunk, e0, h0, mode, evaluator) {
                     if dc <= self.params.accept_threshold {
+                        // Only now is the label worth building: trial
+                        // candidates that lose or miss the threshold
+                        // never reach the log.
+                        let desc = merge_description(&trial, kind);
                         merge_log.push(format!("{desc} (ΔC = {dc:+.4})"));
                         state = trial;
                         committed = true;
@@ -221,7 +233,7 @@ impl IntegratedSynthesizer {
 
     /// Tentatively apply each candidate of `chunk`; return the smallest-
     /// ΔC applicable one (ties keep the earliest shortlist position, in
-    /// both modes).
+    /// both modes) together with the merge that produced it.
     fn best_in_chunk(
         &self,
         state: &DesignState,
@@ -230,8 +242,8 @@ impl IntegratedSynthesizer {
         h0: f64,
         mode: EvalMode,
         evaluator: &DeltaEvaluator,
-    ) -> Option<(f64, DesignState, String)> {
-        let evaluated: Vec<Option<(f64, DesignState, String)>> = match mode {
+    ) -> Option<(f64, DesignState, MergeKind)> {
+        let evaluated: Vec<Option<(f64, DesignState)>> = match mode {
             EvalMode::Sequential => chunk
                 .iter()
                 .map(|cand| self.eval_candidate(state, cand, e0, h0, evaluator))
@@ -241,10 +253,11 @@ impl IntegratedSynthesizer {
         // Deterministic reduction: strictly-smaller ΔC wins, so the
         // earliest shortlist index is kept on ties — exactly the
         // sequential fold regardless of evaluation order.
-        let mut best: Option<(f64, DesignState, String)> = None;
-        for entry in evaluated.into_iter().flatten() {
-            if best.as_ref().is_none_or(|(b, _, _)| entry.0 < *b) {
-                best = Some(entry);
+        let mut best: Option<(f64, DesignState, MergeKind)> = None;
+        for (entry, cand) in evaluated.into_iter().zip(chunk) {
+            let Some((dc, trial)) = entry else { continue };
+            if best.as_ref().is_none_or(|(b, _, _)| dc < *b) {
+                best = Some((dc, trial, cand.kind));
             }
         }
         best
@@ -253,7 +266,9 @@ impl IntegratedSynthesizer {
     /// Evaluate one candidate against the baseline (`e0`, `h0`):
     /// tentatively apply it (merge + merge-sort rescheduling, which
     /// re-runs the lifetime checks), then price ΔC through the shared
-    /// evaluator. `None` if the merger is infeasible.
+    /// evaluator. `None` if the merger is infeasible. The human-readable
+    /// description is *not* built here — only the committed winner ever
+    /// needs one (see [`merge_description`]).
     fn eval_candidate(
         &self,
         state: &DesignState,
@@ -261,47 +276,23 @@ impl IntegratedSynthesizer {
         e0: f64,
         h0: f64,
         evaluator: &DeltaEvaluator,
-    ) -> Option<(f64, DesignState, String)> {
+    ) -> Option<(f64, DesignState)> {
         let mut trial = state.clone();
-        let desc = match cand.kind {
+        match cand.kind {
             MergeKind::Modules(a, b) => {
                 merge_modules_with_resched_using(&mut trial, a, b, self.params.order_strategy)
                     .ok()?;
-                let label = trial
-                    .allocation
-                    .module(a)
-                    .map(|m| {
-                        m.ops()
-                            .iter()
-                            .map(|&o| trial.dfg.op(o).name().to_owned())
-                            .collect::<Vec<_>>()
-                            .join(",")
-                    })
-                    .unwrap_or_default();
-                format!("merge modules -> {{{label}}}")
             }
             MergeKind::Registers(a, b) => {
                 merge_registers_with_resched_using(&mut trial, a, b, self.params.order_strategy)
                     .ok()?;
-                let label = trial
-                    .allocation
-                    .register(a)
-                    .map(|r| {
-                        r.values()
-                            .iter()
-                            .map(|&v| trial.dfg.value(v).name().to_owned())
-                            .collect::<Vec<_>>()
-                            .join(",")
-                    })
-                    .unwrap_or_default();
-                format!("merge registers -> {{{label}}}")
             }
-        };
+        }
         let (e1, h1) = evaluator
             .eval(&trial, self.params.bits, &self.params.library)
             .ok()?;
         let dc = self.params.alpha * (e1 as f64 - e0) + self.params.beta * (h1 - h0);
-        Some((dc, trial, desc))
+        Some((dc, trial))
     }
 
     /// Evaluate a shortlist chunk on scoped threads (one per candidate;
@@ -316,7 +307,7 @@ impl IntegratedSynthesizer {
         e0: f64,
         h0: f64,
         evaluator: &DeltaEvaluator,
-    ) -> Vec<Option<(f64, DesignState, String)>> {
+    ) -> Vec<Option<(f64, DesignState)>> {
         if chunk.len() < 2 {
             return chunk
                 .iter()
@@ -344,11 +335,47 @@ impl IntegratedSynthesizer {
         e0: f64,
         h0: f64,
         evaluator: &DeltaEvaluator,
-    ) -> Vec<Option<(f64, DesignState, String)>> {
+    ) -> Vec<Option<(f64, DesignState)>> {
         chunk
             .iter()
             .map(|cand| self.eval_candidate(state, cand, e0, h0, evaluator))
             .collect()
+    }
+}
+
+/// The merge-log label for a committed merge, reconstructed from the
+/// post-merge state: the surviving module's op names (or register's
+/// value names), comma-joined in binding order.
+fn merge_description(state: &DesignState, kind: MergeKind) -> String {
+    match kind {
+        MergeKind::Modules(a, _) => {
+            let label = state
+                .allocation
+                .module(a)
+                .map(|m| {
+                    m.ops()
+                        .iter()
+                        .map(|&o| state.dfg.op(o).name().to_owned())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .unwrap_or_default();
+            format!("merge modules -> {{{label}}}")
+        }
+        MergeKind::Registers(a, _) => {
+            let label = state
+                .allocation
+                .register(a)
+                .map(|r| {
+                    r.values()
+                        .iter()
+                        .map(|&v| state.dfg.value(v).name().to_owned())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .unwrap_or_default();
+            format!("merge registers -> {{{label}}}")
+        }
     }
 }
 

@@ -161,11 +161,7 @@ pub fn approach1(dfg: &Dfg, params: &SynthesisParams) -> Result<SynthesisResult,
     let lifetimes = Lifetimes::compute(dfg, &schedule);
     let register_groups = lee_register_allocation(dfg, &lifetimes);
     let allocation = Allocation::from_groups(dfg, &module_groups, &register_groups)?;
-    let state = DesignState {
-        dfg: dfg.clone(),
-        schedule,
-        allocation,
-    };
+    let state = DesignState::from_parts(dfg.clone(), schedule, allocation);
     state.validate()?;
     SynthesisResult::from_state(state, params.bits, &params.library, Vec::new())
 }
@@ -201,11 +197,7 @@ pub fn approach2(dfg: &Dfg, params: &SynthesisParams) -> Result<SynthesisResult,
     let lifetimes = Lifetimes::compute(dfg, &schedule);
     let register_groups = lee_register_allocation(dfg, &lifetimes);
     let allocation = Allocation::from_groups(dfg, &module_groups, &register_groups)?;
-    let state = DesignState {
-        dfg: dfg.clone(),
-        schedule,
-        allocation,
-    };
+    let state = DesignState::from_parts(dfg.clone(), schedule, allocation);
     state.validate()?;
     SynthesisResult::from_state(state, params.bits, &params.library, Vec::new())
 }

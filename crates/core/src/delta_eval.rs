@@ -22,6 +22,13 @@
 //!
 //! The evaluator is `Sync` — the `parallel` feature evaluates the *k*
 //! shortlisted candidates on scoped threads sharing one evaluator.
+//!
+//! The testability side of candidate evaluation has a twin of this
+//! design: the [`TestabilityEngine`](hlts_testability::TestabilityEngine)
+//! carried by [`DesignState`] memoizes the CC/SC/CO/SO fixpoint keyed by
+//! the data path's structural hash (which is schedule-independent, so
+//! SR2's reschedule variants share entries) and resolves misses
+//! incrementally from the current iteration's anchored baseline.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -58,3 +58,8 @@ pub use resched::{
     merge_registers_with_resched, merge_registers_with_resched_using, OrderStrategy,
 };
 pub use state::DesignState;
+
+// The shared testability engine lives in `hlts-testability`; re-export
+// the pieces `SynthesisResult` and `DesignState` expose so downstream
+// users don't need a direct dependency for them.
+pub use hlts_testability::{TestabilityCacheStats, TestabilityEngine};

@@ -4,7 +4,7 @@ use hlts_alloc::Allocation;
 use hlts_cost::{estimate_cost, CostBreakdown, ModuleLibrary};
 use hlts_dfg::Dfg;
 use hlts_sched::Schedule;
-use hlts_testability::{total_co_depth, NodeProfile, TestabilityAnalysis};
+use hlts_testability::{total_co_depth, NodeProfile, TestabilityCacheStats};
 
 use crate::{CoreError, DesignState};
 
@@ -42,7 +42,7 @@ impl DesignMetrics {
     pub fn of(state: &DesignState, bits: u32, library: &ModuleLibrary) -> Result<Self, CoreError> {
         let etpn = state.lower()?;
         let dp = etpn.data_path();
-        let analysis = TestabilityAnalysis::analyze(dp);
+        let analysis = state.testability_engine().analyze(dp);
         let mut c_sum = 0.0;
         let mut o_sum = 0.0;
         let mut n = 0usize;
@@ -69,7 +69,7 @@ impl DesignMetrics {
 
 /// The output of a synthesis driver: the final design plus its metrics
 /// and the merge decisions taken.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SynthesisResult {
     /// The graph, including all accumulated scheduling-constraint arcs.
     pub dfg: Dfg,
@@ -81,6 +81,24 @@ pub struct SynthesisResult {
     pub metrics: DesignMetrics,
     /// Human-readable record of each committed merger.
     pub merge_log: Vec<String>,
+    /// How the run's shared testability engine resolved its queries.
+    /// Diagnostics only: under parallel evaluation two threads can race
+    /// to the same cache miss, so these counters (unlike every synthesis
+    /// outcome) are not deterministic — which is why they are excluded
+    /// from equality.
+    pub testability_stats: TestabilityCacheStats,
+}
+
+/// Everything except `testability_stats`: results compare by what was
+/// synthesized, not by how the caches happened to be exercised.
+impl PartialEq for SynthesisResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.dfg == other.dfg
+            && self.schedule == other.schedule
+            && self.allocation == other.allocation
+            && self.metrics == other.metrics
+            && self.merge_log == other.merge_log
+    }
 }
 
 impl SynthesisResult {
@@ -91,12 +109,14 @@ impl SynthesisResult {
         merge_log: Vec<String>,
     ) -> Result<Self, CoreError> {
         let metrics = DesignMetrics::of(&state, bits, library)?;
+        let testability_stats = state.testability_engine().stats();
         Ok(SynthesisResult {
             dfg: state.dfg,
             schedule: state.schedule,
             allocation: state.allocation,
             metrics,
             merge_log,
+            testability_stats,
         })
     }
 
@@ -115,6 +135,17 @@ impl SynthesisResult {
             self.metrics.num_registers,
             self.metrics.mux_count,
             self.metrics.hardware.total(),
+        ));
+        let t = &self.testability_stats;
+        out.push_str(&format!(
+            "testability cache: {} hits / {} misses ({} incremental, {} full), \
+             {} updates propagated, hit rate {:.1}%\n",
+            t.hits,
+            t.misses,
+            t.incremental,
+            t.full,
+            t.updates_propagated,
+            t.hit_rate() * 100.0,
         ));
         out
     }

@@ -17,7 +17,7 @@
 
 use hlts_alloc::{ModuleId, RegisterId};
 use hlts_dfg::{Dfg, OpId, ValueId};
-use hlts_testability::{total_co_depth, TestabilityAnalysis};
+use hlts_testability::total_co_depth;
 
 use crate::{CoreError, DesignState};
 
@@ -120,9 +120,18 @@ pub enum OrderStrategy {
 }
 
 /// The (SR1 depth, execution time) figure of merit of a tentative state.
+///
+/// The analysis goes through the state's shared [`TestabilityEngine`]:
+/// the SR2 variants re-lowered here differ from the iteration baseline
+/// only in precedence arcs and schedule — which the data path's
+/// structural hash ignores — so with an unchanged allocation this is a
+/// cache hit, and after a tentative merge it resolves incrementally
+/// from the anchored baseline.
+///
+/// [`TestabilityEngine`]: hlts_testability::TestabilityEngine
 fn sr1_merit(state: &DesignState) -> Result<(f64, usize), CoreError> {
     let etpn = state.lower()?;
-    let analysis = TestabilityAnalysis::analyze(etpn.data_path());
+    let analysis = state.testability_engine().analyze(etpn.data_path());
     Ok((
         total_co_depth(etpn.data_path(), &analysis),
         etpn.execution_time(),
@@ -438,6 +447,7 @@ pub fn merge_registers_with_resched_using(
 mod tests {
     use super::*;
     use hlts_dfg::{DfgBuilder, OpKind};
+    use hlts_testability::TestabilityAnalysis;
 
     /// Two independent adds in one step; merging their modules must order
     /// them into two steps.

@@ -1,15 +1,23 @@
 //! The evolving design state of the synthesis loop.
 
+use std::sync::Arc;
+
 use hlts_alloc::Allocation;
 use hlts_dfg::Dfg;
 use hlts_etpn::Etpn;
 use hlts_sched::{list_schedule, Lifetimes, ListPriority, Schedule};
+use hlts_testability::TestabilityEngine;
 
 use crate::CoreError;
 
 /// A (graph, schedule, allocation) triple — the state Algorithm 1
 /// transforms. The graph accumulates the precedence arcs that
 /// materialize merge-imposed scheduling constraints.
+///
+/// The state also carries the run's shared [`TestabilityEngine`]:
+/// cloning a state (every trial candidate is a clone) shares the same
+/// engine via [`Arc`], so all candidate evaluations — including the
+/// parallel shortlist threads — pool their memoized analyses.
 #[derive(Debug, Clone)]
 pub struct DesignState {
     /// The behavioral graph, including accumulated scheduling-constraint
@@ -19,6 +27,8 @@ pub struct DesignState {
     pub schedule: Schedule,
     /// The current binding.
     pub allocation: Allocation,
+    /// Shared testability-analysis cache (see [`DesignState::testability_engine`]).
+    testability: Arc<TestabilityEngine>,
 }
 
 impl DesignState {
@@ -32,11 +42,28 @@ impl DesignState {
     pub fn initial(dfg: &Dfg) -> Result<Self, CoreError> {
         let allocation = Allocation::one_to_one(dfg);
         let schedule = list_schedule(dfg, &[], ListPriority::CriticalPath)?;
-        Ok(DesignState {
-            dfg: dfg.clone(),
+        Ok(DesignState::from_parts(dfg.clone(), schedule, allocation))
+    }
+
+    /// Assemble a state from an explicit triple, with a fresh
+    /// testability engine.
+    #[must_use]
+    pub fn from_parts(dfg: Dfg, schedule: Schedule, allocation: Allocation) -> Self {
+        DesignState {
+            dfg,
             schedule,
             allocation,
-        })
+            testability: Arc::new(TestabilityEngine::new()),
+        }
+    }
+
+    /// The shared testability-analysis engine. All clones of a state
+    /// (the trial candidates of a synthesis run) reference the same
+    /// engine, so memoized analyses are pooled across candidates and
+    /// threads.
+    #[must_use]
+    pub fn testability_engine(&self) -> &TestabilityEngine {
+        &self.testability
     }
 
     /// Re-solve the schedule under the current constraint arcs and

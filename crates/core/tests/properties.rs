@@ -7,6 +7,7 @@ use hlts_core::{
     IntegratedSynthesizer, SynthesisParams,
 };
 use hlts_dfg::{Dfg, DfgBuilder, OpKind};
+use hlts_testability::TestabilityAnalysis;
 use proptest::prelude::*;
 
 fn build_dfg(spec: &[(u8, u8, u8)]) -> Dfg {
@@ -107,6 +108,64 @@ proptest! {
         let r1 = synth.run_mode(&d, EvalMode::Parallel).expect("parallel");
         let r2 = synth.run_mode(&d, EvalMode::Parallel).expect("parallel");
         prop_assert_eq!(r1, r2);
+    }
+
+    /// Incremental testability re-analysis tracks a random merger
+    /// storm: after every accepted merger (which perturbs the binding,
+    /// the schedule and the precedence arcs at once), re-analyzing from
+    /// the previous solution's history over the dirty region yields
+    /// exactly the dense reference fixpoint of the new data path.
+    #[test]
+    fn incremental_testability_tracks_merger_storms(
+        spec in spec_strategy(),
+        merges in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..8),
+    ) {
+        let d = build_dfg(&spec);
+        let mut state = DesignState::initial(&d).expect("initial");
+        let mut prev_dp = state.lower().expect("lower").data_path().clone();
+        let mut prev_ta = TestabilityAnalysis::analyze(&prev_dp);
+        for (x, y, register) in merges {
+            let accepted = if register {
+                let regs: Vec<_> = state.allocation.registers().map(|r| r.id()).collect();
+                let (a, b) = (
+                    regs[x as usize % regs.len()],
+                    regs[y as usize % regs.len()],
+                );
+                merge_registers_with_resched(&mut state, a, b).is_ok()
+            } else {
+                let mods: Vec<_> = state.allocation.modules().map(|m| m.id()).collect();
+                let (a, b) = (
+                    mods[x as usize % mods.len()],
+                    mods[y as usize % mods.len()],
+                );
+                merge_modules_with_resched(&mut state, a, b).is_ok()
+            };
+            if !accepted {
+                continue;
+            }
+            let dp = state.lower().expect("lower").data_path().clone();
+            let re = prev_ta.reanalyze(&prev_dp, &dp, &[]);
+            let dense = TestabilityAnalysis::analyze_dense(&dp);
+            prop_assert_eq!(&re, &dense, "incremental diverged from dense");
+            prev_dp = dp;
+            prev_ta = re;
+        }
+    }
+
+    /// The worklist solver the shared engine uses agrees with the dense
+    /// reference fixpoint on fully synthesized (heavily merged) designs,
+    /// not just on random deltas.
+    #[test]
+    fn final_design_analysis_matches_dense(spec in spec_strategy()) {
+        let d = build_dfg(&spec);
+        let r = IntegratedSynthesizer::new(SynthesisParams::default())
+            .run(&d)
+            .expect("synthesis");
+        let etpn = hlts_etpn::Etpn::from_parts(&r.dfg, &r.schedule, &r.allocation)
+            .expect("lowerable");
+        let worklist = TestabilityAnalysis::analyze(etpn.data_path());
+        let dense = TestabilityAnalysis::analyze_dense(etpn.data_path());
+        prop_assert_eq!(&worklist, &dense);
     }
 
     /// Execution time is monotone under the α knob: an α-dominant run

@@ -1,18 +1,45 @@
 //! The CC/SC/CO/SO fixpoint analysis over an ETPN data path.
+//!
+//! Two solvers produce the same fixpoint:
+//!
+//! * [`TestabilityAnalysis::analyze`] — the production path: an indexed
+//!   **worklist** that seeds every evaluable element once and afterwards
+//!   only re-evaluates elements whose inputs actually changed, so cost
+//!   scales with the number of propagated updates instead of
+//!   `MAX_SWEEPS × |nodes|`. It also records a per-element *history* of
+//!   accepted updates (which sweep produced which value), the raw
+//!   material of the incremental re-analysis in
+//!   [`TestabilityAnalysis::reanalyze`](crate::TestabilityAnalysis::reanalyze).
+//! * [`TestabilityAnalysis::analyze_dense`] — the original dense
+//!   Gauss–Seidel reference: up to [`MAX_SWEEPS`] full passes over every
+//!   node, then every arc. Kept as the oracle the worklist is
+//!   property-tested against.
+//!
+//! The worklist is **bit-identical** to the dense reference, not merely
+//! convergent to the same fixpoint: a dense sweep evaluates nodes in
+//! ascending id order with in-place updates, so a sweep is exactly "the
+//! ascending set of nodes whose inputs changed visibly", and
+//! re-evaluating a node whose inputs did not change is a no-op (the
+//! acceptance rule [`Controllability::better_than`] is deterministic in
+//! the inputs). The worklist schedules exactly those evaluations: an
+//! accepted change at node *i* during sweep *s* re-enqueues each
+//! successor *j* into sweep *s* when `j > i` (dense has not reached it
+//! yet) and into sweep `s + 1` otherwise.
 
 use hlts_dfg::OpKind;
-use hlts_etpn::{DataPath, DpArcId, DpNodeId, DpNodeKind};
+use hlts_etpn::{DataPath, DpArc, DpArcId, DpNodeId, DpNodeKind};
 
 use crate::factors::{ctf, otf};
+use crate::worklist::Worklist;
 
 /// Sequential-cost sentinel for "not yet reachable".
-const UNREACHED: f64 = 1.0e9;
+pub(crate) const UNREACHED: f64 = 1.0e9;
 /// Weight of the sequential factor when scalarizing a measure for
 /// comparisons (one extra time frame ≈ 5% combinational quality).
 const SEQ_WEIGHT: f64 = 0.05;
 /// Fixpoint iteration cap (loops converge geometrically; this bounds
 /// pathological inputs).
-const MAX_SWEEPS: usize = 64;
+pub(crate) const MAX_SWEEPS: usize = 64;
 const EPS: f64 = 1.0e-9;
 
 /// Controllability of a line or node: combinational factor `cc ∈ [0, 1]`
@@ -55,7 +82,7 @@ impl Controllability {
         self.cc - SEQ_WEIGHT * self.sc
     }
 
-    fn better_than(self, other: Controllability) -> bool {
+    pub(crate) fn better_than(self, other: Controllability) -> bool {
         self.rank() > other.rank() + EPS
     }
 }
@@ -98,78 +125,336 @@ impl Observability {
         self.co - SEQ_WEIGHT * self.so
     }
 
-    fn better_than(self, other: Observability) -> bool {
+    pub(crate) fn better_than(self, other: Observability) -> bool {
         self.rank() > other.rank() + EPS
+    }
+}
+
+/// An accepted-update history: the sweep-stamped sequence of values an
+/// element took during the fixpoint, starting with its seed at sweep 0.
+/// Sweeps are 1-indexed and an element changes at most once per sweep,
+/// so the stamps are strictly increasing.
+pub(crate) type History<T> = Vec<(u32, T)>;
+
+/// Arena-packed per-element histories: one flat event buffer plus a
+/// `(start, len)` range per element. Building a result this way costs
+/// O(1) allocations instead of one `Vec` per element — which matters
+/// because the incremental path copies every boundary element's history
+/// into its result.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Histories<T> {
+    data: Vec<(u32, T)>,
+    range: Vec<(u32, u32)>,
+}
+
+impl<T: Copy> Histories<T> {
+    /// The no-histories marker (dense results).
+    pub(crate) fn none() -> Self {
+        Histories {
+            data: Vec::new(),
+            range: Vec::new(),
+        }
+    }
+
+    /// Number of elements with a recorded history.
+    pub(crate) fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Total recorded events, across all elements.
+    pub(crate) fn events(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The history of element `i`, seed first.
+    pub(crate) fn slice(&self, i: usize) -> &[(u32, T)] {
+        let (s, l) = self.range[i];
+        &self.data[s as usize..(s + l) as usize]
+    }
+
+    /// An empty arena with capacity hints.
+    pub(crate) fn with_capacity(elems: usize, events: usize) -> Self {
+        Histories {
+            data: Vec::with_capacity(events),
+            range: Vec::with_capacity(elems),
+        }
+    }
+
+    /// Append the next element's full history.
+    pub(crate) fn push_slice(&mut self, h: &[(u32, T)]) {
+        self.range.push((self.data.len() as u32, h.len() as u32));
+        self.data.extend_from_slice(h);
+    }
+
+    /// Pack per-element event lists (each starting with its sweep-0
+    /// seed) into an arena.
+    pub(crate) fn pack(events: Vec<History<T>>) -> Self {
+        let total = events.iter().map(Vec::len).sum();
+        let mut packed = Histories::with_capacity(events.len(), total);
+        for h in &events {
+            packed.push_slice(h);
+        }
+        packed
     }
 }
 
 /// The full analysis result: per-node output-line controllability and
 /// per-arc observability, plus the node summaries of the paper's §3.
+///
+/// Equality compares the **values** only (`out_ctrl`, `arc_obs`,
+/// exactly, bit for bit) — diagnostics such as sweep counts and update
+/// histories are excluded, so a worklist, dense or incremental result
+/// for the same data path compares equal.
 #[derive(Debug, Clone)]
 pub struct TestabilityAnalysis {
     /// Controllability of each node's output line.
-    out_ctrl: Vec<Controllability>,
+    pub(crate) out_ctrl: Vec<Controllability>,
     /// Observability of each arc (a line into its sink).
-    arc_obs: Vec<Observability>,
-    sweeps_used: usize,
+    pub(crate) arc_obs: Vec<Observability>,
+    pub(crate) sweeps_used: usize,
+    /// Accepted worklist updates beyond the seeds (diagnostics).
+    pub(crate) updates: u64,
+    /// Per-node accepted-update histories (empty for dense results).
+    pub(crate) ctrl_hist: Histories<Controllability>,
+    /// Per-arc accepted-update histories (empty for dense results).
+    pub(crate) obs_hist: Histories<Observability>,
+}
+
+impl PartialEq for TestabilityAnalysis {
+    fn eq(&self, other: &Self) -> bool {
+        self.out_ctrl == other.out_ctrl && self.arc_obs == other.arc_obs
+    }
+}
+
+/// The seed value of a node before any propagation.
+///
+/// Initialization follows the paper: "assigns first ones to CCs and
+/// zeros to SCs for all primary inputs in the data path". A constant
+/// drives one fixed value: usable, but useless for justifying arbitrary
+/// patterns.
+pub(crate) fn ctrl_seed(kind: &DpNodeKind) -> Controllability {
+    match kind {
+        DpNodeKind::PrimaryInput(_) => Controllability { cc: 1.0, sc: 0.0 },
+        DpNodeKind::Const(_) => Controllability { cc: 0.5, sc: 0.0 },
+        _ => Controllability::none(),
+    }
+}
+
+/// Whether the forward pass re-evaluates this node kind (sources keep
+/// their seeds; ports and conditions produce nothing further).
+pub(crate) fn forward_evaluable(kind: &DpNodeKind) -> bool {
+    matches!(kind, DpNodeKind::Register(_) | DpNodeKind::Module { .. })
+}
+
+/// The forward transfer function: the candidate output controllability
+/// of `node` given its predecessors' current values. `None` for kinds
+/// the forward pass does not evaluate.
+pub(crate) fn ctrl_candidate<F>(dp: &DataPath, node: DpNodeId, ctrl_of: &F) -> Option<Controllability>
+where
+    F: Fn(DpNodeId) -> Controllability,
+{
+    match dp.node(node).kind() {
+        DpNodeKind::Register(_) => {
+            // best over input lines, plus one time frame
+            let best = best_input(dp, node, ctrl_of);
+            Some(Controllability {
+                cc: best.cc,
+                sc: if best.sc >= UNREACHED {
+                    UNREACHED
+                } else {
+                    best.sc + 1.0
+                },
+            })
+        }
+        DpNodeKind::Module { kinds, .. } => Some(module_output_ctrl(
+            dp,
+            node,
+            kinds.iter().copied(),
+            ctrl_of,
+        )),
+        _ => None,
+    }
+}
+
+/// The backward transfer function: the candidate observability of `arc`
+/// given the sink's out-arcs' current observabilities and the final
+/// controllability solution.
+pub(crate) fn obs_candidate<F, G>(
+    dp: &DataPath,
+    arc: &DpArc,
+    ctrl_of: &F,
+    obs_of: &G,
+) -> Observability
+where
+    F: Fn(DpNodeId) -> Controllability,
+    G: Fn(DpArcId) -> Observability,
+{
+    let sink = dp.node(arc.to());
+    match sink.kind() {
+        DpNodeKind::PrimaryOutput(_) => Observability { co: 1.0, so: 0.0 },
+        // a condition is observed through the controller's branching
+        // behavior: indirect but cheap
+        DpNodeKind::ConditionOut(_) => Observability { co: 0.9, so: 0.0 },
+        DpNodeKind::Register(_) => {
+            let out = node_out_obs(dp, sink.id(), obs_of);
+            Observability {
+                co: out.co,
+                so: if out.so >= UNREACHED {
+                    UNREACHED
+                } else {
+                    out.so + 1.0
+                },
+            }
+        }
+        DpNodeKind::Module { kinds, .. } => {
+            let out = node_out_obs(dp, sink.id(), obs_of);
+            if out.so >= UNREACHED {
+                Observability::none()
+            } else {
+                // propagating through the module requires controlling
+                // its other input ports
+                let side = side_ports_ctrl(dp, sink.id(), arc.port(), ctrl_of);
+                let f = kinds.iter().copied().map(otf).fold(1.0, f64::min);
+                Observability {
+                    co: f * out.co * side.cc,
+                    so: out.so
+                        + if side.sc >= UNREACHED {
+                            // no side value needed (unary)
+                            0.0
+                        } else {
+                            side.sc
+                        },
+                }
+            }
+        }
+        _ => Observability::none(),
+    }
 }
 
 impl TestabilityAnalysis {
-    /// Run the analysis to fixpoint.
+    /// Run the analysis to fixpoint with the indexed worklist solver.
     ///
     /// Initialization follows the paper: "assigns first ones to CCs and
     /// zeros to SCs for all primary inputs in the data path ... these
     /// values will then be propagated ... until the primary outputs are
     /// reached. A similar approach can be used for calculating
     /// observability in the reverse direction." Feedback loops are
-    /// handled by sweeping to a fixpoint from a pessimistic start.
+    /// handled by propagating to a fixpoint from a pessimistic start.
+    ///
+    /// Bit-identical to [`TestabilityAnalysis::analyze_dense`] (see the
+    /// module docs for the argument, and the crate's property tests for
+    /// the evidence), but only elements whose inputs changed are
+    /// re-evaluated, and accepted-update histories are recorded for
+    /// [`TestabilityAnalysis::reanalyze`](Self::reanalyze).
     #[must_use]
     pub fn analyze(dp: &DataPath) -> Self {
+        let n = dp.num_nodes();
+        let mut out_ctrl = vec![Controllability::none(); n];
+        let mut ctrl_hist: Vec<History<Controllability>> = vec![Vec::new(); n];
+        for node in dp.nodes() {
+            let seed = ctrl_seed(node.kind());
+            out_ctrl[node.id().index()] = seed;
+            ctrl_hist[node.id().index()].push((0, seed));
+        }
+
+        let mut updates = 0u64;
+
+        // Forward worklist for controllability: sweep 1 evaluates every
+        // register/module (exactly like the dense first sweep); later
+        // sweeps only the elements an accepted change reached.
+        let mut wl = Worklist::new(MAX_SWEEPS as u32);
+        for node in dp.nodes() {
+            if forward_evaluable(node.kind()) {
+                wl.push(1, node.id().index());
+            }
+        }
+        let mut last_change = 0u32;
+        while let Some((sweep, i)) = wl.pop() {
+            let id = DpNodeId::from_index(i);
+            let Some(new) = ctrl_candidate(dp, id, &|p: DpNodeId| out_ctrl[p.index()]) else {
+                continue;
+            };
+            if new.better_than(out_ctrl[i]) {
+                out_ctrl[i] = new;
+                ctrl_hist[i].push((sweep, new));
+                last_change = sweep;
+                updates += 1;
+                for &out in dp.out_arc_ids(id) {
+                    let s = dp.arc(out).to();
+                    if forward_evaluable(dp.node(s).kind()) {
+                        wl.push_after(sweep, i, s.index());
+                    }
+                }
+            }
+        }
+        // Dense runs one final no-change sweep before stopping (unless
+        // the cap cuts it short).
+        let sweeps_used = (last_change as usize + 1).min(MAX_SWEEPS);
+
+        // Backward worklist for observability, per arc. An accepted
+        // change of arc b = (v → w) invalidates every arc *into* v.
+        let m = dp.num_arcs();
+        let mut arc_obs = vec![Observability::none(); m];
+        let mut obs_hist: Vec<History<Observability>> = vec![vec![(0, Observability::none())]; m];
+        let ctrl_final = |p: DpNodeId| out_ctrl[p.index()];
+        let mut wl = Worklist::new(MAX_SWEEPS as u32);
+        for i in 0..m {
+            wl.push(1, i);
+        }
+        while let Some((sweep, i)) = wl.pop() {
+            let arc = dp.arc(DpArcId::from_index(i));
+            let new = obs_candidate(dp, arc, &ctrl_final, &|a: DpArcId| arc_obs[a.index()]);
+            if new.better_than(arc_obs[i]) {
+                arc_obs[i] = new;
+                obs_hist[i].push((sweep, new));
+                updates += 1;
+                for &dep in dp.in_arc_ids(arc.from()) {
+                    wl.push_after(sweep, i, dep.index());
+                }
+            }
+        }
+
+        TestabilityAnalysis {
+            out_ctrl,
+            arc_obs,
+            sweeps_used,
+            updates,
+            ctrl_hist: Histories::pack(ctrl_hist),
+            obs_hist: Histories::pack(obs_hist),
+        }
+    }
+
+    /// Run the analysis to fixpoint with dense Gauss–Seidel sweeps — the
+    /// original reference solver the worklist and incremental paths are
+    /// verified against. Records no update histories, so a result from
+    /// here cannot seed [`TestabilityAnalysis::reanalyze`](Self::reanalyze)
+    /// incrementally (it falls back to a full analysis).
+    #[must_use]
+    pub fn analyze_dense(dp: &DataPath) -> Self {
         let n = dp.num_nodes();
         let mut out_ctrl = vec![Controllability::none(); n];
 
         // Seed sources.
         for node in dp.nodes() {
-            out_ctrl[node.id().index()] = match node.kind() {
-                DpNodeKind::PrimaryInput(_) => Controllability { cc: 1.0, sc: 0.0 },
-                // A constant drives one fixed value: usable, but useless
-                // for justifying arbitrary patterns.
-                DpNodeKind::Const(_) => Controllability { cc: 0.5, sc: 0.0 },
-                _ => Controllability::none(),
-            };
+            out_ctrl[node.id().index()] = ctrl_seed(node.kind());
         }
 
         // Forward fixpoint for controllability.
+        let mut updates = 0u64;
         let mut sweeps_used = 0;
         for sweep in 0..MAX_SWEEPS {
             sweeps_used = sweep + 1;
             let mut changed = false;
             for node in dp.nodes() {
                 let i = node.id().index();
-                let new = match node.kind() {
-                    DpNodeKind::PrimaryInput(_) | DpNodeKind::Const(_) => continue,
-                    DpNodeKind::Register(_) => {
-                        // best over input lines, plus one time frame
-                        let best = best_input(dp, node.id(), &out_ctrl);
-                        Controllability {
-                            cc: best.cc,
-                            sc: if best.sc >= UNREACHED {
-                                UNREACHED
-                            } else {
-                                best.sc + 1.0
-                            },
-                        }
-                    }
-                    DpNodeKind::Module { kinds, .. } => {
-                        module_output_ctrl(dp, node.id(), kinds.iter().copied(), &out_ctrl)
-                    }
-                    // Ports/conditions produce nothing further.
-                    DpNodeKind::PrimaryOutput(_) | DpNodeKind::ConditionOut(_) => continue,
-                    _ => continue,
+                let Some(new) = ctrl_candidate(dp, node.id(), &|p: DpNodeId| out_ctrl[p.index()])
+                else {
+                    continue;
                 };
                 if new.better_than(out_ctrl[i]) {
                     out_ctrl[i] = new;
                     changed = true;
+                    updates += 1;
                 }
             }
             if !changed {
@@ -179,66 +464,20 @@ impl TestabilityAnalysis {
 
         // Backward fixpoint for observability, per arc.
         let mut arc_obs = vec![Observability::none(); dp.num_arcs()];
-        // node output observability = best over its out-arcs
-        let node_out_obs = |dp: &DataPath, arc_obs: &[Observability], n: DpNodeId| {
-            dp.out_arcs(n).iter().map(|a| arc_obs[a.id().index()]).fold(
-                Observability::none(),
-                |acc, o| {
-                    if o.better_than(acc) {
-                        o
-                    } else {
-                        acc
-                    }
-                },
-            )
-        };
         for _sweep in 0..MAX_SWEEPS {
             let mut changed = false;
             for arc in dp.arcs() {
-                let sink = dp.node(arc.to());
-                let new = match sink.kind() {
-                    DpNodeKind::PrimaryOutput(_) => Observability { co: 1.0, so: 0.0 },
-                    // a condition is observed through the controller's
-                    // branching behavior: indirect but cheap
-                    DpNodeKind::ConditionOut(_) => Observability { co: 0.9, so: 0.0 },
-                    DpNodeKind::Register(_) => {
-                        let out = node_out_obs(dp, &arc_obs, sink.id());
-                        Observability {
-                            co: out.co,
-                            so: if out.so >= UNREACHED {
-                                UNREACHED
-                            } else {
-                                out.so + 1.0
-                            },
-                        }
-                    }
-                    DpNodeKind::Module { kinds, .. } => {
-                        let out = node_out_obs(dp, &arc_obs, sink.id());
-                        if out.so >= UNREACHED {
-                            Observability::none()
-                        } else {
-                            // propagating through the module requires
-                            // controlling its other input ports
-                            let side = side_ports_ctrl(dp, sink.id(), arc.port(), &out_ctrl);
-                            let f = kinds.iter().copied().map(otf).fold(1.0, f64::min);
-                            Observability {
-                                co: f * out.co * side.cc,
-                                so: out.so
-                                    + if side.sc >= UNREACHED {
-                                        // no side value needed (unary)
-                                        0.0
-                                    } else {
-                                        side.sc
-                                    },
-                            }
-                        }
-                    }
-                    _ => Observability::none(),
-                };
+                let new = obs_candidate(
+                    dp,
+                    arc,
+                    &|p: DpNodeId| out_ctrl[p.index()],
+                    &|a: DpArcId| arc_obs[a.index()],
+                );
                 let slot = &mut arc_obs[arc.id().index()];
                 if new.better_than(*slot) {
                     *slot = new;
                     changed = true;
+                    updates += 1;
                 }
             }
             if !changed {
@@ -250,7 +489,18 @@ impl TestabilityAnalysis {
             out_ctrl,
             arc_obs,
             sweeps_used,
+            updates,
+            ctrl_hist: Histories::none(),
+            obs_hist: Histories::none(),
         }
+    }
+
+    /// Whether this result carries the update histories the incremental
+    /// re-analysis needs (worklist and incremental results do; dense
+    /// results do not).
+    #[must_use]
+    pub fn has_history(&self) -> bool {
+        self.ctrl_hist.len() == self.out_ctrl.len() && self.obs_hist.len() == self.arc_obs.len()
     }
 
     /// Controllability of a node's output line.
@@ -308,13 +558,23 @@ impl TestabilityAnalysis {
     pub fn sweeps_used(&self) -> usize {
         self.sweeps_used
     }
+
+    /// Number of accepted value updates propagated beyond the seeds —
+    /// the quantity the worklist's cost actually scales with.
+    #[must_use]
+    pub fn updates_propagated(&self) -> u64 {
+        self.updates
+    }
 }
 
 /// Best controllability over all input lines of `node`.
-fn best_input(dp: &DataPath, node: DpNodeId, out_ctrl: &[Controllability]) -> Controllability {
+fn best_input<F>(dp: &DataPath, node: DpNodeId, ctrl_of: &F) -> Controllability
+where
+    F: Fn(DpNodeId) -> Controllability,
+{
     dp.in_arcs(node)
         .iter()
-        .map(|a| out_ctrl[a.from().index()])
+        .map(|a| ctrl_of(a.from()))
         .fold(Controllability::none(), |acc, c| {
             if c.better_than(acc) {
                 c
@@ -327,12 +587,15 @@ fn best_input(dp: &DataPath, node: DpNodeId, out_ctrl: &[Controllability]) -> Co
 /// Output controllability of a module: CTF × the *worst* port (to control
 /// the output you must control every input port; each port contributes
 /// its best source).
-fn module_output_ctrl(
+fn module_output_ctrl<F>(
     dp: &DataPath,
     node: DpNodeId,
     kinds: impl Iterator<Item = OpKind>,
-    out_ctrl: &[Controllability],
-) -> Controllability {
+    ctrl_of: &F,
+) -> Controllability
+where
+    F: Fn(DpNodeId) -> Controllability,
+{
     let f = kinds.map(ctf).fold(1.0, f64::min);
     let ins = dp.in_arcs(node);
     let max_port = ins.iter().map(|a| a.port()).max().unwrap_or(0);
@@ -342,7 +605,7 @@ fn module_output_ctrl(
         let best = ins
             .iter()
             .filter(|a| a.port() == port)
-            .map(|a| out_ctrl[a.from().index()])
+            .map(|a| ctrl_of(a.from()))
             .fold(Controllability::none(), |acc, c| {
                 if c.better_than(acc) {
                     c
@@ -362,12 +625,10 @@ fn module_output_ctrl(
 /// Combined controllability of all ports of `node` other than `port` —
 /// the side values that must be justified to propagate through the
 /// module. Returns the *worst* side port (all must be set).
-fn side_ports_ctrl(
-    dp: &DataPath,
-    node: DpNodeId,
-    port: usize,
-    out_ctrl: &[Controllability],
-) -> Controllability {
+fn side_ports_ctrl<F>(dp: &DataPath, node: DpNodeId, port: usize, ctrl_of: &F) -> Controllability
+where
+    F: Fn(DpNodeId) -> Controllability,
+{
     let ins = dp.in_arcs(node);
     let max_port = ins.iter().map(|a| a.port()).max().unwrap_or(0);
     let mut cc: f64 = 1.0;
@@ -380,7 +641,7 @@ fn side_ports_ctrl(
         let best = ins
             .iter()
             .filter(|a| a.port() == p)
-            .map(|a| out_ctrl[a.from().index()])
+            .map(|a| ctrl_of(a.from()))
             .fold(Controllability::none(), |acc, c| {
                 if c.better_than(acc) {
                     c
@@ -404,6 +665,24 @@ fn side_ports_ctrl(
             sc: UNREACHED,
         }
     }
+}
+
+/// Node output observability: best over the node's out-arcs (the fold
+/// keeps the earliest arc on rank ties, exactly like the dense code).
+fn node_out_obs<G>(dp: &DataPath, node: DpNodeId, obs_of: &G) -> Observability
+where
+    G: Fn(DpArcId) -> Observability,
+{
+    dp.out_arcs(node)
+        .iter()
+        .map(|a| obs_of(a.id()))
+        .fold(Observability::none(), |acc, o| {
+            if o.better_than(acc) {
+                o
+            } else {
+                acc
+            }
+        })
 }
 
 #[cfg(test)]
@@ -561,5 +840,36 @@ mod tests {
         assert!(mid.scalar() > bad.scalar());
         let o1 = Observability { co: 0.9, so: 1.0 };
         assert!(o1.scalar() > Observability::none().scalar());
+    }
+
+    #[test]
+    fn worklist_matches_dense_on_chains_and_loops() {
+        for len in 1..6 {
+            let d = chain(len);
+            let (e, _, _) = lower(&d);
+            let dp = e.data_path();
+            let wl = TestabilityAnalysis::analyze(dp);
+            let dense = TestabilityAnalysis::analyze_dense(dp);
+            assert!(wl == dense, "len={len}: worklist diverged from dense");
+            assert_eq!(wl.sweeps_used(), dense.sweeps_used(), "len={len}");
+            assert!(wl.has_history());
+            assert!(!dense.has_history());
+        }
+    }
+
+    #[test]
+    fn histories_start_at_seed_and_are_monotone_in_sweep() {
+        let d = chain(3);
+        let (e, _, _) = lower(&d);
+        let dp = e.data_path();
+        let ta = TestabilityAnalysis::analyze(dp);
+        assert_eq!(ta.ctrl_hist.len(), dp.num_nodes());
+        for i in 0..ta.ctrl_hist.len() {
+            let h = ta.ctrl_hist.slice(i);
+            assert_eq!(h.first().map(|&(s, _)| s), Some(0), "node {i} seed");
+            assert!(h.windows(2).all(|w| w[0].0 < w[1].0), "node {i} stamps");
+            let last = h.last().expect("seeded").1;
+            assert_eq!(last, ta.out_ctrl[i], "node {i} final");
+        }
     }
 }

@@ -1,0 +1,307 @@
+//! The shared, thread-safe testability-analysis engine.
+//!
+//! Algorithm 1 re-runs the CC/SC/CO/SO fixpoint constantly: once per
+//! outer iteration to drive candidate selection, and once per candidate
+//! inside the SR1/SR2 rescheduling merit checks. Two observations make
+//! this cheap, mirroring the critical-path engine in `hlts-etpn`:
+//!
+//! 1. **Repetition.** The analysis result depends only on the data
+//!    path's *structure* (nodes + wiring), which in turn depends only on
+//!    the behavior and the allocation — the schedule merely changes arc
+//!    guards, which the fixpoint never reads. So the SR2 reschedule
+//!    variants of a candidate, the re-examinations of rejected
+//!    candidates in later iterations, and the baseline of iteration
+//!    *i + 1* (the committed trial of iteration *i*) all share results.
+//!    Memoizing on [`DataPath::structural_hash`] turns them into
+//!    lookups.
+//! 2. **Locality.** A genuinely new structure differs from the current
+//!    iteration's baseline in one merge's fan-in/fan-out cone. Keeping
+//!    that baseline as an *anchor*, a miss is resolved by
+//!    [`TestabilityAnalysis::reanalyze`] — a dirty-cone replay that is
+//!    bit-identical to a full run — instead of from scratch.
+//!
+//! The engine is shared by all candidate evaluations of a synthesis
+//! run, including parallel ones: the memo and anchor sit behind
+//! [`Mutex`]es held only for lookup/insert/clone, and the counters are
+//! atomics. Because every path (memoized, incremental, full) returns
+//! bit-identical values, sharing across threads can never change a
+//! result — only which counter ticks. Counter values themselves are
+//! therefore *not* deterministic under parallelism (two threads can
+//! race to the same miss) and are excluded from result equality
+//! downstream.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hlts_etpn::DataPath;
+
+use crate::analysis::TestabilityAnalysis;
+
+/// Counters describing how an engine resolved its queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TestabilityCacheStats {
+    /// Queries answered from the memo.
+    pub hits: u64,
+    /// Queries that had to compute a fresh result.
+    pub misses: u64,
+    /// Misses resolved incrementally from the anchor solution.
+    pub incremental: u64,
+    /// Misses resolved by a full worklist analysis.
+    pub full: u64,
+    /// Accepted value updates propagated across all computed analyses —
+    /// the work the worklist actually did (a dense solver would pay
+    /// `sweeps × (nodes + arcs)` evaluations instead).
+    pub updates_propagated: u64,
+}
+
+impl TestabilityCacheStats {
+    /// Fraction of queries answered from the memo (0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoizing, thread-safe testability evaluator for data paths.
+///
+/// Create one per synthesis run (`DesignState` in `hlts-core` carries
+/// one and shares it across clones) and route every analysis through
+/// it; see the module docs for why this is sound and fast.
+#[derive(Debug, Default)]
+pub struct TestabilityEngine {
+    memo: Mutex<HashMap<u64, Arc<TestabilityAnalysis>>>,
+    anchor: Mutex<Option<(u64, DataPath, Arc<TestabilityAnalysis>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    incremental: AtomicU64,
+    full: AtomicU64,
+    updates_propagated: AtomicU64,
+}
+
+impl TestabilityEngine {
+    /// An empty engine.
+    #[must_use]
+    pub fn new() -> Self {
+        TestabilityEngine::default()
+    }
+
+    /// The testability analysis of `dp`, memoized by structural hash.
+    ///
+    /// Equal to [`TestabilityAnalysis::analyze`] by construction: a hit
+    /// returns a previously computed result for an identical structure,
+    /// and a miss computes either incrementally from the anchor (itself
+    /// bit-identical to a full run) or from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal mutex was poisoned (a prior panic in
+    /// another evaluation thread).
+    #[must_use]
+    pub fn analyze(&self, dp: &DataPath) -> Arc<TestabilityAnalysis> {
+        let key = dp.structural_hash();
+        if let Some(a) = self.memo.lock().expect("engine memo poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(a);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let anchored = {
+            let anchor = self.anchor.lock().expect("engine anchor poisoned");
+            anchor
+                .as_ref()
+                .filter(|(akey, _, _)| *akey != key)
+                .map(|(_, adp, asol)| (adp.clone(), Arc::clone(asol)))
+        };
+        let result = match anchored {
+            Some((adp, asol)) => {
+                self.incremental.fetch_add(1, Ordering::Relaxed);
+                asol.reanalyze(&adp, dp, &[])
+            }
+            None => {
+                self.full.fetch_add(1, Ordering::Relaxed);
+                TestabilityAnalysis::analyze(dp)
+            }
+        };
+        self.updates_propagated
+            .fetch_add(result.updates_propagated(), Ordering::Relaxed);
+        let result = Arc::new(result);
+        self.memo
+            .lock()
+            .expect("engine memo poisoned")
+            .insert(key, Arc::clone(&result));
+        result
+    }
+
+    /// Declare `solution` (for `dp`) the anchor that subsequent misses
+    /// re-analyze incrementally from. Call once per outer iteration with
+    /// the baseline analysis; candidates then differ from it by one
+    /// merge cone. The anchor influences *how* misses are computed,
+    /// never what they evaluate to, so a stale anchor is harmless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal mutex was poisoned.
+    pub fn set_anchor(&self, dp: &DataPath, solution: &Arc<TestabilityAnalysis>) {
+        let key = dp.structural_hash();
+        self.memo
+            .lock()
+            .expect("engine memo poisoned")
+            .insert(key, Arc::clone(solution));
+        *self.anchor.lock().expect("engine anchor poisoned") =
+            Some((key, dp.clone(), Arc::clone(solution)));
+    }
+
+    /// Snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> TestabilityCacheStats {
+        TestabilityCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            incremental: self.incremental.load(Ordering::Relaxed),
+            full: self.full.load(Ordering::Relaxed),
+            updates_propagated: self.updates_propagated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of memoized analyses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal mutex was poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.memo.lock().expect("engine memo poisoned").len()
+    }
+
+    /// Whether the memo is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all memoized results and the anchor (counters are kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal mutex was poisoned.
+    pub fn clear(&self) {
+        self.memo.lock().expect("engine memo poisoned").clear();
+        *self.anchor.lock().expect("engine anchor poisoned") = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlts_alloc::Allocation;
+    use hlts_dfg::{Dfg, DfgBuilder, OpKind};
+    use hlts_etpn::Etpn;
+    use hlts_sched::{list_schedule, ListPriority};
+
+    fn chain(len: usize) -> Dfg {
+        let mut b = DfgBuilder::new("chain");
+        let a = b.input("a");
+        let c = b.input("c");
+        let mut cur = a;
+        for i in 0..len {
+            cur = b
+                .op(&format!("N{i}"), OpKind::Add, &[cur, c], &format!("t{i}"))
+                .unwrap();
+        }
+        b.mark_output(cur);
+        b.finish().unwrap()
+    }
+
+    fn lower(dfg: &Dfg, alloc: &Allocation) -> Etpn {
+        let s = list_schedule(dfg, &[], ListPriority::CriticalPath).unwrap();
+        Etpn::from_parts(dfg, &s, alloc).unwrap()
+    }
+
+    #[test]
+    fn engine_matches_reference() {
+        let engine = TestabilityEngine::new();
+        for len in 1..5 {
+            let d = chain(len);
+            let alloc = Allocation::one_to_one(&d);
+            let e = lower(&d, &alloc);
+            let got = engine.analyze(e.data_path());
+            let want = TestabilityAnalysis::analyze(e.data_path());
+            assert!(*got == want, "len={len}");
+        }
+        assert_eq!(engine.stats().misses, 4);
+        assert_eq!(engine.stats().full, 4, "no anchor: all misses are full");
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_memo() {
+        let engine = TestabilityEngine::new();
+        let d = chain(3);
+        let alloc = Allocation::one_to_one(&d);
+        let e = lower(&d, &alloc);
+        let first = engine.analyze(e.data_path());
+        for _ in 0..5 {
+            let again = engine.analyze(e.data_path());
+            assert!(Arc::ptr_eq(&first, &again), "hits share the allocation");
+        }
+        let s = engine.stats();
+        assert_eq!((s.hits, s.misses), (5, 1));
+        assert!(s.hit_rate() > 0.8);
+        assert_eq!(engine.len(), 1);
+    }
+
+    #[test]
+    fn anchored_misses_resolve_incrementally_and_identically() {
+        let d = chain(3);
+        let base_alloc = Allocation::one_to_one(&d);
+        let base = lower(&d, &base_alloc);
+
+        let mut alloc = base_alloc.clone();
+        let r0 = alloc.register_of(d.value_by_name("t0").unwrap()).unwrap();
+        let r2 = alloc.register_of(d.value_by_name("t2").unwrap()).unwrap();
+        alloc.merge_registers(r0, r2).unwrap();
+        let merged = lower(&d, &alloc);
+
+        let engine = TestabilityEngine::new();
+        let baseline = engine.analyze(base.data_path());
+        engine.set_anchor(base.data_path(), &baseline);
+        let got = engine.analyze(merged.data_path());
+        let want = TestabilityAnalysis::analyze(merged.data_path());
+        assert!(*got == want, "incremental hit must be bit-identical");
+        let s = engine.stats();
+        assert_eq!(s.incremental, 1);
+        assert_eq!(s.full, 1);
+    }
+
+    #[test]
+    fn set_anchor_also_memoizes_the_baseline() {
+        let d = chain(2);
+        let alloc = Allocation::one_to_one(&d);
+        let e = lower(&d, &alloc);
+        let engine = TestabilityEngine::new();
+        let sol = Arc::new(TestabilityAnalysis::analyze(e.data_path()));
+        engine.set_anchor(e.data_path(), &sol);
+        let got = engine.analyze(e.data_path());
+        assert!(Arc::ptr_eq(&sol, &got));
+        assert_eq!(engine.stats().hits, 1);
+        assert_eq!(engine.stats().misses, 0);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let d = chain(2);
+        let alloc = Allocation::one_to_one(&d);
+        let e = lower(&d, &alloc);
+        let engine = TestabilityEngine::new();
+        let _ = engine.analyze(e.data_path());
+        engine.clear();
+        assert!(engine.is_empty());
+        assert_eq!(engine.stats().misses, 1);
+        let _ = engine.analyze(e.data_path());
+        assert_eq!(engine.stats().misses, 2, "cleared entry recomputes");
+    }
+}

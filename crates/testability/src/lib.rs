@@ -21,6 +21,16 @@
 //! * [`sequential_depth`] and [`total_co_depth`] — the register-to-
 //!   register sequential-depth metrics behind Lee et al.'s rule SR1 and
 //!   the paper's rescheduling strategy SR2.
+//!
+//! The analysis itself comes in three flavors sharing one transfer
+//! function: the production **worklist** solver
+//! ([`TestabilityAnalysis::analyze`]), the dense Gauss–Seidel
+//! **reference** ([`TestabilityAnalysis::analyze_dense`]) it is
+//! property-tested bit-identical to, and the **incremental** replay
+//! ([`TestabilityAnalysis::reanalyze`]) that re-solves only the dirty
+//! cone of a structurally close data path. [`TestabilityEngine`] caches
+//! all of it behind a structural hash so a synthesis run's candidate
+//! evaluations — including parallel ones — share results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,9 +38,13 @@
 mod analysis;
 mod balance;
 mod depth;
+mod engine;
 mod factors;
+mod incremental;
+mod worklist;
 
 pub use analysis::{Controllability, Observability, TestabilityAnalysis};
+pub use engine::{TestabilityCacheStats, TestabilityEngine};
 pub use balance::{balance_score, balance_score_profiles, NodeProfile};
 pub use depth::{register_adjacency, sequential_depth, total_co_depth};
 pub use factors::{ctf, otf};

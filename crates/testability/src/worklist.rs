@@ -1,0 +1,106 @@
+//! A sweep-indexed worklist that reproduces dense Gauss–Seidel order.
+//!
+//! The dense reference solver evaluates elements in ascending index
+//! order, sweep after sweep, with in-place updates. To be bit-identical
+//! to it, a worklist cannot be a plain FIFO: it must pop the pending
+//! element with the smallest `(sweep, index)` pair, so that an accepted
+//! change at index *i* during sweep *s* re-evaluates a dependent *j*
+//! within the same sweep when `j > i` (dense has not reached it yet this
+//! pass) and in sweep `s + 1` otherwise. [`Worklist::push_after`]
+//! encodes exactly that rule.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Pending evaluations, grouped by sweep and ordered by element index
+/// within a sweep. Sweeps beyond `max_sweep` are silently dropped,
+/// mirroring the dense solver's iteration cap.
+#[derive(Debug)]
+pub(crate) struct Worklist {
+    sweeps: BTreeMap<u32, BTreeSet<usize>>,
+    max_sweep: u32,
+}
+
+impl Worklist {
+    pub(crate) fn new(max_sweep: u32) -> Self {
+        Worklist {
+            sweeps: BTreeMap::new(),
+            max_sweep,
+        }
+    }
+
+    /// Schedule element `idx` for evaluation in `sweep` (1-based).
+    pub(crate) fn push(&mut self, sweep: u32, idx: usize) {
+        if (1..=self.max_sweep).contains(&sweep) {
+            self.sweeps.entry(sweep).or_default().insert(idx);
+        }
+    }
+
+    /// Schedule dependent `idx` after an accepted change at `cur_idx`
+    /// during `sweep`: same sweep if dense would still reach it this
+    /// pass (`idx > cur_idx`), next sweep otherwise.
+    pub(crate) fn push_after(&mut self, sweep: u32, cur_idx: usize, idx: usize) {
+        if idx > cur_idx {
+            self.push(sweep, idx);
+        } else {
+            self.push(sweep + 1, idx);
+        }
+    }
+
+    /// Pop the pending element with the smallest `(sweep, index)`.
+    pub(crate) fn pop(&mut self) -> Option<(u32, usize)> {
+        let (&sweep, set) = self.sweeps.iter_mut().next()?;
+        let idx = set.pop_first().expect("sweep sets are never left empty");
+        if set.is_empty() {
+            self.sweeps.remove(&sweep);
+        }
+        Some((sweep, idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_sweep_then_index_order() {
+        let mut wl = Worklist::new(4);
+        wl.push(2, 1);
+        wl.push(1, 7);
+        wl.push(1, 3);
+        wl.push(2, 0);
+        assert_eq!(wl.pop(), Some((1, 3)));
+        assert_eq!(wl.pop(), Some((1, 7)));
+        assert_eq!(wl.pop(), Some((2, 0)));
+        assert_eq!(wl.pop(), Some((2, 1)));
+        assert_eq!(wl.pop(), None);
+    }
+
+    #[test]
+    fn push_after_follows_gauss_seidel_visibility() {
+        let mut wl = Worklist::new(4);
+        wl.push_after(1, 5, 9); // downstream: same sweep
+        wl.push_after(1, 5, 2); // upstream: next sweep
+        wl.push_after(1, 5, 5); // self-loop: next sweep
+        assert_eq!(wl.pop(), Some((1, 9)));
+        assert_eq!(wl.pop(), Some((2, 2)));
+        assert_eq!(wl.pop(), Some((2, 5)));
+    }
+
+    #[test]
+    fn drops_sweeps_beyond_the_cap() {
+        let mut wl = Worklist::new(2);
+        wl.push(3, 0);
+        wl.push_after(2, 5, 1); // would be sweep 3
+        wl.push(0, 4); // sweep 0 is seeds, never scheduled
+        assert_eq!(wl.pop(), None);
+    }
+
+    #[test]
+    fn dedupes_within_a_sweep() {
+        let mut wl = Worklist::new(4);
+        wl.push(1, 2);
+        wl.push(1, 2);
+        assert_eq!(wl.pop(), Some((1, 2)));
+        assert_eq!(wl.pop(), None);
+    }
+}
