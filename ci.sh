@@ -19,4 +19,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> bench smoke: testability solvers + speedup gate"
 cargo bench -q --bench testability --offline
 
+echo "==> bench smoke: merge-loop txn-vs-clone trial gate"
+cargo bench -q --bench merge_loop --offline
+
 echo "==> OK: build + tests + clippy + bench smoke all green"

@@ -26,7 +26,9 @@ mod error;
 mod left_edge;
 mod module_alloc;
 
-pub use binding::{Allocation, Module, ModuleId, Register, RegisterId};
+pub use binding::{
+    Allocation, Module, ModuleId, ModuleMergeUndo, Register, RegisterId, RegisterMergeUndo,
+};
 pub use connectivity::{
     connectivity_merge, module_merge_gain, register_merge_gain, ConnectivityParams,
 };

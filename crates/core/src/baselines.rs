@@ -26,6 +26,7 @@ use crate::candidates::MergeKind;
 use crate::resched::{
     merge_modules_with_resched_using, merge_registers_with_resched_using, OrderStrategy,
 };
+use crate::txn::trial_merge;
 use crate::{CoreError, DesignState, SynthesisParams, SynthesisResult};
 
 /// CAMAD-style synthesis: iterative mergers ranked by connectivity gain
@@ -102,40 +103,39 @@ pub fn camad(dfg: &Dfg, params: &SynthesisParams) -> Result<SynthesisResult, Cor
         let h0 = estimate_cost(etpn.data_path(), params.bits, &params.library).total();
         let mut committed = false;
         for chunk in cands.chunks(params.k.max(1)) {
-            let mut best: Option<(f64, DesignState, String)> = None;
-            for (_, kind) in chunk {
-                let mut trial = state.clone();
-                let ok = match *kind {
-                    MergeKind::Modules(a, b) => merge_modules_with_resched_using(
-                        &mut trial,
-                        a,
-                        b,
-                        OrderStrategy::CriticalPath,
-                    )
-                    .is_ok(),
-                    MergeKind::Registers(a, b) => merge_registers_with_resched_using(
-                        &mut trial,
-                        a,
-                        b,
-                        OrderStrategy::CriticalPath,
-                    )
-                    .is_ok(),
-                };
-                if !ok {
-                    continue;
-                }
-                let Ok(etpn1) = trial.lower() else { continue };
-                let e1 = etpn1.execution_time() as f64;
-                let h1 = estimate_cost(etpn1.data_path(), params.bits, &params.library).total();
-                let dc = params.alpha * (e1 - e0) + params.beta * (h1 - h0);
-                if best.as_ref().is_none_or(|(b, _, _)| dc < *b) {
-                    best = Some((dc, trial, format!("camad {kind:?}")));
+            // Apply → price → rollback, like the integrated loop; only
+            // the pricing differs (direct lower + estimate, no ΔC cache).
+            let mut best: Option<(f64, MergeKind)> = None;
+            for &(_, kind) in chunk {
+                let dc = trial_merge(&mut state, kind, OrderStrategy::CriticalPath, |trial| {
+                    let etpn1 = trial.lower().ok()?;
+                    let e1 = etpn1.execution_time() as f64;
+                    let h1 = estimate_cost(etpn1.data_path(), params.bits, &params.library).total();
+                    Some(params.alpha * (e1 - e0) + params.beta * (h1 - h0))
+                });
+                let Some(dc) = dc else { continue };
+                if best.as_ref().is_none_or(|(b, _)| dc < *b) {
+                    best = Some((dc, kind));
                 }
             }
-            if let Some((dc, trial, desc)) = best {
+            if let Some((dc, kind)) = best {
                 if dc <= params.accept_threshold {
-                    merge_log.push(format!("{desc} (ΔC = {dc:+.4})"));
-                    state = trial;
+                    // Re-apply the deterministic winner and commit it.
+                    match kind {
+                        MergeKind::Modules(a, b) => merge_modules_with_resched_using(
+                            &mut state,
+                            a,
+                            b,
+                            OrderStrategy::CriticalPath,
+                        )?,
+                        MergeKind::Registers(a, b) => merge_registers_with_resched_using(
+                            &mut state,
+                            a,
+                            b,
+                            OrderStrategy::CriticalPath,
+                        )?,
+                    }
+                    merge_log.push(format!("camad {kind:?} (ΔC = {dc:+.4})"));
                     committed = true;
                     break;
                 }
@@ -161,7 +161,7 @@ pub fn approach1(dfg: &Dfg, params: &SynthesisParams) -> Result<SynthesisResult,
     let lifetimes = Lifetimes::compute(dfg, &schedule);
     let register_groups = lee_register_allocation(dfg, &lifetimes);
     let allocation = Allocation::from_groups(dfg, &module_groups, &register_groups)?;
-    let state = DesignState::from_parts(dfg.clone(), schedule, allocation);
+    let state = DesignState::from_parts(dfg, schedule, allocation);
     state.validate()?;
     SynthesisResult::from_state(state, params.bits, &params.library, Vec::new())
 }
@@ -197,7 +197,7 @@ pub fn approach2(dfg: &Dfg, params: &SynthesisParams) -> Result<SynthesisResult,
     let lifetimes = Lifetimes::compute(dfg, &schedule);
     let register_groups = lee_register_allocation(dfg, &lifetimes);
     let allocation = Allocation::from_groups(dfg, &module_groups, &register_groups)?;
-    let state = DesignState::from_parts(dfg.clone(), schedule, allocation);
+    let state = DesignState::from_parts(dfg, schedule, allocation);
     state.validate()?;
     SynthesisResult::from_state(state, params.bits, &params.library, Vec::new())
 }

@@ -10,6 +10,11 @@
 //! * [`SynthesisParams`] — the paper's user parameters `k`, `α`, `β`,
 //!   plus the module library and bit width used for ΔH;
 //! * [`DesignState`] — the evolving (graph, schedule, allocation) triple;
+//! * [`StateTxn`] / [`trial_merge`] — the transaction layer: candidate
+//!   mergers are applied **in place**, priced, and rolled back through
+//!   a journal of fine-grained undo operations instead of cloning the
+//!   state (the [`oracle`] module preserves the clone-based
+//!   formulation as a golden reference);
 //! * [`baselines`] — the three comparison flows of the evaluation
 //!   section: CAMAD-style connectivity synthesis, Approach 1
 //!   (force-directed scheduling + Lee allocation) and Approach 2
@@ -44,9 +49,11 @@ pub mod baselines;
 mod candidates;
 mod delta_eval;
 mod error;
+pub mod oracle;
 mod report;
 mod resched;
 mod state;
+mod txn;
 
 pub use algorithm::{EvalMode, IntegratedSynthesizer, SelectionPolicy, SynthesisParams};
 pub use candidates::{MergeCandidate, MergeKind};
@@ -58,6 +65,7 @@ pub use resched::{
     merge_registers_with_resched, merge_registers_with_resched_using, OrderStrategy,
 };
 pub use state::DesignState;
+pub use txn::{trial_merge, StateTxn, TxnSavepoint, TxnStats};
 
 // The shared testability engine lives in `hlts-testability`; re-export
 // the pieces `SynthesisResult` and `DesignState` expose so downstream

@@ -6,7 +6,7 @@ use hlts_dfg::Dfg;
 use hlts_sched::Schedule;
 use hlts_testability::{total_co_depth, NodeProfile, TestabilityCacheStats};
 
-use crate::{CoreError, DesignState};
+use crate::{CoreError, DesignState, TxnStats};
 
 /// Structural and testability metrics of a finished design — the
 /// columns of the paper's Tables 1–3 that come from synthesis itself
@@ -87,10 +87,16 @@ pub struct SynthesisResult {
     /// outcome) are not deterministic — which is why they are excluded
     /// from equality.
     pub testability_stats: TestabilityCacheStats,
+    /// How the run exercised the transaction layer: trials begun,
+    /// rolled back and committed, and journal undo operations recorded
+    /// and replayed. Diagnostics only, excluded from equality like
+    /// `testability_stats`.
+    pub txn_stats: TxnStats,
 }
 
-/// Everything except `testability_stats`: results compare by what was
-/// synthesized, not by how the caches happened to be exercised.
+/// Everything except `testability_stats`/`txn_stats`: results compare
+/// by what was synthesized, not by how the caches and journals happened
+/// to be exercised.
 impl PartialEq for SynthesisResult {
     fn eq(&self, other: &Self) -> bool {
         self.dfg == other.dfg
@@ -110,6 +116,7 @@ impl SynthesisResult {
     ) -> Result<Self, CoreError> {
         let metrics = DesignMetrics::of(&state, bits, library)?;
         let testability_stats = state.testability_engine().stats();
+        let txn_stats = state.txn_stats();
         Ok(SynthesisResult {
             dfg: state.dfg,
             schedule: state.schedule,
@@ -117,6 +124,7 @@ impl SynthesisResult {
             metrics,
             merge_log,
             testability_stats,
+            txn_stats,
         })
     }
 
@@ -146,6 +154,12 @@ impl SynthesisResult {
             t.full,
             t.updates_propagated,
             t.hit_rate() * 100.0,
+        ));
+        let x = &self.txn_stats;
+        out.push_str(&format!(
+            "txn journal: {} trials begun ({} rolled back, {} committed), \
+             {} undo ops recorded, {} replayed\n",
+            x.begun, x.rolled_back, x.committed, x.ops_recorded, x.ops_replayed,
         ));
         out
     }

@@ -14,11 +14,20 @@
 //!   orders of the first free pair and keeping the one with the smaller
 //!   controllable-to-observable depth, tie-broken by the smaller
 //!   critical-path increase.
+//!
+//! All tentative work — the SR2 what-if probes, the per-pair lifetime
+//! feasibility checks, and the merger itself — runs **in place** inside
+//! a [`StateTxn`], rolled back to a savepoint instead of cloning the
+//! design state (see `crate::txn`). The public entry points open a
+//! transaction, apply, and commit on success; on failure the
+//! transaction drops and the state is restored bit-identically.
 
 use hlts_alloc::{ModuleId, RegisterId};
 use hlts_dfg::{Dfg, OpId, ValueId};
 use hlts_testability::total_co_depth;
 
+use crate::candidates::MergeKind;
+use crate::txn::StateTxn;
 use crate::{CoreError, DesignState};
 
 /// One scheduling-constraint arc; `weak` means "no later than" (the same
@@ -138,22 +147,52 @@ fn sr1_merit(state: &DesignState) -> Result<(f64, usize), CoreError> {
     ))
 }
 
-/// Apply `arcs` to a clone of `state` and reschedule; `None` when the
-/// arcs are cyclic or the reschedule fails.
-fn try_arcs(state: &DesignState, arcs: &[PrecArc]) -> Option<DesignState> {
-    let mut s = state.clone();
+/// Apply `arcs` inside the open transaction and reschedule; `false`
+/// when the arcs are cyclic or the reschedule fails. The applied edits
+/// stay journaled either way — the **caller** rolls back to its own
+/// savepoint (probes) or keeps them (commits); on failure the journal
+/// holds whatever prefix was applied, which the caller's rollback
+/// undoes.
+fn probe_arcs(txn: &mut StateTxn<'_>, arcs: &[PrecArc]) -> bool {
     for &PrecArc { from, to, weak } in arcs {
         if weak {
-            if s.dfg.reaches(from, to) {
+            if txn.state().dfg.reaches(from, to) {
                 continue;
             }
-            s.dfg.add_weak_precedence(from, to).ok()?;
-        } else {
-            s.dfg.add_precedence(from, to).ok()?;
+            if txn.add_weak_precedence(from, to).is_err() {
+                return false;
+            }
+        } else if txn.add_precedence(from, to).is_err() {
+            return false;
         }
     }
-    s.reschedule().ok()?;
-    Some(s)
+    txn.reschedule().is_ok()
+}
+
+/// Whether `arcs` can be applied and rescheduled; the state is rolled
+/// back to its pre-probe form before returning.
+fn arcs_feasible(txn: &mut StateTxn<'_>, arcs: &[PrecArc]) -> bool {
+    let sp = txn.savepoint();
+    let ok = probe_arcs(txn, arcs);
+    txn.rollback_to(sp);
+    ok
+}
+
+/// Probe `arcs` and measure the resulting state's SR1 merit, rolling
+/// back afterwards. `None` when the arcs are infeasible; `Some(Err)`
+/// when they apply but the merit analysis fails.
+fn probe_merit(
+    txn: &mut StateTxn<'_>,
+    arcs: &[PrecArc],
+) -> Option<Result<(f64, usize), CoreError>> {
+    let sp = txn.savepoint();
+    let out = if probe_arcs(txn, arcs) {
+        Some(sr1_merit(txn.state()))
+    } else {
+        None
+    };
+    txn.rollback_to(sp);
+    out
 }
 
 /// Convenience for strict-only arc lists (module-merge ordering).
@@ -170,22 +209,25 @@ fn strict(pairs: &[(OpId, OpId)]) -> Vec<PrecArc> {
 
 /// SR2: pick between two tentative constraint sets by SR1 depth, then
 /// execution time. `true` means the first set wins. `None` when neither
-/// is feasible.
+/// is feasible. Both probes run sequentially in the transaction and are
+/// rolled back, so the state is unchanged on return — and because the
+/// merit is a pure function of the probed state, the choice is
+/// bit-identical to evaluating both sets on independent clones.
 fn sr2_choose(
-    state: &DesignState,
+    txn: &mut StateTxn<'_>,
     first: &[PrecArc],
     second: &[PrecArc],
     strategy: OrderStrategy,
 ) -> Option<bool> {
-    let s1 = try_arcs(state, first);
-    let s2 = try_arcs(state, second);
-    match (s1, s2) {
+    let m1 = probe_merit(txn, first);
+    let m2 = probe_merit(txn, second);
+    match (m1, m2) {
         (None, None) => None,
         (Some(_), None) => Some(true),
         (None, Some(_)) => Some(false),
-        (Some(a), Some(b)) => {
-            let ma = sr1_merit(&a).ok()?;
-            let mb = sr1_merit(&b).ok()?;
+        (Some(ra), Some(rb)) => {
+            let ma = ra.ok()?;
+            let mb = rb.ok()?;
             match strategy {
                 OrderStrategy::CoEnhancement => {
                     if (ma.0 - mb.0).abs() > 1e-9 {
@@ -227,7 +269,48 @@ pub fn merge_modules_with_resched_using(
     b: ModuleId,
     strategy: OrderStrategy,
 ) -> Result<(), CoreError> {
+    let mut txn = StateTxn::begin(state);
+    apply_module_merge(&mut txn, a, b, strategy)?; // on error: drop rolls back
+    txn.commit();
+    Ok(())
+}
+
+/// Dispatch a merge candidate onto the open transaction. On error the
+/// transaction is rolled back to its state at entry.
+///
+/// # Errors
+///
+/// As for [`merge_modules_with_resched`] /
+/// [`merge_registers_with_resched`].
+pub(crate) fn apply_merge(
+    txn: &mut StateTxn<'_>,
+    kind: MergeKind,
+    strategy: OrderStrategy,
+) -> Result<(), CoreError> {
+    let sp = txn.savepoint();
+    let applied = match kind {
+        MergeKind::Modules(a, b) => apply_module_merge(txn, a, b, strategy),
+        MergeKind::Registers(a, b) => apply_register_merge(txn, a, b, strategy),
+    };
+    if applied.is_err() {
+        txn.rollback_to(sp);
+    }
+    applied
+}
+
+/// The module-merge body, operating on an open transaction: merge-sort
+/// the two execution orders (SR2 resolving the first free decision),
+/// chain the order as precedence arcs, merge the binding, reschedule.
+/// On error the journal holds a prefix of the edits — the caller rolls
+/// back.
+fn apply_module_merge(
+    txn: &mut StateTxn<'_>,
+    a: ModuleId,
+    b: ModuleId,
+    strategy: OrderStrategy,
+) -> Result<(), CoreError> {
     let ops_of = |m: ModuleId| -> Vec<OpId> {
+        let state = txn.state();
         let mut ops = state
             .allocation
             .module(m)
@@ -243,32 +326,34 @@ pub fn merge_modules_with_resched_using(
     }
 
     // Merge-sort the two sequential orders into one (paper: "the main
-    // goal is to merge these two sequential orders into one").
-    let mut work = state.clone();
+    // goal is to merge these two sequential orders into one"). The SR2
+    // probes mutate and roll back the transaction; between decisions the
+    // state is exactly the pre-merge one.
     let mut merged: Vec<OpId> = Vec::with_capacity(seq_a.len() + seq_b.len());
     let (mut i, mut j) = (0usize, 0usize);
     let mut first_free_decision = true;
     while i < seq_a.len() && j < seq_b.len() {
         let (ha, hb) = (seq_a[i], seq_b[j]);
-        let take_a = if work.dfg.reaches(ha, hb) {
+        let take_a = if txn.state().dfg.reaches(ha, hb) {
             true
-        } else if work.dfg.reaches(hb, ha) {
+        } else if txn.state().dfg.reaches(hb, ha) {
             false
         } else if first_free_decision {
             first_free_decision = false;
-            sr2_choose(&work, &strict(&[(ha, hb)]), &strict(&[(hb, ha)]), strategy).ok_or_else(
+            sr2_choose(txn, &strict(&[(ha, hb)]), &strict(&[(hb, ha)]), strategy).ok_or_else(
                 || {
                     CoreError::MergeRejected(format!(
                         "no feasible order for `{}` and `{}`",
-                        work.dfg.op(ha).name(),
-                        work.dfg.op(hb).name()
+                        txn.state().dfg.op(ha).name(),
+                        txn.state().dfg.op(hb).name()
                     ))
                 },
             )?
         } else {
             // "then we decide the rest using a merge-sort heuristic":
             // keep the current schedule's relative order.
-            (work.schedule.step_of(ha), ha.index()) <= (work.schedule.step_of(hb), hb.index())
+            let s = &txn.state().schedule;
+            (s.step_of(ha), ha.index()) <= (s.step_of(hb), hb.index())
         };
         if take_a {
             merged.push(ha);
@@ -284,20 +369,19 @@ pub fn merge_modules_with_resched_using(
     // Materialize the order as a chain of precedence arcs.
     for w in merged.windows(2) {
         let (x, y) = (w[0], w[1]);
-        if !work.dfg.reaches(x, y) {
-            work.dfg.add_precedence(x, y).map_err(|_| {
+        if !txn.state().dfg.reaches(x, y) {
+            txn.add_precedence(x, y).map_err(|_| {
                 CoreError::MergeRejected(format!(
                     "ordering `{}` before `{}` is cyclic",
-                    work.dfg.op(x).name(),
-                    work.dfg.op(y).name()
+                    txn.state().dfg.op(x).name(),
+                    txn.state().dfg.op(y).name()
                 ))
             })?;
         }
     }
-    work.allocation.merge_modules(&work.dfg, a, b)?;
-    work.reschedule()?;
-    debug_assert!(work.validate().is_ok());
-    *state = work;
+    txn.merge_modules(a, b)?;
+    txn.reschedule()?;
+    debug_assert!(txn.state().validate().is_ok());
     Ok(())
 }
 
@@ -331,8 +415,22 @@ pub fn merge_registers_with_resched_using(
     b: RegisterId,
     strategy: OrderStrategy,
 ) -> Result<(), CoreError> {
+    let mut txn = StateTxn::begin(state);
+    apply_register_merge(&mut txn, a, b, strategy)?; // on error: drop rolls back
+    txn.commit();
+    Ok(())
+}
+
+/// The register-merge body, operating on an open transaction (see
+/// [`apply_module_merge`] for the contract).
+fn apply_register_merge(
+    txn: &mut StateTxn<'_>,
+    a: RegisterId,
+    b: RegisterId,
+    strategy: OrderStrategy,
+) -> Result<(), CoreError> {
     let vals_of = |r: RegisterId| -> Vec<ValueId> {
-        state
+        txn.state()
             .allocation
             .register(r)
             .map(|x| x.values().to_vec())
@@ -347,7 +445,8 @@ pub fn merge_registers_with_resched_using(
     // Veto case 2: a common consumer needs both values at once.
     for &x in &va {
         for &y in &vb {
-            let clash = state
+            let clash = txn
+                .state()
                 .dfg
                 .ops()
                 .iter()
@@ -355,38 +454,39 @@ pub fn merge_registers_with_resched_using(
             if clash {
                 return Err(CoreError::MergeRejected(format!(
                     "`{}` and `{}` feed one operation together",
-                    state.dfg.value(x).name(),
-                    state.dfg.value(y).name()
+                    txn.state().dfg.value(x).name(),
+                    txn.state().dfg.value(y).name()
                 )));
             }
         }
     }
 
-    let lt = state.lifetimes();
+    let lt = txn.state().lifetimes();
     let birth = |v: ValueId| lt.interval(v).map_or(usize::MAX, |iv| iv.birth);
     let mut seq_a = va;
     let mut seq_b = vb;
     seq_a.sort_by_key(|&v| (birth(v), v.index()));
     seq_b.sort_by_key(|&v| (birth(v), v.index()));
 
-    let mut work = state.clone();
     let mut merged: Vec<ValueId> = Vec::with_capacity(seq_a.len() + seq_b.len());
     let (mut i, mut j) = (0usize, 0usize);
     let mut first_free_decision = true;
     while i < seq_a.len() && j < seq_b.len() {
         let (ha, hb) = (seq_a[i], seq_b[j]);
-        let ab = disjointness_arcs(&work.dfg, ha, hb).unwrap_or_default();
-        let ba = disjointness_arcs(&work.dfg, hb, ha).unwrap_or_default();
-        let a_feasible =
-            disjointness_arcs(&work.dfg, ha, hb).is_some() && try_arcs(&work, &ab).is_some();
-        let b_feasible =
-            disjointness_arcs(&work.dfg, hb, ha).is_some() && try_arcs(&work, &ba).is_some();
+        let ab = disjointness_arcs(&txn.state().dfg, ha, hb);
+        let ba = disjointness_arcs(&txn.state().dfg, hb, ha);
+        let a_feasible = ab
+            .as_deref()
+            .is_some_and(|arcs| arcs_feasible(txn, arcs));
+        let b_feasible = ba
+            .as_deref()
+            .is_some_and(|arcs| arcs_feasible(txn, arcs));
         let take_a = match (a_feasible, b_feasible) {
             (false, false) => {
                 return Err(CoreError::MergeRejected(format!(
                     "lifetimes of `{}` and `{}` can never be disjoint",
-                    work.dfg.value(ha).name(),
-                    work.dfg.value(hb).name()
+                    txn.state().dfg.value(ha).name(),
+                    txn.state().dfg.value(hb).name()
                 )))
             }
             (true, false) => true,
@@ -394,7 +494,13 @@ pub fn merge_registers_with_resched_using(
             (true, true) => {
                 if first_free_decision {
                     first_free_decision = false;
-                    sr2_choose(&work, &ab, &ba, strategy).unwrap_or(true)
+                    sr2_choose(
+                        txn,
+                        ab.as_deref().unwrap_or(&[]),
+                        ba.as_deref().unwrap_or(&[]),
+                        strategy,
+                    )
+                    .unwrap_or(true)
                 } else {
                     (birth(ha), ha.index()) <= (birth(hb), hb.index())
                 }
@@ -411,35 +517,36 @@ pub fn merge_registers_with_resched_using(
     merged.extend_from_slice(&seq_a[i..]);
     merged.extend_from_slice(&seq_b[j..]);
 
-    // Chain the merged order with disjointness constraints.
+    // Chain the merged order with disjointness constraints. Later pairs
+    // see the arcs of earlier ones (through the reachability filter in
+    // `disjointness_arcs`), exactly as in the clone-based formulation.
     for w in merged.windows(2) {
         let reject_msg = format!(
             "lifetime ordering of `{}` before `{}` is infeasible",
-            work.dfg.value(w[0]).name(),
-            work.dfg.value(w[1]).name()
+            txn.state().dfg.value(w[0]).name(),
+            txn.state().dfg.value(w[1]).name()
         );
-        let arcs = disjointness_arcs(&work.dfg, w[0], w[1])
+        let arcs = disjointness_arcs(&txn.state().dfg, w[0], w[1])
             .ok_or_else(|| CoreError::MergeRejected(reject_msg.clone()))?;
         for PrecArc { from, to, weak } in arcs {
             let added = if weak {
-                work.dfg.add_weak_precedence(from, to)
+                txn.add_weak_precedence(from, to)
             } else {
-                work.dfg.add_precedence(from, to)
+                txn.add_precedence(from, to)
             };
             added.map_err(|_| CoreError::MergeRejected(reject_msg.clone()))?;
         }
     }
-    work.allocation.merge_registers(a, b)?;
-    work.reschedule()?;
+    txn.merge_registers(a, b)?;
+    txn.reschedule()?;
     // Defense in depth: the arcs above should guarantee disjointness; if
     // an uncovered corner slips through, reject rather than commit an
     // overlapping register file.
-    if work.validate().is_err() {
+    if txn.state().validate().is_err() {
         return Err(CoreError::MergeRejected(
             "post-merge validation found overlapping lifetimes".into(),
         ));
     }
-    *state = work;
     Ok(())
 }
 
@@ -635,5 +742,31 @@ mod tests {
         // sharing one adder cannot make the depth worse here
         assert!(depth1 <= depth0 + 1e-9, "depth {depth0} -> {depth1}");
         st.validate().unwrap();
+    }
+
+    /// A failed merge attempt must leave zero residue: same arcs, same
+    /// schedule, same binding, bit for bit.
+    #[test]
+    fn rejected_merge_leaves_no_journal_residue() {
+        let mut b = DfgBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("c");
+        let t1 = b.op("N1", OpKind::Add, &[a, c], "t1").unwrap();
+        let t2 = b.op("N2", OpKind::Sub, &[a, c], "t2").unwrap();
+        let y = b.op("N3", OpKind::Mul, &[t1, t2], "y").unwrap();
+        b.mark_output(y);
+        let d = b.finish().unwrap();
+        let mut s = DesignState::initial(&d).unwrap();
+        let dfg_before = s.dfg.deep_clone();
+        let sched_before = s.schedule.clone();
+        let alloc_before = s.allocation.clone();
+        let (r1, r2) = (
+            s.allocation.register_of(t1).unwrap(),
+            s.allocation.register_of(t2).unwrap(),
+        );
+        assert!(merge_registers_with_resched(&mut s, r1, r2).is_err());
+        assert_eq!(s.dfg, dfg_before);
+        assert_eq!(s.schedule, sched_before);
+        assert_eq!(s.allocation, alloc_before);
     }
 }

@@ -8,16 +8,19 @@ use hlts_etpn::Etpn;
 use hlts_sched::{list_schedule, Lifetimes, ListPriority, Schedule};
 use hlts_testability::TestabilityEngine;
 
+use crate::txn::{StateTxn, TxnCounters, TxnStats};
 use crate::CoreError;
 
 /// A (graph, schedule, allocation) triple — the state Algorithm 1
 /// transforms. The graph accumulates the precedence arcs that
 /// materialize merge-imposed scheduling constraints.
 ///
-/// The state also carries the run's shared [`TestabilityEngine`]:
-/// cloning a state (every trial candidate is a clone) shares the same
-/// engine via [`Arc`], so all candidate evaluations — including the
-/// parallel shortlist threads — pool their memoized analyses.
+/// Trial mergers edit the state **in place** through a [`StateTxn`]
+/// (see [`DesignState::begin`]) and roll back via its undo journal;
+/// nothing on the candidate hot path clones the state. The parallel
+/// shortlist threads each take a [`DesignState::fork`] — a cheap copy
+/// whose graph shares the immutable [`Dfg`] core via [`Arc`] and which
+/// shares the run's [`TestabilityEngine`] and transaction counters.
 #[derive(Debug, Clone)]
 pub struct DesignState {
     /// The behavioral graph, including accumulated scheduling-constraint
@@ -29,6 +32,8 @@ pub struct DesignState {
     pub allocation: Allocation,
     /// Shared testability-analysis cache (see [`DesignState::testability_engine`]).
     testability: Arc<TestabilityEngine>,
+    /// Shared transaction-layer counters (see [`DesignState::txn_stats`]).
+    txn_counters: Arc<TxnCounters>,
 }
 
 impl DesignState {
@@ -42,28 +47,75 @@ impl DesignState {
     pub fn initial(dfg: &Dfg) -> Result<Self, CoreError> {
         let allocation = Allocation::one_to_one(dfg);
         let schedule = list_schedule(dfg, &[], ListPriority::CriticalPath)?;
-        Ok(DesignState::from_parts(dfg.clone(), schedule, allocation))
+        Ok(DesignState::from_parts(dfg, schedule, allocation))
     }
 
     /// Assemble a state from an explicit triple, with a fresh
-    /// testability engine.
+    /// testability engine. The graph is shared, not deep-copied: the
+    /// state's copy references the same immutable core.
     #[must_use]
-    pub fn from_parts(dfg: Dfg, schedule: Schedule, allocation: Allocation) -> Self {
+    pub fn from_parts(dfg: &Dfg, schedule: Schedule, allocation: Allocation) -> Self {
         DesignState {
-            dfg,
+            dfg: dfg.clone(),
             schedule,
             allocation,
             testability: Arc::new(TestabilityEngine::new()),
+            txn_counters: Arc::new(TxnCounters::default()),
         }
     }
 
-    /// The shared testability-analysis engine. All clones of a state
+    /// The shared testability-analysis engine. All forks of a state
     /// (the trial candidates of a synthesis run) reference the same
     /// engine, so memoized analyses are pooled across candidates and
     /// threads.
     #[must_use]
     pub fn testability_engine(&self) -> &TestabilityEngine {
         &self.testability
+    }
+
+    /// Open a transaction on this state (see [`StateTxn`]): edits apply
+    /// in place, journaled; dropping the transaction rolls them back,
+    /// [`StateTxn::commit`] keeps them.
+    pub fn begin(&mut self) -> StateTxn<'_> {
+        StateTxn::begin(self)
+    }
+
+    /// A cheap copy for a parallel evaluation worker: the schedule and
+    /// binding are copied (a worker's transactions must not touch the
+    /// base state), while the graph's immutable core, the testability
+    /// engine and the transaction counters are shared.
+    #[must_use]
+    pub fn fork(&self) -> DesignState {
+        self.clone()
+    }
+
+    /// Snapshot of the run's transaction-layer counters, aggregated
+    /// over this state and all its forks.
+    #[must_use]
+    pub fn txn_stats(&self) -> TxnStats {
+        self.txn_counters.snapshot()
+    }
+
+    /// A trial clone that deep-copies the graph (no shared core) — the
+    /// cost profile every per-candidate clone had before the
+    /// transaction layer existed. Used only by the clone oracle
+    /// (`crate::oracle`) and its benchmark; the engine and counters stay
+    /// shared, as they were then.
+    #[must_use]
+    pub fn deep_trial_clone(&self) -> DesignState {
+        DesignState {
+            dfg: self.dfg.deep_clone(),
+            schedule: self.schedule.clone(),
+            allocation: self.allocation.clone(),
+            testability: Arc::clone(&self.testability),
+            txn_counters: Arc::clone(&self.txn_counters),
+        }
+    }
+
+    /// The shared counter block, handed to transactions (which must be
+    /// able to count in `Drop` while the state is mutably borrowed).
+    pub(crate) fn txn_counters(&self) -> Arc<TxnCounters> {
+        Arc::clone(&self.txn_counters)
     }
 
     /// Re-solve the schedule under the current constraint arcs and

@@ -167,16 +167,18 @@ impl DfgBuilder {
     /// Returns any structural violation found by [`Dfg::validate`].
     pub fn finish(self) -> Result<Dfg, DfgError> {
         let dfg = Dfg {
-            name: self.name,
-            values: self.values,
-            ops: self.ops,
-            def: self.def,
-            uses: self.uses,
+            core: std::sync::Arc::new(crate::graph::DfgCore {
+                name: self.name,
+                values: self.values,
+                ops: self.ops,
+                def: self.def,
+                uses: self.uses,
+                loop_carried: self.loop_carried,
+                value_names: self.value_names,
+                op_names: self.op_names,
+            }),
             extra_prec: Vec::new(),
             weak_prec: Vec::new(),
-            loop_carried: self.loop_carried,
-            value_names: self.value_names,
-            op_names: self.op_names,
         };
         dfg.validate()?;
         Ok(dfg)

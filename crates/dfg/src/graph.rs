@@ -1,6 +1,6 @@
 use std::collections::HashMap;
 use std::fmt;
-
+use std::sync::Arc;
 
 use crate::{DfgError, OpKind, Value, ValueId, ValueKind};
 
@@ -88,15 +88,14 @@ impl fmt::Display for Operation {
 /// (see [`Dfg::add_precedence`]); the synthesis algorithm uses these to
 /// materialize the scheduling constraints imposed by module and register
 /// mergers.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Dfg {
-    pub(crate) name: String,
-    pub(crate) values: Vec<Value>,
-    pub(crate) ops: Vec<Operation>,
-    /// Defining operation per value (None for inputs/constants).
-    pub(crate) def: Vec<Option<OpId>>,
-    /// Consumer operations per value.
-    pub(crate) uses: Vec<Vec<OpId>>,
+    /// The data-flow content, fixed once built. Shared by reference:
+    /// cloning a `Dfg` bumps a refcount instead of copying every
+    /// operation, value, use list and name table — synthesis mutates
+    /// only the arc overlay below, so all trial states of a run share
+    /// one core.
+    pub(crate) core: Arc<DfgCore>,
     /// Extra precedence arcs (from, to) beyond data dependences.
     pub(crate) extra_prec: Vec<(OpId, OpId)>,
     /// Weak precedence arcs: `step(from) <= step(to)` (same step allowed).
@@ -104,83 +103,120 @@ pub struct Dfg {
     /// in the very step its successor value is defined (registers are
     /// read at the start of a cycle and written at its end).
     pub(crate) weak_prec: Vec<(OpId, OpId)>,
+}
+
+/// The immutable half of a [`Dfg`]: everything except the precedence-arc
+/// overlay. Built once by [`DfgBuilder`](crate::DfgBuilder)/the parser
+/// and never touched again, which is what makes sharing it via [`Arc`]
+/// sound.
+#[derive(Debug, PartialEq)]
+pub(crate) struct DfgCore {
+    pub(crate) name: String,
+    pub(crate) values: Vec<Value>,
+    pub(crate) ops: Vec<Operation>,
+    /// Defining operation per value (None for inputs/constants).
+    pub(crate) def: Vec<Option<OpId>>,
+    /// Consumer operations per value.
+    pub(crate) uses: Vec<Vec<OpId>>,
     /// Loop-carried value pairs `(produced, consumed-next-iteration)`.
     pub(crate) loop_carried: Vec<(ValueId, ValueId)>,
     pub(crate) value_names: HashMap<String, ValueId>,
     pub(crate) op_names: HashMap<String, OpId>,
 }
 
+impl PartialEq for Dfg {
+    fn eq(&self, other: &Self) -> bool {
+        (Arc::ptr_eq(&self.core, &other.core) || self.core == other.core)
+            && self.extra_prec == other.extra_prec
+            && self.weak_prec == other.weak_prec
+    }
+}
+
+/// A position in a [`Dfg`]'s precedence-arc overlay, taken with
+/// [`Dfg::arc_savepoint`] and restored with [`Dfg::truncate_arcs`].
+///
+/// The synthesis transaction journal uses this pair to undo a merger's
+/// scheduling constraints: arcs are only ever *appended* by
+/// [`Dfg::add_precedence`]/[`Dfg::add_weak_precedence`], so rolling back
+/// is a truncation. [`Dfg::remove_precedence`] breaks that discipline
+/// and must not be interleaved with an outstanding savepoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArcSavepoint {
+    strict: usize,
+    weak: usize,
+}
+
 impl Dfg {
     /// The graph's name (benchmark name).
     #[must_use]
     pub fn name(&self) -> &str {
-        &self.name
+        &self.core.name
     }
 
     /// Number of operations.
     #[must_use]
     pub fn num_ops(&self) -> usize {
-        self.ops.len()
+        self.core.ops.len()
     }
 
     /// Number of values.
     #[must_use]
     pub fn num_values(&self) -> usize {
-        self.values.len()
+        self.core.values.len()
     }
 
     /// All operations in id order.
     #[must_use]
     pub fn ops(&self) -> &[Operation] {
-        &self.ops
+        &self.core.ops
     }
 
     /// All values in id order.
     #[must_use]
     pub fn values(&self) -> &[Value] {
-        &self.values
+        &self.core.values
     }
 
     /// Look up an operation by id.
     #[must_use]
     pub fn op(&self, id: OpId) -> &Operation {
-        &self.ops[id.index()]
+        &self.core.ops[id.index()]
     }
 
     /// Look up a value by id.
     #[must_use]
     pub fn value(&self, id: ValueId) -> &Value {
-        &self.values[id.index()]
+        &self.core.values[id.index()]
     }
 
     /// Find an operation by name.
     #[must_use]
     pub fn op_by_name(&self, name: &str) -> Option<OpId> {
-        self.op_names.get(name).copied()
+        self.core.op_names.get(name).copied()
     }
 
     /// Find a value by name.
     #[must_use]
     pub fn value_by_name(&self, name: &str) -> Option<ValueId> {
-        self.value_names.get(name).copied()
+        self.core.value_names.get(name).copied()
     }
 
     /// The operation defining `value`, if any (inputs and constants have
     /// none).
     #[must_use]
     pub fn def_of(&self, value: ValueId) -> Option<OpId> {
-        self.def[value.index()]
+        self.core.def[value.index()]
     }
 
     /// The operations consuming `value`.
     #[must_use]
     pub fn uses_of(&self, value: ValueId) -> &[OpId] {
-        &self.uses[value.index()]
+        &self.core.uses[value.index()]
     }
 
     /// Iterator over primary-input value ids.
     pub fn inputs(&self) -> impl Iterator<Item = ValueId> + '_ {
-        self.values
+        self.core.values
             .iter()
             .filter(|v| v.kind.is_input())
             .map(Value::id)
@@ -188,7 +224,7 @@ impl Dfg {
 
     /// Iterator over primary-output value ids.
     pub fn outputs(&self) -> impl Iterator<Item = ValueId> + '_ {
-        self.values
+        self.core.values
             .iter()
             .filter(|v| v.kind.is_output())
             .map(Value::id)
@@ -197,7 +233,7 @@ impl Dfg {
     /// Loop-carried `(produced, consumed-next-iteration)` value pairs.
     #[must_use]
     pub fn loop_carried(&self) -> &[(ValueId, ValueId)] {
-        &self.loop_carried
+        &self.core.loop_carried
     }
 
     /// Direct data-dependence predecessors of `op` (producers of its
@@ -205,8 +241,8 @@ impl Dfg {
     #[must_use]
     pub fn data_preds(&self, op: OpId) -> Vec<OpId> {
         let mut out = Vec::new();
-        for &v in &self.ops[op.index()].inputs {
-            if let Some(p) = self.def[v.index()] {
+        for &v in &self.core.ops[op.index()].inputs {
+            if let Some(p) = self.core.def[v.index()] {
                 if !out.contains(&p) {
                     out.push(p);
                 }
@@ -220,8 +256,8 @@ impl Dfg {
     #[must_use]
     pub fn data_succs(&self, op: OpId) -> Vec<OpId> {
         let mut out = Vec::new();
-        if let Some(v) = self.ops[op.index()].output {
-            for &u in &self.uses[v.index()] {
+        if let Some(v) = self.core.ops[op.index()].output {
+            for &u in &self.core.uses[v.index()] {
                 if !out.contains(&u) {
                     out.push(u);
                 }
@@ -270,12 +306,12 @@ impl Dfg {
     /// unchanged) if the arc would make the precedence relation cyclic, and
     /// [`DfgError::InvalidId`] if either id is out of range.
     pub fn add_precedence(&mut self, from: OpId, to: OpId) -> Result<(), DfgError> {
-        if from.index() >= self.ops.len() || to.index() >= self.ops.len() {
+        if from.index() >= self.core.ops.len() || to.index() >= self.core.ops.len() {
             return Err(DfgError::InvalidId(format!("{from} -> {to}")));
         }
         if from == to {
             return Err(DfgError::PrecedenceCycle {
-                on: self.ops[from.index()].name.clone(),
+                on: self.core.ops[from.index()].name.clone(),
             });
         }
         if self.extra_prec.contains(&(from, to)) {
@@ -286,7 +322,7 @@ impl Dfg {
         // strict arc is already unsatisfiable).
         if self.reaches(to, from) {
             return Err(DfgError::PrecedenceCycle {
-                on: self.ops[from.index()].name.clone(),
+                on: self.core.ops[from.index()].name.clone(),
             });
         }
         self.extra_prec.push((from, to));
@@ -304,7 +340,7 @@ impl Dfg {
     /// (conservatively: `a <= b <= a` would be satisfiable but is never
     /// useful for lifetime ordering and would complicate scheduling).
     pub fn add_weak_precedence(&mut self, from: OpId, to: OpId) -> Result<(), DfgError> {
-        if from.index() >= self.ops.len() || to.index() >= self.ops.len() {
+        if from.index() >= self.core.ops.len() || to.index() >= self.core.ops.len() {
             return Err(DfgError::InvalidId(format!("{from} ~> {to}")));
         }
         if from == to {
@@ -316,7 +352,7 @@ impl Dfg {
         }
         if self.reaches(to, from) {
             return Err(DfgError::PrecedenceCycle {
-                on: self.ops[from.index()].name.clone(),
+                on: self.core.ops[from.index()].name.clone(),
             });
         }
         self.weak_prec.push((from, to));
@@ -353,6 +389,68 @@ impl Dfg {
         out
     }
 
+    /// The current end of the precedence-arc overlay. Together with
+    /// [`Dfg::truncate_arcs`] this is the graph half of the synthesis
+    /// transaction journal: a tentative merger appends arcs, and undoing
+    /// it truncates back to the savepoint.
+    #[must_use]
+    pub fn arc_savepoint(&self) -> ArcSavepoint {
+        ArcSavepoint {
+            strict: self.extra_prec.len(),
+            weak: self.weak_prec.len(),
+        }
+    }
+
+    /// Drop every arc appended since `sp` was taken, returning how many
+    /// were removed. Arcs are append-only under
+    /// [`Dfg::add_precedence`]/[`Dfg::add_weak_precedence`], so this
+    /// restores the overlay bit-identically to its state at the
+    /// savepoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overlay is shorter than the savepoint — the arc
+    /// discipline was broken (e.g. [`Dfg::remove_precedence`] ran with
+    /// the savepoint outstanding).
+    pub fn truncate_arcs(&mut self, sp: ArcSavepoint) -> usize {
+        assert!(
+            self.extra_prec.len() >= sp.strict && self.weak_prec.len() >= sp.weak,
+            "arc savepoint invalidated: arcs were removed while it was outstanding"
+        );
+        let dropped = (self.extra_prec.len() - sp.strict) + (self.weak_prec.len() - sp.weak);
+        self.extra_prec.truncate(sp.strict);
+        self.weak_prec.truncate(sp.weak);
+        dropped
+    }
+
+    /// Whether two graphs share one immutable core (i.e. one was cloned
+    /// from the other and only their arc overlays may differ).
+    #[must_use]
+    pub fn shares_core(&self, other: &Dfg) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
+    }
+
+    /// A clone that does **not** share the immutable core — the cost
+    /// profile every `Dfg::clone()` had before cores were `Arc`-shared.
+    /// Kept for the clone-based trial oracle and its benchmarks.
+    #[must_use]
+    pub fn deep_clone(&self) -> Dfg {
+        Dfg {
+            core: Arc::new(DfgCore {
+                name: self.core.name.clone(),
+                values: self.core.values.clone(),
+                ops: self.core.ops.clone(),
+                def: self.core.def.clone(),
+                uses: self.core.uses.clone(),
+                loop_carried: self.core.loop_carried.clone(),
+                value_names: self.core.value_names.clone(),
+                op_names: self.core.op_names.clone(),
+            }),
+            extra_prec: self.extra_prec.clone(),
+            weak_prec: self.weak_prec.clone(),
+        }
+    }
+
     /// Remove a previously added extra precedence arc. Returns whether the
     /// arc was present.
     pub fn remove_precedence(&mut self, from: OpId, to: OpId) -> bool {
@@ -369,7 +467,7 @@ impl Dfg {
         if from == to {
             return false;
         }
-        let mut seen = vec![false; self.ops.len()];
+        let mut seen = vec![false; self.core.ops.len()];
         let mut stack = vec![from];
         seen[from.index()] = true;
         while let Some(n) = stack.pop() {
@@ -393,9 +491,9 @@ impl Dfg {
     ///
     /// Returns [`DfgError::PrecedenceCycle`] if the relation is cyclic.
     pub fn topo_order(&self) -> Result<Vec<OpId>, DfgError> {
-        let n = self.ops.len();
+        let n = self.core.ops.len();
         let mut indeg = vec![0usize; n];
-        for op in &self.ops {
+        for op in &self.core.ops {
             indeg[op.id.index()] = self.preds(op.id).len() + self.weak_preds(op.id).len();
         }
         let mut queue: Vec<OpId> = (0..n)
@@ -418,7 +516,7 @@ impl Dfg {
         if order.len() != n {
             let on = (0..n)
                 .find(|&i| indeg[i] > 0)
-                .map(|i| self.ops[i].name.clone())
+                .map(|i| self.core.ops[i].name.clone())
                 .unwrap_or_default();
             return Err(DfgError::PrecedenceCycle { on });
         }
@@ -434,7 +532,7 @@ impl Dfg {
     /// Returns [`DfgError::PrecedenceCycle`] if the relation is cyclic.
     pub fn critical_path_len(&self) -> Result<usize, DfgError> {
         let order = self.topo_order()?;
-        let mut depth = vec![1usize; self.ops.len()];
+        let mut depth = vec![1usize; self.core.ops.len()];
         for &u in &order {
             for s in self.succs(u) {
                 depth[s.index()] = depth[s.index()].max(depth[u.index()] + 1);
@@ -452,7 +550,7 @@ impl Dfg {
     ///
     /// Returns the first violation found.
     pub fn validate(&self) -> Result<(), DfgError> {
-        for op in &self.ops {
+        for op in &self.core.ops {
             if op.inputs.len() != op.kind.arity() {
                 return Err(DfgError::ArityMismatch {
                     op: op.name.clone(),
@@ -461,24 +559,24 @@ impl Dfg {
                 });
             }
             if let Some(out) = op.output {
-                let v = &self.values[out.index()];
+                let v = &self.core.values[out.index()];
                 if v.kind.is_input() {
                     return Err(DfgError::InputWritten(v.name.clone()));
                 }
-                if self.def[out.index()] != Some(op.id) {
+                if self.core.def[out.index()] != Some(op.id) {
                     return Err(DfgError::MultipleDefinitions(v.name.clone()));
                 }
             }
         }
-        for v in &self.values {
+        for v in &self.core.values {
             match v.kind {
                 ValueKind::Input | ValueKind::Const(_) => {
-                    if self.def[v.id.index()].is_some() {
+                    if self.core.def[v.id.index()].is_some() {
                         return Err(DfgError::InputWritten(v.name.clone()));
                     }
                 }
                 ValueKind::Output | ValueKind::Intermediate => {
-                    if self.def[v.id.index()].is_none() {
+                    if self.core.def[v.id.index()].is_none() {
                         return Err(DfgError::UndefinedValue(v.name.clone()));
                     }
                 }
@@ -492,7 +590,7 @@ impl Dfg {
     #[must_use]
     pub fn op_mix(&self) -> HashMap<OpKind, usize> {
         let mut m = HashMap::new();
-        for op in &self.ops {
+        for op in &self.core.ops {
             *m.entry(op.kind).or_insert(0) += 1;
         }
         m
@@ -504,19 +602,19 @@ impl fmt::Display for Dfg {
         writeln!(
             f,
             "dfg {} ({} ops, {} values)",
-            self.name,
-            self.ops.len(),
-            self.values.len()
+            self.core.name,
+            self.core.ops.len(),
+            self.core.values.len()
         )?;
-        for op in &self.ops {
+        for op in &self.core.ops {
             let ins: Vec<&str> = op
                 .inputs
                 .iter()
-                .map(|&v| self.values[v.index()].name.as_str())
+                .map(|&v| self.core.values[v.index()].name.as_str())
                 .collect();
             let out = op
                 .output
-                .map(|v| self.values[v.index()].name.clone())
+                .map(|v| self.core.values[v.index()].name.clone())
                 .unwrap_or_else(|| "_".into());
             writeln!(f, "  {}: {} = {} {}", op.name, out, op.kind, ins.join(", "))?;
         }

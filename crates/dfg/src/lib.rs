@@ -55,7 +55,7 @@ mod value;
 
 pub use builder::DfgBuilder;
 pub use error::DfgError;
-pub use graph::{Dfg, OpId, Operation};
+pub use graph::{ArcSavepoint, Dfg, OpId, Operation};
 pub use op::{FuClass, OpKind};
 pub use parser::parse;
 pub use timing::{AsapAlap, Mobility};

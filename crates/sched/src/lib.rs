@@ -33,4 +33,4 @@ pub use fds::fds_schedule;
 pub use lifetime::{Interval, Lifetimes};
 pub use list::{list_schedule, ListPriority};
 pub use mobility_path::{mobility_path_schedule, FuLimits};
-pub use schedule::Schedule;
+pub use schedule::{Schedule, ScheduleDelta};

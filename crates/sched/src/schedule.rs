@@ -146,6 +146,48 @@ impl Schedule {
         Ok(())
     }
 
+    /// The fine-grained moves that turned `prev` into `self`: one
+    /// `(op, previous step)` record per operation whose step changed.
+    /// This is the schedule half of the synthesis transaction journal —
+    /// a tentative reschedule is undone by [`Schedule::revert`]ing the
+    /// delta instead of keeping a full copy of the old assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two schedules cover different operation counts
+    /// (they must belong to the same graph).
+    #[must_use]
+    pub fn delta_from(&self, prev: &Schedule) -> ScheduleDelta {
+        assert_eq!(
+            self.step_of.len(),
+            prev.step_of.len(),
+            "schedule delta requires schedules of the same graph"
+        );
+        let moves = self
+            .step_of
+            .iter()
+            .zip(&prev.step_of)
+            .enumerate()
+            .filter(|(_, (now, was))| now != was)
+            .map(|(i, (_, &was))| (OpId::from_index(i), was))
+            .collect();
+        ScheduleDelta { moves }
+    }
+
+    /// Undo a [`ScheduleDelta`] taken against this schedule's
+    /// predecessor: every moved operation returns to its previous step
+    /// and the latency is recomputed. After
+    /// `let d = new.delta_from(&old);` the call `new.revert(&d)` makes
+    /// `new` bit-identical to `old` (the latency invariant
+    /// `max(step) + 1` is re-established, exactly as
+    /// [`Schedule::from_step_vec`] computes it).
+    pub fn revert(&mut self, delta: &ScheduleDelta) {
+        for &(op, was) in &delta.moves {
+            self.step_of[op.index()] = was;
+        }
+        self.latency = self.step_of.iter().copied().max().map_or(0, |m| m + 1);
+    }
+
     /// Render the schedule as a step-by-step listing using the graph's
     /// operation names — the form of the paper's Figures 2 and 3.
     #[must_use]
@@ -156,6 +198,29 @@ impl Schedule {
             out.push_str(&format!("step {:>2}: {}\n", s, names.join("  ")));
         }
         out
+    }
+}
+
+/// The recorded difference between two schedules of one graph: which
+/// operations moved and where they were. Produced by
+/// [`Schedule::delta_from`], undone by [`Schedule::revert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleDelta {
+    /// `(op, previous step)` for every operation whose step changed.
+    moves: Vec<(OpId, usize)>,
+}
+
+impl ScheduleDelta {
+    /// Number of per-operation moves recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Whether the two schedules were identical.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
     }
 }
 

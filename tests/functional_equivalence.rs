@@ -61,6 +61,7 @@ fn one_to_one_designs_compute_their_behavior() {
             allocation: state.allocation,
             merge_log: Vec::new(),
             testability_stats: Default::default(),
+            txn_stats: Default::default(),
         };
         check_equivalence(name, &dfg, &r, 8, 1);
     }
