@@ -22,4 +22,7 @@ cargo bench -q --bench testability --offline
 echo "==> bench smoke: merge-loop txn-vs-clone trial gate"
 cargo bench -q --bench merge_loop --offline
 
+echo "==> bench smoke: dse parallel-explore gate"
+cargo bench -q --bench dse --offline
+
 echo "==> OK: build + tests + clippy + bench smoke all green"

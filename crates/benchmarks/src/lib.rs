@@ -23,14 +23,24 @@ use hlts_dfg::{Dfg, DfgBuilder, OpKind};
 /// All benchmark constructors paired with their names, for sweeping.
 #[must_use]
 pub fn all() -> Vec<(&'static str, Dfg)> {
-    vec![
-        ("ex", ex()),
-        ("dct", dct()),
-        ("diffeq", diffeq()),
-        ("ewf", ewf()),
-        ("paulin", paulin()),
-        ("tseng", tseng()),
-    ]
+    NAMES.iter().map(|&n| (n, by_name(n).unwrap())).collect()
+}
+
+/// The bundled benchmark names, in the canonical (paper-table) order.
+pub const NAMES: [&str; 6] = ["ex", "dct", "diffeq", "ewf", "paulin", "tseng"];
+
+/// Look a bundled benchmark up by name (`None` for unknown names).
+#[must_use]
+pub fn by_name(name: &str) -> Option<Dfg> {
+    match name {
+        "ex" => Some(ex()),
+        "dct" => Some(dct()),
+        "diffeq" => Some(diffeq()),
+        "ewf" => Some(ewf()),
+        "paulin" => Some(paulin()),
+        "tseng" => Some(tseng()),
+        _ => None,
+    }
 }
 
 /// The **Ex** benchmark of Lee, Wolf & Jha (Table 1, Figure 2).

@@ -183,7 +183,33 @@ impl IntegratedSynthesizer {
         mode: EvalMode,
         evaluator: &DeltaEvaluator,
     ) -> Result<SynthesisResult, CoreError> {
-        let mut state = DesignState::initial(dfg)?;
+        self.run_on(&DesignState::initial(dfg)?, mode, evaluator)
+    }
+
+    /// Run Algorithm 1 starting from a caller-owned base state, which is
+    /// forked (not mutated): the run shares the base's graph core,
+    /// [`TestabilityEngine`](hlts_testability::TestabilityEngine) and
+    /// transaction counters, plus the given evaluator's (E, H) cache.
+    ///
+    /// This is the batch entry point: a design-space sweep builds one
+    /// base state and one evaluator per behavior and runs every
+    /// parameter point through them, so structurally identical trial
+    /// states met by different points resolve from the shared caches.
+    /// Sharing never changes a result — both caches are keyed on
+    /// content (structure / schedule+binding), and the engine's anchor
+    /// only steers *how* misses are computed — so concurrent runs on
+    /// forks of one base are bit-identical to isolated runs.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](IntegratedSynthesizer::run).
+    pub fn run_on(
+        &self,
+        base: &DesignState,
+        mode: EvalMode,
+        evaluator: &DeltaEvaluator,
+    ) -> Result<SynthesisResult, CoreError> {
+        let mut state = base.fork();
         let mut merge_log: Vec<String> = Vec::new();
 
         for _ in 0..self.params.max_merges {

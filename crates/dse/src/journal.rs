@@ -1,0 +1,249 @@
+//! Plain-text checkpoint journal for interrupted sweeps.
+//!
+//! The journal is append-only, hand-rolled text (no serde, like the
+//! rest of the workspace's reports): a two-line header binding the file
+//! to one sweep spec, then one `point` line per completed result, in
+//! completion order (which under a parallel pool is *not* ID order —
+//! resume never depends on line order):
+//!
+//! ```text
+//! hlts-dse journal v1
+//! spec 9a3c0b8d12ef4567
+//! point 7 bench=dct flow=ours k=3 alpha=2.0 beta=1.0 bits=8 E=9 \
+//!       H=1.392 mod=4 reg=7 mux=12 avgC=0.98 avgO=0.95 depth=0.0 ms=312
+//! ```
+//!
+//! (shown wrapped; real lines are single lines). Floats are written in
+//! Rust's shortest round-trip format, so a replayed result is
+//! bit-identical to the computed one — the property that makes a
+//! resumed front equal an uninterrupted one. A truncated final line
+//! (the typical shape of a killed run) is detected and skipped, so a
+//! resume after `kill -9` still works.
+
+use std::path::Path;
+
+use crate::pareto::{Objectives, PointResult};
+use crate::spec::{Flow, PointParams};
+use crate::DseError;
+
+/// Magic first line of every journal.
+pub const MAGIC: &str = "hlts-dse journal v1";
+
+/// Render the journal header for a sweep with the given fingerprint.
+#[must_use]
+pub fn render_header(fingerprint: u64) -> String {
+    format!("{MAGIC}\nspec {fingerprint:016x}\n")
+}
+
+/// Render one completed point as a single journal line (newline
+/// included).
+#[must_use]
+pub fn render_point(r: &PointResult) -> String {
+    format!(
+        "point {} {} E={} H={:?} mod={} reg={} mux={} avgC={:?} avgO={:?} depth={:?} ms={}\n",
+        r.id,
+        r.params.key(),
+        r.objectives.execution_time,
+        r.objectives.hardware,
+        r.modules,
+        r.registers,
+        r.muxes,
+        r.objectives.avg_controllability,
+        r.objectives.avg_observability,
+        r.objectives.co_depth,
+        r.millis,
+    )
+}
+
+fn field<'a>(pairs: &'a [(&str, &str)], key: &str, line: &str) -> Result<&'a str, DseError> {
+    pairs
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| DseError::Journal(format!("missing `{key}` in line `{line}`")))
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, key: &str, line: &str) -> Result<T, DseError> {
+    v.parse()
+        .map_err(|_| DseError::Journal(format!("bad `{key}={v}` in line `{line}`")))
+}
+
+/// Parse one `point` line (without the `point ` prefix already split
+/// off by [`parse`]).
+fn parse_point(rest: &str, line: &str) -> Result<PointResult, DseError> {
+    let mut tokens = rest.split_whitespace();
+    let id: usize = tokens
+        .next()
+        .ok_or_else(|| DseError::Journal(format!("missing point id in `{line}`")))
+        .and_then(|t| parse_num(t, "id", line))?;
+    let pairs: Vec<(&str, &str)> = tokens
+        .map(|t| {
+            t.split_once('=')
+                .ok_or_else(|| DseError::Journal(format!("bad token `{t}` in line `{line}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    let flow_name = field(&pairs, "flow", line)?;
+    let flow = Flow::parse(flow_name)
+        .ok_or_else(|| DseError::Journal(format!("unknown flow `{flow_name}` in `{line}`")))?;
+    Ok(PointResult {
+        id,
+        params: PointParams {
+            bench: field(&pairs, "bench", line)?.to_owned(),
+            flow,
+            k: parse_num(field(&pairs, "k", line)?, "k", line)?,
+            alpha: parse_num(field(&pairs, "alpha", line)?, "alpha", line)?,
+            beta: parse_num(field(&pairs, "beta", line)?, "beta", line)?,
+            bits: parse_num(field(&pairs, "bits", line)?, "bits", line)?,
+        },
+        objectives: Objectives {
+            execution_time: parse_num(field(&pairs, "E", line)?, "E", line)?,
+            hardware: parse_num(field(&pairs, "H", line)?, "H", line)?,
+            avg_controllability: parse_num(field(&pairs, "avgC", line)?, "avgC", line)?,
+            avg_observability: parse_num(field(&pairs, "avgO", line)?, "avgO", line)?,
+            co_depth: parse_num(field(&pairs, "depth", line)?, "depth", line)?,
+        },
+        modules: parse_num(field(&pairs, "mod", line)?, "mod", line)?,
+        registers: parse_num(field(&pairs, "reg", line)?, "reg", line)?,
+        muxes: parse_num(field(&pairs, "mux", line)?, "mux", line)?,
+        millis: parse_num(field(&pairs, "ms", line)?, "ms", line)?,
+        resumed: true,
+    })
+}
+
+/// Parse a journal's text into its spec fingerprint and completed
+/// points.
+///
+/// The final line is allowed to be malformed **only** when the text
+/// does not end in a newline (an interrupted append); it is then
+/// dropped. Malformed interior lines are hard errors.
+///
+/// # Errors
+///
+/// Missing/garbled header, malformed interior lines, duplicate IDs.
+pub fn parse(text: &str) -> Result<(u64, Vec<PointResult>), DseError> {
+    let mut lines = text.lines();
+    if lines.next() != Some(MAGIC) {
+        return Err(DseError::Journal(format!(
+            "not a journal (expected `{MAGIC}` first line)"
+        )));
+    }
+    let spec_line = lines
+        .next()
+        .ok_or_else(|| DseError::Journal("missing `spec` line".into()))?;
+    let fingerprint = spec_line
+        .strip_prefix("spec ")
+        .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+        .ok_or_else(|| DseError::Journal(format!("bad spec line `{spec_line}`")))?;
+
+    let body: Vec<&str> = lines.filter(|l| !l.trim().is_empty()).collect();
+    let complete = text.ends_with('\n');
+    let mut out: Vec<PointResult> = Vec::new();
+    for (i, line) in body.iter().enumerate() {
+        let parsed = line
+            .strip_prefix("point ")
+            .ok_or_else(|| DseError::Journal(format!("unexpected line `{line}`")))
+            .and_then(|rest| parse_point(rest, line));
+        match parsed {
+            Ok(r) => {
+                if out.iter().any(|p| p.id == r.id) {
+                    return Err(DseError::Journal(format!("duplicate point id {}", r.id)));
+                }
+                out.push(r);
+            }
+            Err(e) => {
+                let last = i + 1 == body.len();
+                if last && !complete {
+                    break; // torn final write from a killed run
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok((fingerprint, out))
+}
+
+/// Read and [`parse`] a journal file.
+///
+/// # Errors
+///
+/// I/O failures plus everything [`parse`] rejects.
+pub fn load(path: &Path) -> Result<(u64, Vec<PointResult>), DseError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| DseError::Journal(format!("{}: {e}", path.display())))?;
+    parse(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: usize) -> PointResult {
+        PointResult {
+            id,
+            params: PointParams {
+                bench: "dct".into(),
+                flow: Flow::Ours,
+                k: 3,
+                alpha: 0.1,
+                beta: 10.0,
+                bits: 8,
+            },
+            objectives: Objectives {
+                execution_time: 9,
+                hardware: 1.3920000000000001,
+                avg_controllability: 0.9765625,
+                avg_observability: 0.95,
+                co_depth: 0.30000000000000004,
+            },
+            modules: 4,
+            registers: 7,
+            muxes: 12,
+            millis: 312,
+            resumed: false,
+        }
+    }
+
+    #[test]
+    fn point_line_roundtrips_bit_exactly() {
+        let r = sample(7);
+        let text = format!("{}{}", render_header(0xdead_beef), render_point(&r));
+        let (fp, points) = parse(&text).unwrap();
+        assert_eq!(fp, 0xdead_beef);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0], r);
+        assert!(points[0].resumed);
+        assert!(points[0].objectives.hardware.to_bits() == r.objectives.hardware.to_bits());
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_interior_garbage_is_not() {
+        let mut text = format!("{}{}", render_header(1), render_point(&sample(0)));
+        text.push_str("point 1 bench=dct flow=ours k=3 alp"); // torn, no \n
+        let (_, points) = parse(&text).unwrap();
+        assert_eq!(points.len(), 1);
+
+        let bad = format!(
+            "{}point 1 bench=dct garbage\n{}",
+            render_header(1),
+            render_point(&sample(0))
+        );
+        assert!(parse(&bad).is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let text = format!(
+            "{}{}{}",
+            render_header(1),
+            render_point(&sample(2)),
+            render_point(&sample(2))
+        );
+        assert!(parse(&text).is_err());
+    }
+
+    #[test]
+    fn non_journal_rejected() {
+        assert!(parse("hello\n").is_err());
+        assert!(parse(&format!("{MAGIC}\nnope\n")).is_err());
+    }
+}

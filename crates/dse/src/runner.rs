@@ -1,0 +1,423 @@
+//! The exploration runner: a worker pool over sweep points with shared
+//! per-behavior caches and an order-independent Pareto merge.
+//!
+//! Every behavior in the sweep gets **one** base [`DesignState`] and
+//! **one** [`DeltaEvaluator`]; each point forks the base (an
+//! `Arc`-sharing copy, not a deep clone) and runs Algorithm 1 through
+//! [`IntegratedSynthesizer::run_on`], so the testability fixpoints,
+//! critical-path extractions and (E, H) measurements that different
+//! parameter points happen to share resolve from the common caches.
+//! Under `--jobs N` the points are pulled off one atomic counter by `N`
+//! scoped threads; candidate evaluation *inside* a point is kept
+//! sequential (the pool already saturates the machine — nesting the
+//! per-candidate threads of `hlts-core` would only oversubscribe it).
+//!
+//! Determinism: each point's result is bit-identical however computed
+//! (the PR 1–3 equivalences), completed results are merged into the
+//! Pareto archive **in point-ID order** after the pool drains, and
+//! journal replay restores floats bit-exactly — so the final front is
+//! byte-identical for any worker count, with or without resume.
+
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use hlts_core::baselines;
+use hlts_core::{
+    DeltaEvaluator, DesignState, EvalMode, EvalStats, IntegratedSynthesizer, SynthesisResult,
+    TestabilityCacheStats, TxnStats,
+};
+use hlts_dfg::Dfg;
+
+use crate::journal::{render_header, render_point};
+use crate::pareto::{Objectives, ParetoArchive, PointResult};
+use crate::spec::{Flow, SweepPoint, SweepSpec};
+use crate::DseError;
+
+/// How a sweep is executed.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreConfig {
+    /// Worker threads (`0` and `1` both mean the in-thread sequential
+    /// loop; capped at the number of pending points). Without the
+    /// `parallel` cargo feature any value degrades to sequential.
+    pub jobs: usize,
+    /// Append each completed point to this checkpoint journal (header
+    /// written first when the file is empty or new).
+    pub journal: Option<std::path::PathBuf>,
+    /// Previously completed results to replay instead of recomputing —
+    /// normally [`crate::journal::load`]ed via [`load_journal`]. Every
+    /// entry must match its spec point (ID and parameters).
+    pub resume: Vec<PointResult>,
+}
+
+/// Aggregate counters of one [`explore`] call: point accounting,
+/// timing, and the shared caches' hit statistics summed over the
+/// per-behavior contexts. Like the underlying engine counters these
+/// are diagnostics — cache hit counts race benignly under parallel
+/// execution and are excluded from any equality the front depends on.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExploreStats {
+    /// Points in the sweep.
+    pub points_total: usize,
+    /// Points actually synthesized by this call.
+    pub points_computed: usize,
+    /// Points replayed from [`ExploreConfig::resume`].
+    pub points_resumed: usize,
+    /// Effective worker-thread count used.
+    pub workers: usize,
+    /// Wall-clock milliseconds of the whole exploration.
+    pub wall_millis: u64,
+    /// Sum of the computed points' individual wall times (≥
+    /// `wall_millis` under parallel execution — the parallelism
+    /// payoff is their ratio).
+    pub compute_millis: u64,
+    /// Shared testability-engine counters, summed over behaviors.
+    pub testability: TestabilityCacheStats,
+    /// Shared (E, H) evaluator counters, summed over behaviors.
+    pub eval: EvalStats,
+    /// Transaction-layer counters, summed over behaviors.
+    pub txn: TxnStats,
+}
+
+/// The result of one exploration: every point's outcome plus the
+/// Pareto front over all of them.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// All point results, in point-ID order.
+    pub results: Vec<PointResult>,
+    /// The non-dominated subset, in point-ID order.
+    pub front: Vec<PointResult>,
+    /// Execution counters.
+    pub stats: ExploreStats,
+}
+
+/// Load a checkpoint journal and check it against `spec`: the recorded
+/// fingerprint must match and every recorded point must agree with the
+/// spec's enumeration. Returns the completed results ready for
+/// [`ExploreConfig::resume`].
+///
+/// # Errors
+///
+/// Unreadable/garbled journals, fingerprint mismatch, points that do
+/// not belong to `spec`.
+pub fn load_journal(
+    path: &std::path::Path,
+    spec: &SweepSpec,
+) -> Result<Vec<PointResult>, DseError> {
+    let (fingerprint, results) = crate::journal::load(path)?;
+    let expected = spec.fingerprint()?;
+    if fingerprint != expected {
+        return Err(DseError::Journal(format!(
+            "journal {} was written for a different sweep \
+             (spec {fingerprint:016x}, expected {expected:016x})",
+            path.display()
+        )));
+    }
+    check_resume(&spec.points()?, &results)?;
+    Ok(results)
+}
+
+fn check_resume(points: &[SweepPoint], resume: &[PointResult]) -> Result<(), DseError> {
+    for r in resume {
+        let point = points.get(r.id).ok_or_else(|| {
+            DseError::Journal(format!("resumed point {} is outside the sweep", r.id))
+        })?;
+        if point.params != r.params {
+            return Err(DseError::Journal(format!(
+                "resumed point {} ran with `{}` but the sweep specifies `{}`",
+                r.id,
+                r.params.key(),
+                point.params.key()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// One behavior's shared synthesis context.
+struct BenchCtx<'a> {
+    dfg: &'a Dfg,
+    base: DesignState,
+    evaluator: DeltaEvaluator,
+}
+
+fn synthesize(point: &SweepPoint, ctx: &BenchCtx<'_>) -> Result<SynthesisResult, DseError> {
+    let params = point.params.synthesis_params();
+    let run = match point.params.flow {
+        Flow::Ours => IntegratedSynthesizer::new(params).run_on(
+            &ctx.base,
+            EvalMode::Sequential,
+            &ctx.evaluator,
+        ),
+        Flow::Camad => baselines::camad(ctx.dfg, &params),
+        Flow::Approach1 => baselines::approach1(ctx.dfg, &params),
+        Flow::Approach2 => baselines::approach2(ctx.dfg, &params),
+    };
+    run.map_err(DseError::Core)
+}
+
+fn run_point(point: &SweepPoint, ctx: &BenchCtx<'_>) -> Result<PointResult, DseError> {
+    let t0 = Instant::now();
+    let run = synthesize(point, ctx)?;
+    let m = &run.metrics;
+    Ok(PointResult {
+        id: point.id,
+        params: point.params.clone(),
+        objectives: Objectives {
+            execution_time: m.execution_time,
+            hardware: m.hardware.total(),
+            avg_controllability: m.avg_controllability,
+            avg_observability: m.avg_observability,
+            co_depth: m.co_depth,
+        },
+        modules: m.num_modules,
+        registers: m.num_registers,
+        muxes: m.mux_count,
+        millis: t0.elapsed().as_millis() as u64,
+        resumed: false,
+    })
+}
+
+/// A completed slot: the worker pool writes these, the merge loop
+/// drains them in ID order.
+type Slot = Option<Result<PointResult, DseError>>;
+
+struct Sink {
+    file: Option<std::fs::File>,
+}
+
+impl Sink {
+    fn open(cfg: &ExploreConfig, fingerprint: u64) -> Result<Sink, DseError> {
+        let Some(path) = &cfg.journal else {
+            return Ok(Sink { file: None });
+        };
+        let io_err = |e: std::io::Error| DseError::Journal(format!("{}: {e}", path.display()));
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(io_err)?;
+        let len = file.metadata().map_err(io_err)?.len();
+        if len == 0 {
+            let mut file = file;
+            file.write_all(render_header(fingerprint).as_bytes())
+                .map_err(io_err)?;
+            return Ok(Sink { file: Some(file) });
+        }
+        // A killed run can leave a torn final line (no trailing
+        // newline). Appending after it would corrupt the next line, so
+        // drop the tail back to the last completed line first — the
+        // exact bytes a resuming [`crate::journal::parse`] ignored.
+        let content = std::fs::read(path).map_err(io_err)?;
+        if let Some(last_nl) = content.iter().rposition(|&b| b == b'\n') {
+            if last_nl + 1 != content.len() {
+                file.set_len((last_nl + 1) as u64).map_err(io_err)?;
+            }
+        }
+        Ok(Sink { file: Some(file) })
+    }
+
+    fn append(&mut self, r: &PointResult) -> Result<(), DseError> {
+        if let Some(f) = &mut self.file {
+            f.write_all(render_point(r).as_bytes())
+                .and_then(|()| f.flush())
+                .map_err(|e| DseError::Journal(format!("journal write failed: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+/// Run `spec` under `cfg`: synthesize every point not covered by
+/// [`ExploreConfig::resume`], journal completions as they happen, and
+/// fold everything into the Pareto front.
+///
+/// # Errors
+///
+/// Invalid specs, resume entries that contradict the spec, journal I/O
+/// failures, and synthesis errors (reported for the smallest failing
+/// point ID).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (propagated) or an internal mutex
+/// is poisoned by such a panic.
+pub fn explore(spec: &SweepSpec, cfg: &ExploreConfig) -> Result<ExploreOutcome, DseError> {
+    let t0 = Instant::now();
+    let points = spec.points()?;
+    let fingerprint = spec.fingerprint()?;
+    check_resume(&points, &cfg.resume)?;
+
+    let mut slots: Vec<Slot> = (0..points.len()).map(|_| None).collect();
+    for r in &cfg.resume {
+        let mut replay = r.clone();
+        replay.resumed = true;
+        replay.millis = 0;
+        slots[r.id] = Some(Ok(replay));
+    }
+
+    let contexts: Vec<BenchCtx<'_>> = spec
+        .benches
+        .iter()
+        .map(|(_, dfg)| {
+            Ok(BenchCtx {
+                dfg,
+                base: DesignState::initial(dfg).map_err(DseError::Core)?,
+                evaluator: DeltaEvaluator::new(),
+            })
+        })
+        .collect::<Result<_, DseError>>()?;
+    let ctx_index: Vec<usize> = points
+        .iter()
+        .map(|p| {
+            spec.benches
+                .iter()
+                .position(|(n, _)| *n == p.params.bench)
+                .expect("points() validated bench names")
+        })
+        .collect();
+
+    let pending: Vec<&SweepPoint> = points.iter().filter(|p| slots[p.id].is_none()).collect();
+    let sink = Mutex::new(Sink::open(cfg, fingerprint)?);
+    let workers = effective_workers(cfg.jobs, pending.len());
+
+    if workers <= 1 {
+        for point in &pending {
+            let done = run_point(point, &contexts[ctx_index[point.id]]);
+            if let Ok(r) = &done {
+                sink.lock().expect("journal sink poisoned").append(r)?;
+            }
+            slots[point.id] = Some(done);
+        }
+    } else {
+        run_pool(&pending, &contexts, &ctx_index, &sink, &mut slots, workers);
+    }
+
+    let mut results = Vec::with_capacity(points.len());
+    for (id, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(r)) => results.push(r),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("point {id} neither resumed nor scheduled"),
+        }
+    }
+
+    // The order-independent merge: completion order varied, ID order
+    // does not.
+    let mut archive = ParetoArchive::new();
+    for r in &results {
+        archive.insert(r.clone());
+    }
+
+    let points_resumed = cfg.resume.len();
+    let mut stats = ExploreStats {
+        points_total: results.len(),
+        points_computed: results.len() - points_resumed,
+        points_resumed,
+        workers,
+        wall_millis: t0.elapsed().as_millis() as u64,
+        compute_millis: results.iter().map(|r| r.millis).sum(),
+        ..ExploreStats::default()
+    };
+    for ctx in &contexts {
+        add_testability(&mut stats.testability, ctx.base.testability_engine().stats());
+        add_eval(&mut stats.eval, ctx.evaluator.stats());
+        add_txn(&mut stats.txn, ctx.base.txn_stats());
+    }
+
+    Ok(ExploreOutcome {
+        results,
+        front: archive.into_entries(),
+        stats,
+    })
+}
+
+#[cfg(feature = "parallel")]
+fn effective_workers(jobs: usize, pending: usize) -> usize {
+    jobs.clamp(1, pending.max(1))
+}
+
+#[cfg(not(feature = "parallel"))]
+fn effective_workers(_jobs: usize, _pending: usize) -> usize {
+    1
+}
+
+/// Drain `pending` with `workers` scoped threads pulling point indices
+/// off one shared counter. Slots are disjoint per point, so each is
+/// its own mutex; the journal sink serializes appends.
+#[cfg(feature = "parallel")]
+fn run_pool(
+    pending: &[&SweepPoint],
+    contexts: &[BenchCtx<'_>],
+    ctx_index: &[usize],
+    sink: &Mutex<Sink>,
+    slots: &mut [Slot],
+    workers: usize,
+) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let out: Vec<Mutex<Slot>> = pending.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(point) = pending.get(i) else { break };
+                    let done = run_point(point, &contexts[ctx_index[point.id]]);
+                    if let Ok(r) = &done {
+                        // A journal failure must not lose the computed
+                        // result; surface it through the slot instead.
+                        if let Err(e) = sink.lock().expect("journal sink poisoned").append(r) {
+                            *out[i].lock().expect("slot poisoned") = Some(Err(e));
+                            continue;
+                        }
+                    }
+                    *out[i].lock().expect("slot poisoned") = Some(done);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("explore worker panicked");
+        }
+    });
+    for (point, slot) in pending.iter().zip(out) {
+        slots[point.id] = slot.into_inner().expect("slot poisoned");
+    }
+}
+
+#[cfg(not(feature = "parallel"))]
+fn run_pool(
+    _pending: &[&SweepPoint],
+    _contexts: &[BenchCtx<'_>],
+    _ctx_index: &[usize],
+    _sink: &Mutex<Sink>,
+    _slots: &mut [Slot],
+    _workers: usize,
+) {
+    unreachable!("effective_workers is 1 without the `parallel` feature")
+}
+
+fn add_testability(into: &mut TestabilityCacheStats, s: TestabilityCacheStats) {
+    into.hits += s.hits;
+    into.misses += s.misses;
+    into.incremental += s.incremental;
+    into.full += s.full;
+    into.updates_propagated += s.updates_propagated;
+}
+
+fn add_eval(into: &mut EvalStats, s: EvalStats) {
+    into.state_hits += s.state_hits;
+    into.state_misses += s.state_misses;
+    into.critical_path.hits += s.critical_path.hits;
+    into.critical_path.misses += s.critical_path.misses;
+    into.critical_path.chain_fast_path += s.critical_path.chain_fast_path;
+    into.critical_path.full_reachability += s.critical_path.full_reachability;
+}
+
+fn add_txn(into: &mut TxnStats, s: TxnStats) {
+    into.begun += s.begun;
+    into.committed += s.committed;
+    into.rolled_back += s.rolled_back;
+    into.ops_recorded += s.ops_recorded;
+    into.ops_replayed += s.ops_replayed;
+}

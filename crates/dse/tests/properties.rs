@@ -1,0 +1,213 @@
+//! Determinism, resume and journal properties of the exploration
+//! runner — the PR's acceptance criteria in executable form.
+
+use std::path::PathBuf;
+
+use hlts_dse::{explore, load_journal, ExploreConfig, Flow, SweepSpec};
+use proptest::prelude::*;
+
+fn spec_over(benches: &[&str]) -> SweepSpec {
+    let benches = benches
+        .iter()
+        .map(|n| {
+            (
+                (*n).to_owned(),
+                hlts_benchmarks::by_name(n).unwrap_or_else(|| panic!("unknown bench {n}")),
+            )
+        })
+        .collect();
+    SweepSpec::new(benches)
+}
+
+fn jobs(n: usize) -> ExploreConfig {
+    ExploreConfig {
+        jobs: n,
+        ..ExploreConfig::default()
+    }
+}
+
+fn tmp_journal(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hlts-dse-tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(format!("{tag}-{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// The headline determinism claim: the Pareto front of a sweep over
+/// the paper benchmarks is bit-identical for 1, 2 and 4 workers.
+#[test]
+fn front_is_bit_identical_for_1_2_4_workers() {
+    let mut spec = spec_over(&["ex", "dct", "diffeq", "paulin", "tseng"]);
+    spec.ks = vec![1, 3];
+    spec.weights = vec![(2.0, 1.0), (1.0, 10.0)];
+
+    let sequential = explore(&spec, &jobs(1)).expect("sequential sweep");
+    assert_eq!(sequential.results.len(), 20);
+    assert!(!sequential.front.is_empty());
+    for n in [2, 4] {
+        let parallel = explore(&spec, &jobs(n)).expect("parallel sweep");
+        assert_eq!(
+            sequential.front_signature(),
+            parallel.front_signature(),
+            "front diverged at {n} workers"
+        );
+        assert_eq!(sequential.results, parallel.results);
+    }
+}
+
+/// Same claim on the largest benchmark alone (the bench gate's
+/// workload shape).
+#[test]
+fn ewf_front_matches_across_worker_counts() {
+    let mut spec = spec_over(&["ewf"]);
+    spec.weights = vec![(2.0, 1.0), (1.0, 10.0)];
+    let seq = explore(&spec, &jobs(1)).expect("sequential");
+    let par = explore(&spec, &jobs(4)).expect("parallel");
+    assert_eq!(seq.front_signature(), par.front_signature());
+    assert_eq!(seq.results, par.results);
+}
+
+/// Baseline flows run through the same pool and land on the same
+/// front regardless of workers.
+#[test]
+fn baseline_flows_participate_in_the_front() {
+    let mut spec = spec_over(&["tseng"]);
+    spec.flows = vec![Flow::Ours, Flow::Camad, Flow::Approach1, Flow::Approach2];
+    let seq = explore(&spec, &jobs(1)).expect("sequential");
+    let par = explore(&spec, &jobs(3)).expect("parallel");
+    assert_eq!(seq.results.len(), 4);
+    assert_eq!(seq.front_signature(), par.front_signature());
+}
+
+/// Kill-and-resume: interrupt a journaled sweep after N points, resume
+/// from the journal, and the final front is identical with no point
+/// recomputed (`ExploreStats` accounting is exact).
+#[test]
+fn resume_recomputes_nothing_and_preserves_the_front() {
+    let mut spec = spec_over(&["dct", "tseng"]);
+    spec.ks = vec![1, 3];
+    spec.weights = vec![(2.0, 1.0), (0.1, 10.0)];
+    let total = spec.points().expect("points").len();
+    assert_eq!(total, 8, "2 benches x 2 ks x 2 weight pairs");
+
+    let uninterrupted = explore(&spec, &jobs(1)).expect("uninterrupted sweep");
+
+    // Journaled run, then simulate a kill by truncating the journal
+    // to its header + N point lines (+ one torn partial line).
+    let path = tmp_journal("resume");
+    let journaled = explore(
+        &spec,
+        &ExploreConfig {
+            jobs: 2,
+            journal: Some(path.clone()),
+            ..ExploreConfig::default()
+        },
+    )
+    .expect("journaled sweep");
+    assert_eq!(
+        journaled.front_signature(),
+        uninterrupted.front_signature()
+    );
+
+    let text = std::fs::read_to_string(&path).expect("journal exists");
+    let keep = 5usize;
+    let mut lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2 + total, "header + one line per point");
+    lines.truncate(2 + keep);
+    let mut truncated = lines.join("\n");
+    truncated.push_str("\npoint 99 bench=dct flow=ours k=3 al"); // torn tail
+    std::fs::write(&path, truncated).expect("truncate journal");
+
+    let resume = load_journal(&path, &spec).expect("journal loads");
+    assert_eq!(resume.len(), keep);
+    let resumed = explore(
+        &spec,
+        &ExploreConfig {
+            jobs: 2,
+            journal: Some(path.clone()),
+            resume,
+        },
+    )
+    .expect("resumed sweep");
+
+    assert_eq!(resumed.stats.points_resumed, keep, "no point recomputed");
+    assert_eq!(resumed.stats.points_computed, total - keep);
+    assert_eq!(
+        resumed.front_signature(),
+        uninterrupted.front_signature(),
+        "resumed front must be bit-identical to the uninterrupted one"
+    );
+    assert_eq!(resumed.results, uninterrupted.results);
+
+    // The re-appended journal now covers the whole sweep again: a
+    // second resume replays everything and computes nothing.
+    let full = load_journal(&path, &spec).expect("journal reloads");
+    assert_eq!(full.len(), total);
+    let replayed = explore(
+        &spec,
+        &ExploreConfig {
+            jobs: 1,
+            journal: None,
+            resume: full,
+        },
+    )
+    .expect("replayed sweep");
+    assert_eq!(replayed.stats.points_computed, 0);
+    assert_eq!(
+        replayed.front_signature(),
+        uninterrupted.front_signature()
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A journal written for one sweep is rejected by another.
+#[test]
+fn journal_from_a_different_spec_is_rejected() {
+    let spec = spec_over(&["tseng"]);
+    let path = tmp_journal("mismatch");
+    explore(
+        &spec,
+        &ExploreConfig {
+            jobs: 1,
+            journal: Some(path.clone()),
+            ..ExploreConfig::default()
+        },
+    )
+    .expect("journaled sweep");
+
+    let mut other = spec_over(&["tseng"]);
+    other.ks = vec![5];
+    let err = load_journal(&path, &other).expect_err("fingerprint mismatch");
+    assert!(err.to_string().contains("different sweep"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random small grids over the small benchmarks: sequential and
+    /// parallel exploration always agree bit-for-bit.
+    #[test]
+    fn random_grids_agree_across_workers(
+        k_pair in (1usize..4, 1usize..4),
+        weight_sel in 0usize..4,
+        bench_sel in 0usize..3,
+        workers in 2usize..5,
+    ) {
+        let bench = ["ex", "paulin", "tseng"][bench_sel];
+        let weights = [
+            vec![(2.0, 1.0)],
+            vec![(1.0, 10.0)],
+            vec![(2.0, 1.0), (0.1, 10.0)],
+            vec![(10.0, 1.0), (1.0, 1.0)],
+        ][weight_sel].clone();
+        let mut spec = spec_over(&[bench]);
+        spec.ks = vec![k_pair.0, k_pair.0 + k_pair.1];
+        spec.weights = weights;
+        let seq = explore(&spec, &jobs(1)).expect("sequential");
+        let par = explore(&spec, &jobs(workers)).expect("parallel");
+        prop_assert_eq!(seq.front_signature(), par.front_signature());
+        prop_assert_eq!(seq.results, par.results);
+    }
+}

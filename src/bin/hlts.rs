@@ -1,24 +1,33 @@
 //! `hlts` — command-line front end to the test-synthesis system.
 //!
 //! ```text
-//! hlts <file.dfg | bench:NAME> [--flow ours|camad|approach1|approach2]
-//!      [--bits N] [--k N] [--alpha X] [--beta X] [--atpg] [--quiet]
+//! hlts [run] <file.dfg | bench:NAME> [--flow ours|camad|approach1|approach2]
+//!      [--bits N] [--k N] [--alpha X] [--beta X] [--atpg] [--json] [--quiet]
+//! hlts explore <source>... [--flow LIST] [--bits LIST] [--k LIST]
+//!      [--weights A:B,...] [--jobs N] [--journal PATH | --resume PATH]
+//!      [--json] [--quiet]
 //! ```
 //!
-//! Reads a behavioral description in the textual DFG format (or one of
-//! the built-in benchmarks via `bench:ex`, `bench:dct`, …), synthesizes
-//! it with the requested flow, prints the resulting schedule/allocation
-//! and metrics, and optionally grades the elaborated netlist with the
-//! two-phase ATPG.
+//! `run` (the default subcommand) reads a behavioral description in the
+//! textual DFG format (or a built-in benchmark via `bench:ex`,
+//! `bench:dct`, …), synthesizes it with the requested flow, prints the
+//! resulting schedule/allocation and metrics, and optionally grades the
+//! elaborated netlist with the two-phase ATPG. `explore` sweeps the
+//! grid of k × (α, β) × bits × flow points over one or more sources on
+//! a worker pool and reports the Pareto front (see `hlts-dse`); with
+//! `--journal` completed points checkpoint to a plain-text file that
+//! `--resume` picks up without recomputing. `--json` switches either
+//! subcommand to machine-readable output.
 
 use std::process::ExitCode;
 
 use hlts::atpg::{AtpgConfig, TestGenerator};
 use hlts::core::{baselines, IntegratedSynthesizer, SynthesisParams, SynthesisResult};
+use hlts::dse::{self, explore, ExploreConfig, Flow, SweepSpec};
 use hlts::etpn::Etpn;
 use hlts::netlist::elaborate;
 
-struct Options {
+struct RunOptions {
     source: String,
     flow: String,
     bits: u32,
@@ -26,18 +35,84 @@ struct Options {
     alpha: Option<f64>,
     beta: Option<f64>,
     atpg: bool,
+    json: bool,
+    quiet: bool,
+}
+
+struct ExploreOptions {
+    sources: Vec<String>,
+    flows: Vec<Flow>,
+    ks: Vec<usize>,
+    weights: Vec<(f64, f64)>,
+    bits: Vec<u32>,
+    jobs: usize,
+    journal: Option<String>,
+    resume: Option<String>,
+    json: bool,
     quiet: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: hlts <file.dfg | bench:NAME> [--flow ours|camad|approach1|approach2]\n\
-     \x20            [--bits N] [--k N] [--alpha X] [--beta X] [--atpg] [--quiet]\n\
+    "usage: hlts [run] <file.dfg | bench:NAME> [--flow ours|camad|approach1|approach2]\n\
+     \x20            [--bits N] [--k N] [--alpha X] [--beta X] [--atpg] [--json] [--quiet]\n\
+     \x20      hlts explore <source>... [--flow LIST] [--bits LIST] [--k LIST]\n\
+     \x20            [--weights A:B,...] [--jobs N] [--journal PATH | --resume PATH]\n\
+     \x20            [--json] [--quiet]\n\
      built-in benchmarks: ex, dct, diffeq, ewf, paulin, tseng"
 }
 
-fn parse_args() -> Result<Options, String> {
-    let mut args = std::env::args().skip(1);
-    let mut opts = Options {
+const RUN_FLAGS: &str = "--flow, --bits, --k, --alpha, --beta, --atpg, --json, --quiet";
+const EXPLORE_FLAGS: &str =
+    "--flow, --bits, --k, --weights, --jobs, --journal, --resume, --json, --quiet";
+
+fn unknown_flag(arg: &str, valid: &str) -> String {
+    format!("unexpected argument `{arg}` (valid flags: {valid})\n{}", usage())
+}
+
+/// `--k` values must be positive: `k = 0` would make every iteration's
+/// shortlist empty and the paper's parameter meaningless.
+fn parse_k(text: &str) -> Result<usize, String> {
+    let k: usize = text.parse().map_err(|e| format!("--k: {e}"))?;
+    if k == 0 {
+        return Err("--k must be >= 1 (the paper's shortlist size)".into());
+    }
+    Ok(k)
+}
+
+/// Weights must be finite and non-negative: a negative or NaN α/β
+/// would invert or poison the ΔC = α·ΔE + β·ΔH acceptance rule.
+fn parse_weight(flag: &str, text: &str) -> Result<f64, String> {
+    let v: f64 = text.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!(
+            "{flag} must be a finite non-negative number (got `{text}`)"
+        ));
+    }
+    Ok(v)
+}
+
+fn take(args: &mut dyn Iterator<Item = String>, what: &str) -> Result<String, String> {
+    args.next().ok_or(format!("missing value for {what}"))
+}
+
+fn parse_list<T, F: Fn(&str) -> Result<T, String>>(
+    text: &str,
+    flag: &str,
+    parse: F,
+) -> Result<Vec<T>, String> {
+    let out: Vec<T> = text
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(parse)
+        .collect::<Result<_, _>>()?;
+    if out.is_empty() {
+        return Err(format!("{flag}: empty list"));
+    }
+    Ok(out)
+}
+
+fn parse_run_args(mut args: impl Iterator<Item = String>) -> Result<RunOptions, String> {
+    let mut opts = RunOptions {
         source: String::new(),
         flow: "ours".into(),
         bits: 8,
@@ -45,10 +120,8 @@ fn parse_args() -> Result<Options, String> {
         alpha: None,
         beta: None,
         atpg: false,
+        json: false,
         quiet: false,
-    };
-    let take = |it: &mut dyn Iterator<Item = String>, what: &str| {
-        it.next().ok_or(format!("missing value for {what}"))
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -58,32 +131,16 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--bits: {e}"))?;
             }
-            "--k" => {
-                opts.k = Some(
-                    take(&mut args, "--k")?
-                        .parse()
-                        .map_err(|e| format!("--k: {e}"))?,
-                );
-            }
-            "--alpha" => {
-                opts.alpha = Some(
-                    take(&mut args, "--alpha")?
-                        .parse()
-                        .map_err(|e| format!("--alpha: {e}"))?,
-                );
-            }
-            "--beta" => {
-                opts.beta = Some(
-                    take(&mut args, "--beta")?
-                        .parse()
-                        .map_err(|e| format!("--beta: {e}"))?,
-                );
-            }
+            "--k" => opts.k = Some(parse_k(&take(&mut args, "--k")?)?),
+            "--alpha" => opts.alpha = Some(parse_weight("--alpha", &take(&mut args, "--alpha")?)?),
+            "--beta" => opts.beta = Some(parse_weight("--beta", &take(&mut args, "--beta")?)?),
             "--atpg" => opts.atpg = true,
+            "--json" => opts.json = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => return Err(usage().to_owned()),
+            other if other.starts_with('-') => return Err(unknown_flag(other, RUN_FLAGS)),
             other if opts.source.is_empty() => opts.source = other.to_owned(),
-            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+            other => return Err(unknown_flag(other, RUN_FLAGS)),
         }
     }
     if opts.source.is_empty() {
@@ -92,23 +149,92 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+fn parse_explore_args(mut args: impl Iterator<Item = String>) -> Result<ExploreOptions, String> {
+    let mut opts = ExploreOptions {
+        sources: Vec::new(),
+        flows: vec![Flow::Ours],
+        ks: vec![3],
+        weights: vec![(2.0, 1.0), (10.0, 1.0), (1.0, 10.0)],
+        bits: vec![8],
+        jobs: 1,
+        journal: None,
+        resume: None,
+        json: false,
+        quiet: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--flow" => {
+                opts.flows = parse_list(&take(&mut args, "--flow")?, "--flow", |s| {
+                    Flow::parse(s).ok_or(format!(
+                        "unknown flow `{s}` (expected ours, camad, approach1 or approach2)"
+                    ))
+                })?;
+            }
+            "--bits" => {
+                opts.bits = parse_list(&take(&mut args, "--bits")?, "--bits", |s| {
+                    s.parse().map_err(|e| format!("--bits: {e}"))
+                })?;
+            }
+            "--k" => opts.ks = parse_list(&take(&mut args, "--k")?, "--k", parse_k)?,
+            "--weights" => {
+                opts.weights =
+                    parse_list(&take(&mut args, "--weights")?, "--weights", |s| {
+                        let (a, b) = s.split_once(':').ok_or(format!(
+                            "--weights: `{s}` is not an alpha:beta pair"
+                        ))?;
+                        Ok((parse_weight("--weights", a)?, parse_weight("--weights", b)?))
+                    })?;
+            }
+            "--jobs" => {
+                opts.jobs = take(&mut args, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be >= 1".into());
+                }
+            }
+            "--journal" => opts.journal = Some(take(&mut args, "--journal")?),
+            "--resume" => opts.resume = Some(take(&mut args, "--resume")?),
+            "--json" => opts.json = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other if other.starts_with('-') => return Err(unknown_flag(other, EXPLORE_FLAGS)),
+            other => opts.sources.push(other.to_owned()),
+        }
+    }
+    if opts.sources.is_empty() {
+        return Err(usage().to_owned());
+    }
+    if opts.journal.is_some() && opts.resume.is_some() {
+        return Err("use either --journal (start a checkpoint) or --resume (continue one)".into());
+    }
+    Ok(opts)
+}
+
 fn load(source: &str) -> Result<hlts::dfg::Dfg, String> {
     if let Some(name) = source.strip_prefix("bench:") {
-        return match name {
-            "ex" => Ok(hlts::benchmarks::ex()),
-            "dct" => Ok(hlts::benchmarks::dct()),
-            "diffeq" => Ok(hlts::benchmarks::diffeq()),
-            "ewf" => Ok(hlts::benchmarks::ewf()),
-            "paulin" => Ok(hlts::benchmarks::paulin()),
-            "tseng" => Ok(hlts::benchmarks::tseng()),
-            other => Err(format!("unknown benchmark `{other}`")),
-        };
+        return hlts::benchmarks::by_name(name).ok_or(format!(
+            "unknown benchmark `{name}` (have: {})",
+            hlts::benchmarks::NAMES.join(", ")
+        ));
     }
     let text = std::fs::read_to_string(source).map_err(|e| format!("{source}: {e}"))?;
     hlts::dfg::parse(&text).map_err(|e| format!("{source}: {e}"))
 }
 
-fn synthesize(opts: &Options, dfg: &hlts::dfg::Dfg) -> Result<SynthesisResult, String> {
+/// The sweep name of a source: the benchmark name, or a file's stem.
+fn source_name(source: &str) -> String {
+    if let Some(name) = source.strip_prefix("bench:") {
+        return name.to_owned();
+    }
+    std::path::Path::new(source)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| source.to_owned())
+}
+
+fn synthesize(opts: &RunOptions, dfg: &hlts::dfg::Dfg) -> Result<SynthesisResult, String> {
     let mut params = SynthesisParams::paper_defaults(opts.bits);
     if let Some(k) = opts.k {
         params.k = k;
@@ -136,28 +262,96 @@ fn synthesize(opts: &Options, dfg: &hlts::dfg::Dfg) -> Result<SynthesisResult, S
     run.map_err(|e| e.to_string())
 }
 
-fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
-        }
+struct AtpgSummary {
+    gates: usize,
+    coverage: f64,
+    detected_random: usize,
+    detected_deterministic: usize,
+    total_faults: usize,
+    effort: f64,
+    test_cycles: usize,
+}
+
+fn run_atpg(result: &SynthesisResult, bits: u32) -> Result<AtpgSummary, String> {
+    let etpn = Etpn::from_parts(&result.dfg, &result.schedule, &result.allocation)
+        .map_err(|e| e.to_string())?;
+    let nl = elaborate(&result.dfg, &result.schedule, &result.allocation, &etpn, bits)
+        .map_err(|e| e.to_string())?;
+    let cfg = AtpgConfig {
+        sequence_cycles: (result.schedule.num_steps() + 1) * 2,
+        frames: result.schedule.num_steps() + 3,
+        fault_sample: Some(2000),
+        ..AtpgConfig::default()
     };
-    let dfg = match load(&opts.source) {
-        Ok(d) => d,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            return ExitCode::FAILURE;
-        }
+    let rep = TestGenerator::new(cfg).run(&nl);
+    Ok(AtpgSummary {
+        gates: nl.num_gates(),
+        coverage: rep.coverage(),
+        detected_random: rep.detected_random,
+        detected_deterministic: rep.detected_deterministic,
+        total_faults: rep.total_faults,
+        effort: rep.effort(),
+        test_cycles: rep.test_cycles,
+    })
+}
+
+/// Hand-rolled machine-readable report of one synthesis run.
+fn run_json(opts: &RunOptions, result: &SynthesisResult, atpg: Option<&AtpgSummary>) -> String {
+    let m = &result.metrics;
+    let mut out = format!(
+        "{{\n  \"source\": {}, \"flow\": {},\n  \"metrics\": {{\"execution_time\": {}, \
+         \"modules\": {}, \"registers\": {}, \"muxes\": {}, \"self_loops\": {}, \
+         \"hardware\": {:?}, \"avg_controllability\": {:?}, \"avg_observability\": {:?}, \
+         \"co_depth\": {:?}}},\n  \"merges\": [{}]",
+        dse::json_string(&opts.source),
+        dse::json_string(&opts.flow),
+        m.execution_time,
+        m.num_modules,
+        m.num_registers,
+        m.mux_count,
+        m.self_loops,
+        m.hardware.total(),
+        m.avg_controllability,
+        m.avg_observability,
+        m.co_depth,
+        result
+            .merge_log
+            .iter()
+            .map(|s| dse::json_string(s))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    if let Some(a) = atpg {
+        out.push_str(&format!(
+            ",\n  \"atpg\": {{\"gates\": {}, \"fault_coverage\": {:?}, \
+             \"detected_random\": {}, \"detected_deterministic\": {}, \"total_faults\": {}, \
+             \"effort\": {:?}, \"test_cycles\": {}}}",
+            a.gates,
+            a.coverage,
+            a.detected_random,
+            a.detected_deterministic,
+            a.total_faults,
+            a.effort,
+            a.test_cycles,
+        ));
+    }
+    out.push_str("\n}");
+    out
+}
+
+fn run_main(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let opts = parse_run_args(args)?;
+    let dfg = load(&opts.source).map_err(|e| format!("error: {e}"))?;
+    let result = synthesize(&opts, &dfg).map_err(|e| format!("error: {e}"))?;
+    let atpg = if opts.atpg {
+        Some(run_atpg(&result, opts.bits).map_err(|e| format!("error: {e}"))?)
+    } else {
+        None
     };
-    let result = match synthesize(&opts, &dfg) {
-        Ok(r) => r,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            return ExitCode::FAILURE;
-        }
-    };
+    if opts.json {
+        println!("{}", run_json(&opts, &result, atpg.as_ref()));
+        return Ok(());
+    }
     if !opts.quiet {
         println!("{}", result.render());
         for m in &result.merge_log {
@@ -176,46 +370,86 @@ fn main() -> ExitCode {
         result.metrics.avg_observability,
         result.metrics.co_depth,
     );
-    if opts.atpg {
-        let etpn = match Etpn::from_parts(&result.dfg, &result.schedule, &result.allocation) {
-            Ok(e) => e,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let nl = match elaborate(
-            &result.dfg,
-            &result.schedule,
-            &result.allocation,
-            &etpn,
-            opts.bits,
-        ) {
-            Ok(n) => n,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let cfg = AtpgConfig {
-            sequence_cycles: (result.schedule.num_steps() + 1) * 2,
-            frames: result.schedule.num_steps() + 3,
-            fault_sample: Some(2000),
-            ..AtpgConfig::default()
-        };
-        let rep = TestGenerator::new(cfg).run(&nl);
+    if let Some(a) = atpg {
         println!(
             "gates = {}, fault coverage = {:.2}% ({} random + {} deterministic of {}), \
-             effort = {:.0}, test cycles = {}, wall = {:?}",
-            nl.num_gates(),
-            rep.coverage(),
-            rep.detected_random,
-            rep.detected_deterministic,
-            rep.total_faults,
-            rep.effort(),
-            rep.test_cycles,
-            rep.wall,
+             effort = {:.0}, test cycles = {}",
+            a.gates,
+            a.coverage,
+            a.detected_random,
+            a.detected_deterministic,
+            a.total_faults,
+            a.effort,
+            a.test_cycles,
         );
     }
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+fn explore_main(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let opts = parse_explore_args(args)?;
+    let mut benches = Vec::new();
+    for source in &opts.sources {
+        benches.push((
+            source_name(source),
+            load(source).map_err(|e| format!("error: {e}"))?,
+        ));
+    }
+    let spec = SweepSpec {
+        benches,
+        flows: opts.flows.clone(),
+        ks: opts.ks.clone(),
+        weights: opts.weights.clone(),
+        bits: opts.bits.clone(),
+        extra: Vec::new(),
+    };
+    let mut cfg = ExploreConfig {
+        jobs: opts.jobs,
+        ..ExploreConfig::default()
+    };
+    if let Some(path) = &opts.resume {
+        let path = std::path::PathBuf::from(path);
+        cfg.resume = dse::load_journal(&path, &spec).map_err(|e| format!("error: {e}"))?;
+        cfg.journal = Some(path);
+    } else if let Some(path) = &opts.journal {
+        // A fresh checkpoint: start the journal over (resuming an
+        // existing one is what --resume is for).
+        std::fs::write(path, "").map_err(|e| format!("error: {path}: {e}"))?;
+        cfg.journal = Some(path.into());
+    }
+    let outcome = explore(&spec, &cfg).map_err(|e| format!("error: {e}"))?;
+    if opts.json {
+        print!("{}", outcome.render_json());
+        return Ok(());
+    }
+    if opts.quiet {
+        let s = &outcome.stats;
+        println!(
+            "explored {} points ({} computed, {} resumed) on {} worker(s); front: {}",
+            s.points_total,
+            s.points_computed,
+            s.points_resumed,
+            s.workers,
+            outcome.front_signature(),
+        );
+    } else {
+        print!("{}", outcome.render());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let outcome = match args.peek().map(String::as_str) {
+        Some("explore") => explore_main(args.skip(1)),
+        Some("run") => run_main(args.skip(1)),
+        _ => run_main(args),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
 }

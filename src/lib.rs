@@ -16,7 +16,9 @@
 //! * [`core`] — the integrated synthesis algorithm and the three baselines;
 //! * [`netlist`] — RTL-to-gate elaboration;
 //! * [`atpg`] — stuck-at fault simulation and test generation;
-//! * [`benchmarks`] — the six DATE'98 benchmark graphs.
+//! * [`benchmarks`] — the six DATE'98 benchmark graphs;
+//! * [`dse`] — parallel Pareto design-space exploration over
+//!   parameter sweeps, with checkpoint/resume.
 //!
 //! # Quickstart
 //!
@@ -44,6 +46,7 @@ pub use hlts_benchmarks as benchmarks;
 pub use hlts_core as core;
 pub use hlts_cost as cost;
 pub use hlts_dfg as dfg;
+pub use hlts_dse as dse;
 pub use hlts_etpn as etpn;
 pub use hlts_netlist as netlist;
 pub use hlts_sched as sched;

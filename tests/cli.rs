@@ -64,3 +64,155 @@ fn usage_on_no_args() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("usage:"), "{err}");
 }
+
+#[test]
+fn run_subcommand_is_the_default() {
+    let out = hlts()
+        .args(["run", "bench:tseng", "--quiet"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("E = "), "{text}");
+}
+
+#[test]
+fn rejects_zero_k() {
+    let out = hlts()
+        .args(["bench:ex", "--k", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--k must be >= 1"), "{err}");
+}
+
+#[test]
+fn rejects_negative_and_nan_weights() {
+    for (flag, value) in [("--alpha", "-0.5"), ("--beta", "NaN"), ("--alpha", "inf")] {
+        let out = hlts()
+            .args(["bench:ex", flag, value])
+            .output()
+            .expect("binary runs");
+        assert!(!out.status.success(), "{flag} {value} accepted");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("finite non-negative"),
+            "{flag} {value}: {err}"
+        );
+    }
+}
+
+#[test]
+fn unknown_flag_error_lists_the_valid_flags() {
+    let out = hlts()
+        .args(["bench:ex", "--wat"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("`--wat`"), "{err}");
+    for flag in ["--flow", "--bits", "--k", "--alpha", "--beta", "--atpg", "--json", "--quiet"] {
+        assert!(err.contains(flag), "missing {flag} in: {err}");
+    }
+
+    let out = hlts()
+        .args(["explore", "bench:ex", "--wat"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    for flag in ["--weights", "--jobs", "--journal", "--resume"] {
+        assert!(err.contains(flag), "missing {flag} in: {err}");
+    }
+}
+
+#[test]
+fn run_json_is_machine_readable() {
+    let out = hlts()
+        .args(["run", "bench:ex", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.trim_start().starts_with('{'), "{text}");
+    assert!(text.trim_end().ends_with('}'), "{text}");
+    for key in ["\"source\"", "\"metrics\"", "\"execution_time\"", "\"merges\""] {
+        assert!(text.contains(key), "missing {key} in: {text}");
+    }
+    // JSON mode replaces the human report entirely.
+    assert!(!text.contains("E = "), "{text}");
+}
+
+#[test]
+fn explore_reports_a_pareto_front() {
+    let out = hlts()
+        .args(["explore", "bench:ex", "--k", "1,3", "--weights", "2:1,1:10", "--jobs", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Pareto front"), "{text}");
+    assert!(text.contains("explored 4 points"), "{text}");
+}
+
+#[test]
+fn explore_json_is_machine_readable() {
+    let out = hlts()
+        .args(["explore", "bench:ex", "--k", "1", "--weights", "2:1", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for key in ["\"points\"", "\"front\"", "\"stats\"", "\"points_total\""] {
+        assert!(text.contains(key), "missing {key} in: {text}");
+    }
+}
+
+#[test]
+fn explore_journal_roundtrips_through_resume() {
+    let dir = std::env::temp_dir().join("hlts-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(format!("resume-{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let journal = path.to_str().expect("utf8 path");
+    let sweep = ["explore", "bench:ex", "--k", "1,2,3", "--weights", "2:1", "--quiet"];
+
+    let out = hlts()
+        .args(sweep)
+        .args(["--journal", journal])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let first = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(first.contains("3 computed, 0 resumed"), "{first}");
+
+    // Drop the last journal line to simulate an interrupted sweep.
+    let text = std::fs::read_to_string(&path).expect("journal exists");
+    let lines: Vec<&str> = text.lines().collect();
+    std::fs::write(&path, lines[..lines.len() - 1].join("\n")).expect("truncate");
+
+    let out = hlts()
+        .args(sweep)
+        .args(["--resume", journal])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let second = String::from_utf8_lossy(&out.stdout);
+    assert!(second.contains("1 computed, 2 resumed"), "{second}");
+    // Identical front signature: resume changes nothing but the work done.
+    let front = |s: &str| s.split("front: ").nth(1).map(str::to_owned);
+    assert_eq!(front(&first), front(&second), "{first} vs {second}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn explore_rejects_journal_plus_resume() {
+    let out = hlts()
+        .args(["explore", "bench:ex", "--journal", "/tmp/a", "--resume", "/tmp/b"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("either --journal"), "{err}");
+}
