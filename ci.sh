@@ -16,6 +16,10 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> fault-injection suites (test-faults feature)"
+cargo test -q -p hlts-core --features test-faults --offline
+cargo test -q -p hlts-dse --features test-faults --offline
+
 echo "==> bench smoke: testability solvers + speedup gate"
 cargo bench -q --bench testability --offline
 

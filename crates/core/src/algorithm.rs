@@ -118,6 +118,41 @@ impl SynthesisParams {
             ..SynthesisParams::default()
         }
     }
+
+    /// Check the parameters are usable: `k >= 1` and finite,
+    /// non-negative `alpha`/`beta`. Every library entry point calls
+    /// this before any work starts, so embedders get an
+    /// [`CoreError::InvalidParams`] instead of a silently corrupted
+    /// ΔC = α·ΔE + β·ΔH ordering (NaN weights would make every
+    /// comparison vacuous) or a degenerate shortlist.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParams`] naming the offending field.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.k == 0 {
+            return Err(CoreError::InvalidParams("k must be >= 1".into()));
+        }
+        for (name, v) in [
+            ("alpha", self.alpha),
+            ("beta", self.beta),
+            ("accept_threshold", self.accept_threshold),
+        ] {
+            if !v.is_finite() {
+                return Err(CoreError::InvalidParams(format!(
+                    "{name} must be finite (got {v})"
+                )));
+            }
+        }
+        for (name, v) in [("alpha", self.alpha), ("beta", self.beta)] {
+            if v < 0.0 {
+                return Err(CoreError::InvalidParams(format!(
+                    "{name} must be non-negative (got {v})"
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The integrated scheduling/allocation test synthesizer (Algorithm 1).
@@ -209,6 +244,7 @@ impl IntegratedSynthesizer {
         mode: EvalMode,
         evaluator: &DeltaEvaluator,
     ) -> Result<SynthesisResult, CoreError> {
+        self.params.validate()?;
         let mut state = base.fork();
         let mut merge_log: Vec<String> = Vec::new();
 
@@ -293,7 +329,13 @@ impl IntegratedSynthesizer {
         let mut best: Option<(f64, MergeKind)> = None;
         for (entry, cand) in evaluated.into_iter().zip(chunk) {
             let Some(dc) = entry else { continue };
-            if best.as_ref().is_none_or(|(b, _)| dc < *b) {
+            // total_cmp: a NaN price (impossible with validated params,
+            // defensive against a degenerate library) sorts above every
+            // real ΔC instead of vacuously losing every comparison.
+            if best
+                .as_ref()
+                .is_none_or(|(b, _)| dc.total_cmp(b) == std::cmp::Ordering::Less)
+            {
                 best = Some((dc, cand.kind));
             }
         }
@@ -370,7 +412,14 @@ impl IntegratedSynthesizer {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("candidate evaluation thread panicked"))
+                .map(|h| match h.join() {
+                    Ok(dc) => dc,
+                    // Propagate the worker's panic payload on the
+                    // calling thread: identical observable behavior to
+                    // the sequential path, without asserting it can't
+                    // happen.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         })
     }

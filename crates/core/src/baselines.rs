@@ -42,6 +42,7 @@ use crate::{CoreError, DesignState, SynthesisParams, SynthesisResult};
 ///
 /// Construction-level failures only (cyclic graph, inconsistent state).
 pub fn camad(dfg: &Dfg, params: &SynthesisParams) -> Result<SynthesisResult, CoreError> {
+    params.validate()?;
     // The CAMAD rows of the paper's tables keep one register per variable
     // (12 on Ex, 17 on Dct): register sharing buys little interconnect
     // and costs muxes under the connectivity objective, so the baseline
@@ -156,6 +157,7 @@ pub fn camad(dfg: &Dfg, params: &SynthesisParams) -> Result<SynthesisResult, Cor
 ///
 /// Construction-level failures only.
 pub fn approach1(dfg: &Dfg, params: &SynthesisParams) -> Result<SynthesisResult, CoreError> {
+    params.validate()?;
     let schedule = fds_schedule(dfg, None)?;
     let module_groups = greedy_module_allocation(dfg, &schedule);
     let lifetimes = Lifetimes::compute(dfg, &schedule);
@@ -175,6 +177,7 @@ pub fn approach1(dfg: &Dfg, params: &SynthesisParams) -> Result<SynthesisResult,
 ///
 /// Construction-level failures only.
 pub fn approach2(dfg: &Dfg, params: &SynthesisParams) -> Result<SynthesisResult, CoreError> {
+    params.validate()?;
     // resource budget: the per-class peak concurrency of the FDS solution
     let fds = fds_schedule(dfg, None)?;
     let mut peak: HashMap<FuClass, usize> = HashMap::new();

@@ -50,14 +50,13 @@ pub fn enumerate_candidates(
     let alloc = &state.allocation;
     let mut out = Vec::new();
 
-    // Module pairs.
-    let modules: Vec<ModuleId> = alloc.modules().map(|m| m.id()).collect();
-    for (i, &a) in modules.iter().enumerate() {
-        for &b in &modules[i + 1..] {
-            let (ma, mb) = (
-                alloc.module(a).expect("live"),
-                alloc.module(b).expect("live"),
-            );
+    // Module pairs. Iterating the live entries directly (rather than
+    // collected ids re-looked-up) keeps the loop total: there is no
+    // dead-id case to assert away.
+    let modules: Vec<&hlts_alloc::Module> = alloc.modules().collect();
+    for (i, &ma) in modules.iter().enumerate() {
+        for &mb in &modules[i + 1..] {
+            let (a, b) = (ma.id(), mb.id());
             let compatible = ma.ops().iter().all(|&oa| {
                 mb.ops().iter().all(|&ob| {
                     dfg.op(oa)
@@ -108,10 +107,12 @@ pub fn enumerate_candidates(
         }
     }
 
+    // total_cmp: a NaN score (defensive — profiles are finite by
+    // construction) gets a deterministic rank instead of freezing the
+    // comparison sort in an arbitrary order.
     out.sort_by(|x, y| {
         y.balance
-            .partial_cmp(&x.balance)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&x.balance)
             .then_with(|| format!("{:?}", x.kind).cmp(&format!("{:?}", y.kind)))
     });
     out

@@ -32,7 +32,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use hlts_cost::{estimate_cost, ModuleLibrary};
 use hlts_etpn::{CacheStats, CriticalPathEngine};
@@ -94,12 +94,10 @@ impl DeltaEvaluator {
     ///
     /// # Errors
     ///
-    /// Propagates lowering failures (inconsistent state).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal mutex was poisoned (a prior panic in
-    /// another evaluation thread).
+    /// Propagates lowering failures (inconsistent state). A poisoned
+    /// cache mutex (a panic in another evaluation thread) is recovered
+    /// rather than cascaded: every entry is an insert-only memo of a
+    /// pure function, so the map is valid at any interruption point.
     pub fn eval(
         &self,
         state: &DesignState,
@@ -107,7 +105,12 @@ impl DeltaEvaluator {
         library: &ModuleLibrary,
     ) -> Result<(usize, f64), CoreError> {
         let key = Self::fingerprint(state);
-        if let Some(&hit) = self.cache.lock().expect("eval cache poisoned").get(&key) {
+        if let Some(&hit) = self
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             self.state_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
@@ -117,7 +120,7 @@ impl DeltaEvaluator {
         let h = estimate_cost(etpn.data_path(), bits, library).total();
         self.cache
             .lock()
-            .expect("eval cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(key, (e, h));
         Ok((e, h))
     }

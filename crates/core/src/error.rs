@@ -21,6 +21,17 @@ pub enum CoreError {
     /// A merge was rejected (with the reason); not fatal inside the
     /// algorithm, surfaced only by the standalone merge helpers.
     MergeRejected(String),
+    /// The synthesis parameters are unusable (NaN/negative weights,
+    /// `k == 0`); reported by [`SynthesisParams::validate`] before any
+    /// work starts.
+    ///
+    /// [`SynthesisParams::validate`]: crate::SynthesisParams::validate
+    InvalidParams(String),
+    /// The invariant auditor found a corrupted design state (see
+    /// [`DesignState::audit`]); carries the rendered report.
+    ///
+    /// [`DesignState::audit`]: crate::DesignState::audit
+    AuditFailed(String),
 }
 
 impl fmt::Display for CoreError {
@@ -31,6 +42,8 @@ impl fmt::Display for CoreError {
             CoreError::Alloc(e) => write!(f, "allocation error: {e}"),
             CoreError::Etpn(e) => write!(f, "lowering error: {e}"),
             CoreError::MergeRejected(r) => write!(f, "merge rejected: {r}"),
+            CoreError::InvalidParams(r) => write!(f, "invalid parameters: {r}"),
+            CoreError::AuditFailed(r) => write!(f, "design-state audit failed: {r}"),
         }
     }
 }
@@ -42,7 +55,9 @@ impl Error for CoreError {
             CoreError::Sched(e) => Some(e),
             CoreError::Alloc(e) => Some(e),
             CoreError::Etpn(e) => Some(e),
-            CoreError::MergeRejected(_) => None,
+            CoreError::MergeRejected(_)
+            | CoreError::InvalidParams(_)
+            | CoreError::AuditFailed(_) => None,
         }
     }
 }

@@ -43,6 +43,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod algorithm;
 pub mod baselines;
@@ -71,3 +72,8 @@ pub use txn::{trial_merge, StateTxn, TxnSavepoint, TxnStats};
 // the pieces `SynthesisResult` and `DesignState` expose so downstream
 // users don't need a direct dependency for them.
 pub use hlts_testability::{TestabilityCacheStats, TestabilityEngine};
+
+// The invariant auditor lives in `hlts-check`; re-export the report
+// types [`DesignState::audit`] returns so callers can inspect
+// violations without a direct dependency.
+pub use hlts_check::{AuditReport, AuditViolation};

@@ -158,6 +158,30 @@ impl DesignState {
         Lifetimes::compute(&self.dfg, &self.schedule)
     }
 
+    /// Run the cross-crate invariant auditor over this state (see
+    /// [`hlts_check::audit_design`]): binding consistency in both
+    /// directions, schedule legality under module/register sharing,
+    /// arc-overlay well-formedness, and the transaction counters'
+    /// balance. Unlike [`DesignState::validate`] (first error wins)
+    /// the audit collects **every** violation into a report.
+    ///
+    /// The merge loop runs this in debug builds after every trial
+    /// rollback; the CLI exposes it as `--audit`.
+    #[must_use]
+    pub fn audit(&self) -> hlts_check::AuditReport {
+        let mut report = hlts_check::audit_design(&self.dfg, &self.schedule, &self.allocation);
+        let st = self.txn_stats();
+        hlts_check::audit_txn_balance(
+            &mut report,
+            st.begun,
+            st.committed,
+            st.rolled_back,
+            st.ops_recorded,
+            st.ops_replayed,
+        );
+        report
+    }
+
     /// Full consistency check: schedule legal for graph and binding,
     /// register sharing legal for lifetimes.
     ///

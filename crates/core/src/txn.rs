@@ -190,7 +190,7 @@ impl<'a> StateTxn<'a> {
         );
         let mut replayed = 0u64;
         while self.journal.len() > sp.0 {
-            let op = self.journal.pop().expect("length checked above");
+            let Some(op) = self.journal.pop() else { break };
             Self::undo(self.state, op);
             replayed += 1;
         }
@@ -242,6 +242,11 @@ impl Drop for StateTxn<'_> {
 /// Returns `None` when the merger is infeasible or `price` declines.
 /// This is the one trial path shared by Algorithm 1 and the CAMAD
 /// baseline — they differ only in the pricing closure.
+///
+/// In debug builds the rolled-back state is re-audited after every
+/// trial (see [`DesignState::audit`]): a journal-replay bug corrupts
+/// the *base* state all later candidates price, so it must be caught
+/// at the rollback that introduced it, not at the end of the run.
 pub fn trial_merge<F>(
     state: &mut DesignState,
     kind: MergeKind,
@@ -251,11 +256,22 @@ pub fn trial_merge<F>(
 where
     F: FnOnce(&DesignState) -> Option<f64>,
 {
-    let mut txn = StateTxn::begin(state);
-    if apply_merge(&mut txn, kind, strategy).is_err() {
-        return None; // txn drop rolls back whatever was applied
+    let priced = {
+        let mut txn = StateTxn::begin(state);
+        let feasible = apply_merge(&mut txn, kind, strategy).is_ok();
+        // an injected CORE_FORCE_ROLLBACK discards the applied trial unpriced
+        if feasible && !hlts_check::faults::fire(hlts_check::faults::sites::CORE_FORCE_ROLLBACK) {
+            price(txn.state())
+        } else {
+            None // txn drop rolls back whatever was applied
+        }
+    }; // the transaction drops here: uncommitted edits roll back
+    #[cfg(debug_assertions)]
+    {
+        let report = hlts_check::audit_design(&state.dfg, &state.schedule, &state.allocation);
+        debug_assert!(report.is_clean(), "post-rollback audit failed:\n{report}");
     }
-    price(txn.state())
+    priced
 }
 
 /// Cumulative transaction-layer counters of one synthesis run,

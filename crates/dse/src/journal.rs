@@ -18,7 +18,14 @@
 //! bit-identical to the computed one — the property that makes a
 //! resumed front equal an uninterrupted one. A truncated final line
 //! (the typical shape of a killed run) is detected and skipped, so a
-//! resume after `kill -9` still works.
+//! resume after `kill -9` still works. Malformed *interior* lines (a
+//! torn mid-file write, disk corruption, a partial overwrite) do not
+//! abort the load either: each is skipped and counted in
+//! [`JournalScan::malformed`], losing only the corrupted points — the
+//! runner recomputes them. Only a garbled header and duplicate point
+//! IDs are unrecoverable: the first means the file is not this sweep's
+//! journal at all, the second that two lines claim the same slot and
+//! the loader cannot know which to trust.
 
 use std::path::Path;
 
@@ -110,17 +117,33 @@ fn parse_point(rest: &str, line: &str) -> Result<PointResult, DseError> {
     })
 }
 
+/// What [`parse`] recovered from a journal's text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalScan {
+    /// The sweep-spec fingerprint recorded in the header.
+    pub fingerprint: u64,
+    /// Every intact completed point, in file order.
+    pub points: Vec<PointResult>,
+    /// Interior lines that were skipped as unparseable (a torn final
+    /// line of an incomplete file is expected damage and **not**
+    /// counted here). Non-zero means the file lost data — the skipped
+    /// points will simply be recomputed on resume.
+    pub malformed: usize,
+}
+
 /// Parse a journal's text into its spec fingerprint and completed
 /// points.
 ///
-/// The final line is allowed to be malformed **only** when the text
-/// does not end in a newline (an interrupted append); it is then
-/// dropped. Malformed interior lines are hard errors.
+/// A malformed final line of a text that does not end in a newline (an
+/// interrupted append) is dropped silently. Any other unparseable line
+/// is skipped and counted in [`JournalScan::malformed`] — resume
+/// degrades to recomputing the lost points instead of refusing the
+/// whole file.
 ///
 /// # Errors
 ///
-/// Missing/garbled header, malformed interior lines, duplicate IDs.
-pub fn parse(text: &str) -> Result<(u64, Vec<PointResult>), DseError> {
+/// Missing/garbled header, duplicate point IDs.
+pub fn parse(text: &str) -> Result<JournalScan, DseError> {
     let mut lines = text.lines();
     if lines.next() != Some(MAGIC) {
         return Err(DseError::Journal(format!(
@@ -138,6 +161,7 @@ pub fn parse(text: &str) -> Result<(u64, Vec<PointResult>), DseError> {
     let body: Vec<&str> = lines.filter(|l| !l.trim().is_empty()).collect();
     let complete = text.ends_with('\n');
     let mut out: Vec<PointResult> = Vec::new();
+    let mut malformed = 0usize;
     for (i, line) in body.iter().enumerate() {
         let parsed = line
             .strip_prefix("point ")
@@ -150,16 +174,20 @@ pub fn parse(text: &str) -> Result<(u64, Vec<PointResult>), DseError> {
                 }
                 out.push(r);
             }
-            Err(e) => {
+            Err(_) => {
                 let last = i + 1 == body.len();
                 if last && !complete {
                     break; // torn final write from a killed run
                 }
-                return Err(e);
+                malformed += 1; // interior damage: skip, report, go on
             }
         }
     }
-    Ok((fingerprint, out))
+    Ok(JournalScan {
+        fingerprint,
+        points: out,
+        malformed,
+    })
 }
 
 /// Read and [`parse`] a journal file.
@@ -167,7 +195,7 @@ pub fn parse(text: &str) -> Result<(u64, Vec<PointResult>), DseError> {
 /// # Errors
 ///
 /// I/O failures plus everything [`parse`] rejects.
-pub fn load(path: &Path) -> Result<(u64, Vec<PointResult>), DseError> {
+pub fn load(path: &Path) -> Result<JournalScan, DseError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| DseError::Journal(format!("{}: {e}", path.display())))?;
     parse(&text)
@@ -207,27 +235,35 @@ mod tests {
     fn point_line_roundtrips_bit_exactly() {
         let r = sample(7);
         let text = format!("{}{}", render_header(0xdead_beef), render_point(&r));
-        let (fp, points) = parse(&text).unwrap();
-        assert_eq!(fp, 0xdead_beef);
-        assert_eq!(points.len(), 1);
-        assert_eq!(points[0], r);
-        assert!(points[0].resumed);
-        assert!(points[0].objectives.hardware.to_bits() == r.objectives.hardware.to_bits());
+        let scan = parse(&text).unwrap();
+        assert_eq!(scan.fingerprint, 0xdead_beef);
+        assert_eq!(scan.malformed, 0);
+        assert_eq!(scan.points.len(), 1);
+        assert_eq!(scan.points[0], r);
+        assert!(scan.points[0].resumed);
+        assert!(scan.points[0].objectives.hardware.to_bits() == r.objectives.hardware.to_bits());
     }
 
     #[test]
-    fn torn_final_line_is_dropped_interior_garbage_is_not() {
+    fn torn_final_line_is_dropped_without_counting() {
         let mut text = format!("{}{}", render_header(1), render_point(&sample(0)));
         text.push_str("point 1 bench=dct flow=ours k=3 alp"); // torn, no \n
-        let (_, points) = parse(&text).unwrap();
-        assert_eq!(points.len(), 1);
+        let scan = parse(&text).unwrap();
+        assert_eq!(scan.points.len(), 1);
+        assert_eq!(scan.malformed, 0, "expected kill damage is not corruption");
+    }
 
-        let bad = format!(
-            "{}point 1 bench=dct garbage\n{}",
+    #[test]
+    fn malformed_interior_lines_are_skipped_and_counted() {
+        let text = format!(
+            "{}point 1 bench=dct garbage\nnot even a point line\n{}",
             render_header(1),
             render_point(&sample(0))
         );
-        assert!(parse(&bad).is_err());
+        let scan = parse(&text).unwrap();
+        assert_eq!(scan.malformed, 2);
+        assert_eq!(scan.points.len(), 1);
+        assert_eq!(scan.points[0].id, 0, "the intact line survives");
     }
 
     #[test]

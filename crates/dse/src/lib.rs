@@ -46,14 +46,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod journal;
 mod pareto;
 mod runner;
 mod spec;
 
+pub use journal::JournalScan;
 pub use pareto::{Objectives, ParetoArchive, PointResult};
-pub use runner::{explore, load_journal, ExploreConfig, ExploreOutcome, ExploreStats};
+pub use runner::{
+    explore, load_journal, ExploreConfig, ExploreOutcome, ExploreStats, PointFailure,
+};
 pub use spec::{Flow, PointParams, SweepPoint, SweepSpec};
 
 use hlts_core::CoreError;
@@ -67,6 +71,9 @@ pub enum DseError {
     Spec(String),
     /// A checkpoint journal could not be read, parsed or written.
     Journal(String),
+    /// A worker thread died (panic or injected kill) while holding a
+    /// point; the point is lost but the sweep continues.
+    Worker(String),
 }
 
 impl std::fmt::Display for DseError {
@@ -75,6 +82,7 @@ impl std::fmt::Display for DseError {
             DseError::Core(e) => write!(f, "synthesis failed: {e}"),
             DseError::Spec(m) => write!(f, "invalid sweep: {m}"),
             DseError::Journal(m) => write!(f, "journal: {m}"),
+            DseError::Worker(m) => write!(f, "worker: {m}"),
         }
     }
 }
@@ -173,6 +181,12 @@ impl ExploreOutcome {
                 r.objectives.co_depth,
             ));
         }
+        if !self.failures.is_empty() {
+            out.push_str(&format!("\nfailed points ({}):\n", self.failures.len()));
+            for f in &self.failures {
+                out.push_str(&format!("  #{:<3} {}\n", f.id, f.message));
+            }
+        }
         let s = &self.stats;
         out.push_str(&format!(
             "\nexplored {} points ({} computed, {} resumed) on {} worker(s) in {} ms \
@@ -184,6 +198,12 @@ impl ExploreOutcome {
             s.wall_millis,
             s.compute_millis,
         ));
+        if s.points_failed > 0 || s.journal_malformed > 0 {
+            out.push_str(&format!(
+                "degraded: {} point(s) failed, {} malformed journal line(s) skipped on resume\n",
+                s.points_failed, s.journal_malformed,
+            ));
+        }
         out.push_str(&format!(
             "testability cache: {} hits / {} misses ({} incremental, {} full); \
              (E,H) cache: {} hits / {} misses; txn: {} trials, {} undo ops\n",
@@ -236,18 +256,33 @@ impl ExploreOutcome {
             ));
         }
         let front_ids: Vec<String> = self.front.iter().map(|r| r.id.to_string()).collect();
+        let failures: Vec<String> = self
+            .failures
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"id\": {}, \"message\": {}}}",
+                    f.id,
+                    json_string(&f.message)
+                )
+            })
+            .collect();
         let s = &self.stats;
         out.push_str(&format!(
-            "  ],\n  \"front\": [{}],\n  \"stats\": {{\"points_total\": {}, \
-             \"points_computed\": {}, \"points_resumed\": {}, \"workers\": {}, \
+            "  ],\n  \"front\": [{}],\n  \"failures\": [{}],\n  \"stats\": {{\"points_total\": {}, \
+             \"points_computed\": {}, \"points_resumed\": {}, \"points_failed\": {}, \
+             \"journal_malformed\": {}, \"workers\": {}, \
              \"wall_millis\": {}, \"compute_millis\": {}, \
              \"testability\": {{\"hits\": {}, \"misses\": {}, \"incremental\": {}, \
              \"full\": {}}}, \"eval\": {{\"state_hits\": {}, \"state_misses\": {}}}, \
              \"txn\": {{\"begun\": {}, \"committed\": {}, \"rolled_back\": {}}}}}\n}}\n",
             front_ids.join(", "),
+            failures.join(", "),
             s.points_total,
             s.points_computed,
             s.points_resumed,
+            s.points_failed,
+            s.journal_malformed,
             s.workers,
             s.wall_millis,
             s.compute_millis,

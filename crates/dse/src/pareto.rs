@@ -35,18 +35,31 @@ pub struct Objectives {
 impl Objectives {
     /// Pareto dominance: no worse in every objective, strictly better
     /// in at least one.
+    ///
+    /// Float objectives compare with [`f64::total_cmp`]: a NaN smuggled
+    /// in (a hand-edited journal, a future metric bug) lands at a
+    /// deterministic extreme of each axis instead of making dominance
+    /// non-transitive — the property the archive's order-independence
+    /// argument rests on.
     #[must_use]
     pub fn dominates(&self, other: &Objectives) -> bool {
+        use std::cmp::Ordering::{Greater, Less};
         let no_worse = self.execution_time <= other.execution_time
-            && self.hardware <= other.hardware
-            && self.avg_controllability >= other.avg_controllability
-            && self.avg_observability >= other.avg_observability
-            && self.co_depth <= other.co_depth;
+            && self.hardware.total_cmp(&other.hardware) != Greater
+            && self
+                .avg_controllability
+                .total_cmp(&other.avg_controllability)
+                != Less
+            && self.avg_observability.total_cmp(&other.avg_observability) != Less
+            && self.co_depth.total_cmp(&other.co_depth) != Greater;
         let better = self.execution_time < other.execution_time
-            || self.hardware < other.hardware
-            || self.avg_controllability > other.avg_controllability
-            || self.avg_observability > other.avg_observability
-            || self.co_depth < other.co_depth;
+            || self.hardware.total_cmp(&other.hardware) == Less
+            || self
+                .avg_controllability
+                .total_cmp(&other.avg_controllability)
+                == Greater
+            || self.avg_observability.total_cmp(&other.avg_observability) == Greater
+            || self.co_depth.total_cmp(&other.co_depth) == Less;
         no_worse && better
     }
 }

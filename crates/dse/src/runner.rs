@@ -19,9 +19,11 @@
 //! byte-identical for any worker count, with or without resume.
 
 use std::io::Write as _;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
+use hlts_check::faults;
 use hlts_core::baselines;
 use hlts_core::{
     DeltaEvaluator, DesignState, EvalMode, EvalStats, IntegratedSynthesizer, SynthesisResult,
@@ -29,7 +31,7 @@ use hlts_core::{
 };
 use hlts_dfg::Dfg;
 
-use crate::journal::{render_header, render_point};
+use crate::journal::{render_header, render_point, JournalScan};
 use crate::pareto::{Objectives, ParetoArchive, PointResult};
 use crate::spec::{Flow, SweepPoint, SweepSpec};
 use crate::DseError;
@@ -48,6 +50,11 @@ pub struct ExploreConfig {
     /// normally [`crate::journal::load`]ed via [`load_journal`]. Every
     /// entry must match its spec point (ID and parameters).
     pub resume: Vec<PointResult>,
+    /// How many malformed journal lines were skipped while producing
+    /// [`ExploreConfig::resume`] ([`JournalScan::malformed`]); carried
+    /// into [`ExploreStats::journal_malformed`] so reports surface the
+    /// data loss.
+    pub resume_malformed: usize,
 }
 
 /// Aggregate counters of one [`explore`] call: point accounting,
@@ -63,6 +70,12 @@ pub struct ExploreStats {
     pub points_computed: usize,
     /// Points replayed from [`ExploreConfig::resume`].
     pub points_resumed: usize,
+    /// Points that failed (synthesis error, journal append error, or a
+    /// worker panic/kill) — listed in [`ExploreOutcome::failures`].
+    pub points_failed: usize,
+    /// Malformed journal lines skipped while loading the resume
+    /// checkpoint (from [`ExploreConfig::resume_malformed`]).
+    pub journal_malformed: usize,
     /// Effective worker-thread count used.
     pub workers: usize,
     /// Wall-clock milliseconds of the whole exploration.
@@ -83,38 +96,53 @@ pub struct ExploreStats {
 /// Pareto front over all of them.
 #[derive(Debug, Clone)]
 pub struct ExploreOutcome {
-    /// All point results, in point-ID order.
+    /// All completed point results, in point-ID order.
     pub results: Vec<PointResult>,
-    /// The non-dominated subset, in point-ID order.
+    /// The non-dominated subset of `results`, in point-ID order.
     pub front: Vec<PointResult>,
+    /// Points that did not complete, in point-ID order. A sweep with
+    /// failures still reports the front over everything that finished —
+    /// identical to what a clean sweep restricted to those points
+    /// yields — so partial results stay usable.
+    pub failures: Vec<PointFailure>,
     /// Execution counters.
     pub stats: ExploreStats,
 }
 
+/// Why one sweep point produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointFailure {
+    /// The point's stable ID in its sweep.
+    pub id: usize,
+    /// Human-readable failure description.
+    pub message: String,
+}
+
 /// Load a checkpoint journal and check it against `spec`: the recorded
 /// fingerprint must match and every recorded point must agree with the
-/// spec's enumeration. Returns the completed results ready for
-/// [`ExploreConfig::resume`].
+/// spec's enumeration. Returns the scan — completed results ready for
+/// [`ExploreConfig::resume`] plus the count of malformed lines skipped
+/// (see [`JournalScan`]).
 ///
 /// # Errors
 ///
-/// Unreadable/garbled journals, fingerprint mismatch, points that do
-/// not belong to `spec`.
-pub fn load_journal(
-    path: &std::path::Path,
-    spec: &SweepSpec,
-) -> Result<Vec<PointResult>, DseError> {
-    let (fingerprint, results) = crate::journal::load(path)?;
+/// Unreadable journals, garbled headers, fingerprint mismatch, points
+/// that do not belong to `spec`. Malformed point lines are *not*
+/// errors: they are skipped and counted, and the lost points simply
+/// recompute.
+pub fn load_journal(path: &std::path::Path, spec: &SweepSpec) -> Result<JournalScan, DseError> {
+    let scan = crate::journal::load(path)?;
     let expected = spec.fingerprint()?;
-    if fingerprint != expected {
+    if scan.fingerprint != expected {
         return Err(DseError::Journal(format!(
             "journal {} was written for a different sweep \
-             (spec {fingerprint:016x}, expected {expected:016x})",
-            path.display()
+             (spec {:016x}, expected {expected:016x})",
+            path.display(),
+            scan.fingerprint,
         )));
     }
-    check_resume(&spec.points()?, &results)?;
-    Ok(results)
+    check_resume(&spec.points()?, &scan.points)?;
+    Ok(scan)
 }
 
 fn check_resume(points: &[SweepPoint], resume: &[PointResult]) -> Result<(), DseError> {
@@ -182,6 +210,26 @@ fn run_point(point: &SweepPoint, ctx: &BenchCtx<'_>) -> Result<PointResult, DseE
 /// drains them in ID order.
 type Slot = Option<Result<PointResult, DseError>>;
 
+/// Lock a mutex, recovering from poisoning. The data guarded here
+/// (the journal sink, the per-point result slots) is consistent at
+/// every await-free store — a panicking worker can only have left a
+/// whole append or a whole slot write behind — so the sane response to
+/// a poisoned lock is to keep draining the sweep, not to cascade the
+/// panic to every surviving worker.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort text of a panic payload (the two shapes `panic!`
+/// produces, else a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
 struct Sink {
     file: Option<std::fs::File>,
 }
@@ -219,7 +267,21 @@ impl Sink {
 
     fn append(&mut self, r: &PointResult) -> Result<(), DseError> {
         if let Some(f) = &mut self.file {
-            f.write_all(render_point(r).as_bytes())
+            // Fault-injection sites (inert unless the `test-faults`
+            // feature is on AND a plan armed them): a panic while the
+            // sink lock is held — poisoning it for every other worker —
+            // and a garbled line standing in for mid-file disk
+            // corruption.
+            assert!(
+                !faults::fire(faults::sites::DSE_SINK_PANIC),
+                "injected fault: journal sink panicked mid-append"
+            );
+            let line = if faults::fire(faults::sites::DSE_SINK_CORRUPT) {
+                format!("point {} <<injected corruption>>\n", r.id)
+            } else {
+                render_point(r)
+            };
+            f.write_all(line.as_bytes())
                 .and_then(|()| f.flush())
                 .map_err(|e| DseError::Journal(format!("journal write failed: {e}")))?;
         }
@@ -227,20 +289,44 @@ impl Sink {
     }
 }
 
+/// Run one point and journal its result, catching panics: a panicking
+/// point (or an injected fault) becomes a [`DseError::Worker`] for that
+/// point alone instead of tearing down the pool.
+fn run_point_guarded(
+    point: &SweepPoint,
+    ctx: &BenchCtx<'_>,
+    sink: &Mutex<Sink>,
+) -> Result<PointResult, DseError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let r = run_point(point, ctx)?;
+        // A journal failure must not lose the computed result silently;
+        // surface it as the point's outcome.
+        lock_recover(sink).append(&r)?;
+        Ok(r)
+    }));
+    outcome.unwrap_or_else(|payload| {
+        Err(DseError::Worker(format!(
+            "point {} panicked: {}",
+            point.id,
+            panic_message(payload.as_ref())
+        )))
+    })
+}
+
 /// Run `spec` under `cfg`: synthesize every point not covered by
 /// [`ExploreConfig::resume`], journal completions as they happen, and
 /// fold everything into the Pareto front.
 ///
+/// Per-point trouble — a synthesis error, a journal append failure, a
+/// panicking worker — does **not** abort the sweep: the point lands in
+/// [`ExploreOutcome::failures`], the pool keeps draining, and the front
+/// is computed over everything that completed (bit-identical to a
+/// clean sweep restricted to those points).
+///
 /// # Errors
 ///
-/// Invalid specs, resume entries that contradict the spec, journal I/O
-/// failures, and synthesis errors (reported for the smallest failing
-/// point ID).
-///
-/// # Panics
-///
-/// Panics if a worker thread panics (propagated) or an internal mutex
-/// is poisoned by such a panic.
+/// Sweep-level problems only: invalid specs, resume entries that
+/// contradict the spec, and failure to open the checkpoint journal.
 pub fn explore(spec: &SweepSpec, cfg: &ExploreConfig) -> Result<ExploreOutcome, DseError> {
     let t0 = Instant::now();
     let points = spec.points()?;
@@ -272,9 +358,14 @@ pub fn explore(spec: &SweepSpec, cfg: &ExploreConfig) -> Result<ExploreOutcome, 
             spec.benches
                 .iter()
                 .position(|(n, _)| *n == p.params.bench)
-                .expect("points() validated bench names")
+                .ok_or_else(|| {
+                    DseError::Spec(format!(
+                        "point {} names unknown bench `{}`",
+                        p.id, p.params.bench
+                    ))
+                })
         })
-        .collect();
+        .collect::<Result<_, DseError>>()?;
 
     let pending: Vec<&SweepPoint> = points.iter().filter(|p| slots[p.id].is_none()).collect();
     let sink = Mutex::new(Sink::open(cfg, fingerprint)?);
@@ -282,22 +373,36 @@ pub fn explore(spec: &SweepSpec, cfg: &ExploreConfig) -> Result<ExploreOutcome, 
 
     if workers <= 1 {
         for point in &pending {
-            let done = run_point(point, &contexts[ctx_index[point.id]]);
-            if let Ok(r) = &done {
-                sink.lock().expect("journal sink poisoned").append(r)?;
+            if faults::fire(faults::sites::DSE_WORKER_KILL) {
+                slots[point.id] = Some(Err(DseError::Worker(format!(
+                    "worker killed by fault injection at point {} (point abandoned)",
+                    point.id
+                ))));
+                continue;
             }
-            slots[point.id] = Some(done);
+            slots[point.id] = Some(run_point_guarded(
+                point,
+                &contexts[ctx_index[point.id]],
+                &sink,
+            ));
         }
     } else {
         run_pool(&pending, &contexts, &ctx_index, &sink, &mut slots, workers);
     }
 
     let mut results = Vec::with_capacity(points.len());
+    let mut failures = Vec::new();
     for (id, slot) in slots.into_iter().enumerate() {
         match slot {
             Some(Ok(r)) => results.push(r),
-            Some(Err(e)) => return Err(e),
-            None => unreachable!("point {id} neither resumed nor scheduled"),
+            Some(Err(e)) => failures.push(PointFailure {
+                id,
+                message: e.to_string(),
+            }),
+            None => failures.push(PointFailure {
+                id,
+                message: "never scheduled (the worker pool died before reaching it)".into(),
+            }),
         }
     }
 
@@ -310,9 +415,11 @@ pub fn explore(spec: &SweepSpec, cfg: &ExploreConfig) -> Result<ExploreOutcome, 
 
     let points_resumed = cfg.resume.len();
     let mut stats = ExploreStats {
-        points_total: results.len(),
+        points_total: points.len(),
         points_computed: results.len() - points_resumed,
         points_resumed,
+        points_failed: failures.len(),
+        journal_malformed: cfg.resume_malformed,
         workers,
         wall_millis: t0.elapsed().as_millis() as u64,
         compute_millis: results.iter().map(|r| r.millis).sum(),
@@ -327,6 +434,7 @@ pub fn explore(spec: &SweepSpec, cfg: &ExploreConfig) -> Result<ExploreOutcome, 
     Ok(ExploreOutcome {
         results,
         front: archive.into_entries(),
+        failures,
         stats,
     })
 }
@@ -344,6 +452,11 @@ fn effective_workers(_jobs: usize, _pending: usize) -> usize {
 /// Drain `pending` with `workers` scoped threads pulling point indices
 /// off one shared counter. Slots are disjoint per point, so each is
 /// its own mutex; the journal sink serializes appends.
+///
+/// Per-point panics are contained by [`run_point_guarded`]; the
+/// injected worker-kill fault terminates one thread after it claimed a
+/// point (the claimed point is marked failed, every later point stays
+/// on the counter for the surviving workers).
 #[cfg(feature = "parallel")]
 fn run_pool(
     pending: &[&SweepPoint],
@@ -363,25 +476,29 @@ fn run_pool(
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(point) = pending.get(i) else { break };
-                    let done = run_point(point, &contexts[ctx_index[point.id]]);
-                    if let Ok(r) = &done {
-                        // A journal failure must not lose the computed
-                        // result; surface it through the slot instead.
-                        if let Err(e) = sink.lock().expect("journal sink poisoned").append(r) {
-                            *out[i].lock().expect("slot poisoned") = Some(Err(e));
-                            continue;
-                        }
+                    if faults::fire(faults::sites::DSE_WORKER_KILL) {
+                        *lock_recover(&out[i]) = Some(Err(DseError::Worker(format!(
+                            "worker killed by fault injection at point {} (point abandoned)",
+                            point.id
+                        ))));
+                        break; // this worker dies; the others drain on
                     }
-                    *out[i].lock().expect("slot poisoned") = Some(done);
+                    let done = run_point_guarded(point, &contexts[ctx_index[point.id]], sink);
+                    *lock_recover(&out[i]) = Some(done);
                 })
             })
             .collect();
         for h in handles {
-            h.join().expect("explore worker panicked");
+            // `run_point_guarded` contains per-point panics, so a join
+            // error is a panic outside any point's scope — nothing to
+            // attribute it to; propagate instead of swallowing it.
+            if let Err(payload) = h.join() {
+                resume_unwind(payload);
+            }
         }
     });
     for (point, slot) in pending.iter().zip(out) {
-        slots[point.id] = slot.into_inner().expect("slot poisoned");
+        slots[point.id] = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
     }
 }
 

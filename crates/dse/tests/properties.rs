@@ -119,14 +119,16 @@ fn resume_recomputes_nothing_and_preserves_the_front() {
     truncated.push_str("\npoint 99 bench=dct flow=ours k=3 al"); // torn tail
     std::fs::write(&path, truncated).expect("truncate journal");
 
-    let resume = load_journal(&path, &spec).expect("journal loads");
-    assert_eq!(resume.len(), keep);
+    let scan = load_journal(&path, &spec).expect("journal loads");
+    assert_eq!(scan.points.len(), keep);
+    assert_eq!(scan.malformed, 0, "torn tail is not counted as corruption");
     let resumed = explore(
         &spec,
         &ExploreConfig {
             jobs: 2,
             journal: Some(path.clone()),
-            resume,
+            resume: scan.points,
+            ..ExploreConfig::default()
         },
     )
     .expect("resumed sweep");
@@ -143,13 +145,14 @@ fn resume_recomputes_nothing_and_preserves_the_front() {
     // The re-appended journal now covers the whole sweep again: a
     // second resume replays everything and computes nothing.
     let full = load_journal(&path, &spec).expect("journal reloads");
-    assert_eq!(full.len(), total);
+    assert_eq!(full.points.len(), total);
     let replayed = explore(
         &spec,
         &ExploreConfig {
             jobs: 1,
             journal: None,
-            resume: full,
+            resume: full.points,
+            ..ExploreConfig::default()
         },
     )
     .expect("replayed sweep");

@@ -8,7 +8,7 @@
 //! the sequential depth the subsequent allocation can achieve (rule SR1).
 //!
 //! The original paper gives the algorithm only in prose; this module is a
-//! documented reconstruction (see DESIGN.md §4.7): operations are
+//! documented reconstruction (see DESIGN.md §4.8): operations are
 //! processed in increasing mobility (critical paths first, following each
 //! chain of equal mobility), and each is placed at the earliest
 //! resource-feasible step — earliest placement minimizes the number of

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! hlts [run] <file.dfg | bench:NAME> [--flow ours|camad|approach1|approach2]
-//!      [--bits N] [--k N] [--alpha X] [--beta X] [--atpg] [--json] [--quiet]
+//!      [--bits N] [--k N] [--alpha X] [--beta X] [--atpg] [--audit]
+//!      [--json] [--quiet]
 //! hlts explore <source>... [--flow LIST] [--bits LIST] [--k LIST]
 //!      [--weights A:B,...] [--jobs N] [--journal PATH | --resume PATH]
 //!      [--json] [--quiet]
@@ -17,12 +18,15 @@
 //! a worker pool and reports the Pareto front (see `hlts-dse`); with
 //! `--journal` completed points checkpoint to a plain-text file that
 //! `--resume` picks up without recomputing. `--json` switches either
-//! subcommand to machine-readable output.
+//! subcommand to machine-readable output. `--audit` runs the
+//! cross-crate invariant auditor (`hlts-check`) over the synthesized
+//! design and fails with a violation report if anything is
+//! inconsistent.
 
 use std::process::ExitCode;
 
 use hlts::atpg::{AtpgConfig, TestGenerator};
-use hlts::core::{baselines, IntegratedSynthesizer, SynthesisParams, SynthesisResult};
+use hlts::core::{baselines, DesignState, IntegratedSynthesizer, SynthesisParams, SynthesisResult};
 use hlts::dse::{self, explore, ExploreConfig, Flow, SweepSpec};
 use hlts::etpn::Etpn;
 use hlts::netlist::elaborate;
@@ -35,6 +39,7 @@ struct RunOptions {
     alpha: Option<f64>,
     beta: Option<f64>,
     atpg: bool,
+    audit: bool,
     json: bool,
     quiet: bool,
 }
@@ -54,14 +59,15 @@ struct ExploreOptions {
 
 fn usage() -> &'static str {
     "usage: hlts [run] <file.dfg | bench:NAME> [--flow ours|camad|approach1|approach2]\n\
-     \x20            [--bits N] [--k N] [--alpha X] [--beta X] [--atpg] [--json] [--quiet]\n\
+     \x20            [--bits N] [--k N] [--alpha X] [--beta X] [--atpg] [--audit]\n\
+     \x20            [--json] [--quiet]\n\
      \x20      hlts explore <source>... [--flow LIST] [--bits LIST] [--k LIST]\n\
      \x20            [--weights A:B,...] [--jobs N] [--journal PATH | --resume PATH]\n\
      \x20            [--json] [--quiet]\n\
      built-in benchmarks: ex, dct, diffeq, ewf, paulin, tseng"
 }
 
-const RUN_FLAGS: &str = "--flow, --bits, --k, --alpha, --beta, --atpg, --json, --quiet";
+const RUN_FLAGS: &str = "--flow, --bits, --k, --alpha, --beta, --atpg, --audit, --json, --quiet";
 const EXPLORE_FLAGS: &str =
     "--flow, --bits, --k, --weights, --jobs, --journal, --resume, --json, --quiet";
 
@@ -120,6 +126,7 @@ fn parse_run_args(mut args: impl Iterator<Item = String>) -> Result<RunOptions, 
         alpha: None,
         beta: None,
         atpg: false,
+        audit: false,
         json: false,
         quiet: false,
     };
@@ -135,6 +142,7 @@ fn parse_run_args(mut args: impl Iterator<Item = String>) -> Result<RunOptions, 
             "--alpha" => opts.alpha = Some(parse_weight("--alpha", &take(&mut args, "--alpha")?)?),
             "--beta" => opts.beta = Some(parse_weight("--beta", &take(&mut args, "--beta")?)?),
             "--atpg" => opts.atpg = true,
+            "--audit" => opts.audit = true,
             "--json" => opts.json = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => return Err(usage().to_owned()),
@@ -343,6 +351,20 @@ fn run_main(args: impl Iterator<Item = String>) -> Result<(), String> {
     let opts = parse_run_args(args)?;
     let dfg = load(&opts.source).map_err(|e| format!("error: {e}"))?;
     let result = synthesize(&opts, &dfg).map_err(|e| format!("error: {e}"))?;
+    if opts.audit {
+        let state = DesignState::from_parts(
+            &result.dfg,
+            result.schedule.clone(),
+            result.allocation.clone(),
+        );
+        let report = state.audit();
+        if !report.is_clean() {
+            return Err(format!("error: {report}"));
+        }
+        if !opts.json {
+            println!("audit: clean");
+        }
+    }
     let atpg = if opts.atpg {
         Some(run_atpg(&result, opts.bits).map_err(|e| format!("error: {e}"))?)
     } else {
@@ -409,7 +431,17 @@ fn explore_main(args: impl Iterator<Item = String>) -> Result<(), String> {
     };
     if let Some(path) = &opts.resume {
         let path = std::path::PathBuf::from(path);
-        cfg.resume = dse::load_journal(&path, &spec).map_err(|e| format!("error: {e}"))?;
+        let scan = dse::load_journal(&path, &spec).map_err(|e| format!("error: {e}"))?;
+        if scan.malformed > 0 {
+            eprintln!(
+                "warning: {}: skipped {} malformed journal line(s); \
+                 the lost points will be recomputed",
+                path.display(),
+                scan.malformed
+            );
+        }
+        cfg.resume = scan.points;
+        cfg.resume_malformed = scan.malformed;
         cfg.journal = Some(path);
     } else if let Some(path) = &opts.journal {
         // A fresh checkpoint: start the journal over (resuming an
@@ -418,6 +450,9 @@ fn explore_main(args: impl Iterator<Item = String>) -> Result<(), String> {
         cfg.journal = Some(path.into());
     }
     let outcome = explore(&spec, &cfg).map_err(|e| format!("error: {e}"))?;
+    for f in &outcome.failures {
+        eprintln!("warning: point {} failed: {}", f.id, f.message);
+    }
     if opts.json {
         print!("{}", outcome.render_json());
         return Ok(());
