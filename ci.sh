@@ -20,6 +20,15 @@ echo "==> fault-injection suites (test-faults feature)"
 cargo test -q -p hlts-core --features test-faults --offline
 cargo test -q -p hlts-dse --features test-faults --offline
 
+echo "==> conformance harness meta-test (broken engine must be caught)"
+cargo test -q -p hlts-gen --features test-faults --offline
+
+echo "==> conformance smoke: 32 generated graphs x 5 engine pairs (release)"
+cargo test -q --release --offline --test conformance -- --ignored conformance_ci_smoke
+
+echo "==> conformance full sweep: 128 generated graphs (release)"
+cargo test -q --release --offline --test conformance -- --ignored conformance_full_sweep
+
 echo "==> bench smoke: testability solvers + speedup gate"
 cargo bench -q --bench testability --offline
 

@@ -177,7 +177,15 @@ pub fn merge_modules_cloned(
     }
     work.allocation.merge_modules(&work.dfg, a, b)?;
     work.reschedule()?;
-    debug_assert!(work.validate().is_ok());
+    // Same defense as the transactional path: rescheduling can slide a
+    // definition into the end-of-iteration copy slot of a loop-carried
+    // value sharing a previously merged register — reject instead of
+    // committing an overlapping register file.
+    if work.validate().is_err() {
+        return Err(CoreError::MergeRejected(
+            "post-merge reschedule produced overlapping lifetimes".into(),
+        ));
+    }
     *state = work;
     Ok(())
 }

@@ -381,7 +381,19 @@ fn apply_module_merge(
     }
     txn.merge_modules(a, b)?;
     txn.reschedule()?;
-    debug_assert!(txn.state().validate().is_ok());
+    // Defense in depth, mirroring the register merge below: the merge
+    // itself only adds op-ordering arcs, but rescheduling can move a
+    // definition into the end-of-iteration slot a loop-carried value
+    // occupies in a previously merged register ([`Lifetimes`]'s
+    // `[L, L]` copy slot), recreating an overlap no arc expresses.
+    // Reject such merges rather than commit an illegal register file.
+    //
+    // [`Lifetimes`]: hlts_sched::Lifetimes
+    if txn.state().validate().is_err() {
+        return Err(CoreError::MergeRejected(
+            "post-merge reschedule produced overlapping lifetimes".into(),
+        ));
+    }
     Ok(())
 }
 

@@ -2,8 +2,9 @@
 //!
 //! This crate provides the behavioral front end of the `hlts` high-level test
 //! synthesis system: a data-flow graph ([`Dfg`]) of operations over named
-//! values, reconstructible from a small textual format ([`parse`]) or built
-//! programmatically ([`DfgBuilder`]).
+//! values, reconstructible from a small textual format ([`parse`]), built
+//! programmatically ([`DfgBuilder`]), and renderable back to that format
+//! ([`emit`]) such that the round-trip is structurally identical.
 //!
 //! The paper this system reproduces (Yang & Peng, DATE 1998) takes VHDL
 //! behavioral specifications as input; the synthesis algorithm itself only
@@ -46,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod emit;
 mod error;
 mod graph;
 mod op;
@@ -54,6 +56,7 @@ mod timing;
 mod value;
 
 pub use builder::DfgBuilder;
+pub use emit::emit;
 pub use error::DfgError;
 pub use graph::{ArcSavepoint, Dfg, OpId, Operation};
 pub use op::{FuClass, OpKind};

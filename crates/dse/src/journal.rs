@@ -129,16 +129,22 @@ pub struct JournalScan {
     /// counted here). Non-zero means the file lost data — the skipped
     /// points will simply be recomputed on resume.
     pub malformed: usize,
+    /// Whether a torn final line (an interrupted append: unparseable
+    /// text not ending in a newline, the typical leftover of a killed
+    /// run) was dropped — `1` when so, else `0`. Counted separately
+    /// from [`JournalScan::malformed`] because it is *expected* damage,
+    /// but still surfaced so reports can say the file was cut short.
+    pub torn_tail: usize,
 }
 
 /// Parse a journal's text into its spec fingerprint and completed
 /// points.
 ///
 /// A malformed final line of a text that does not end in a newline (an
-/// interrupted append) is dropped silently. Any other unparseable line
-/// is skipped and counted in [`JournalScan::malformed`] — resume
-/// degrades to recomputing the lost points instead of refusing the
-/// whole file.
+/// interrupted append) is dropped and counted in
+/// [`JournalScan::torn_tail`]. Any other unparseable line is skipped
+/// and counted in [`JournalScan::malformed`] — resume degrades to
+/// recomputing the lost points instead of refusing the whole file.
 ///
 /// # Errors
 ///
@@ -162,6 +168,7 @@ pub fn parse(text: &str) -> Result<JournalScan, DseError> {
     let complete = text.ends_with('\n');
     let mut out: Vec<PointResult> = Vec::new();
     let mut malformed = 0usize;
+    let mut torn_tail = 0usize;
     for (i, line) in body.iter().enumerate() {
         let parsed = line
             .strip_prefix("point ")
@@ -177,7 +184,8 @@ pub fn parse(text: &str) -> Result<JournalScan, DseError> {
             Err(_) => {
                 let last = i + 1 == body.len();
                 if last && !complete {
-                    break; // torn final write from a killed run
+                    torn_tail = 1; // torn final write from a killed run
+                    break;
                 }
                 malformed += 1; // interior damage: skip, report, go on
             }
@@ -187,6 +195,7 @@ pub fn parse(text: &str) -> Result<JournalScan, DseError> {
         fingerprint,
         points: out,
         malformed,
+        torn_tail,
     })
 }
 
@@ -245,12 +254,20 @@ mod tests {
     }
 
     #[test]
-    fn torn_final_line_is_dropped_without_counting() {
+    fn torn_final_line_is_dropped_and_counted_as_torn() {
         let mut text = format!("{}{}", render_header(1), render_point(&sample(0)));
         text.push_str("point 1 bench=dct flow=ours k=3 alp"); // torn, no \n
         let scan = parse(&text).unwrap();
         assert_eq!(scan.points.len(), 1);
         assert_eq!(scan.malformed, 0, "expected kill damage is not corruption");
+        assert_eq!(scan.torn_tail, 1, "but the cut-short file is reported");
+    }
+
+    #[test]
+    fn clean_journal_has_no_torn_tail() {
+        let text = format!("{}{}", render_header(1), render_point(&sample(0)));
+        let scan = parse(&text).unwrap();
+        assert_eq!((scan.malformed, scan.torn_tail), (0, 0));
     }
 
     #[test]

@@ -198,10 +198,11 @@ impl ExploreOutcome {
             s.wall_millis,
             s.compute_millis,
         ));
-        if s.points_failed > 0 || s.journal_malformed > 0 {
+        if s.points_failed > 0 || s.journal_malformed > 0 || s.journal_torn_tail > 0 {
             out.push_str(&format!(
-                "degraded: {} point(s) failed, {} malformed journal line(s) skipped on resume\n",
-                s.points_failed, s.journal_malformed,
+                "degraded: {} point(s) failed, {} malformed journal line(s) skipped on \
+                 resume, {} torn final line(s) dropped\n",
+                s.points_failed, s.journal_malformed, s.journal_torn_tail,
             ));
         }
         out.push_str(&format!(
@@ -271,7 +272,7 @@ impl ExploreOutcome {
         out.push_str(&format!(
             "  ],\n  \"front\": [{}],\n  \"failures\": [{}],\n  \"stats\": {{\"points_total\": {}, \
              \"points_computed\": {}, \"points_resumed\": {}, \"points_failed\": {}, \
-             \"journal_malformed\": {}, \"workers\": {}, \
+             \"journal_malformed\": {}, \"journal_torn_tail\": {}, \"workers\": {}, \
              \"wall_millis\": {}, \"compute_millis\": {}, \
              \"testability\": {{\"hits\": {}, \"misses\": {}, \"incremental\": {}, \
              \"full\": {}}}, \"eval\": {{\"state_hits\": {}, \"state_misses\": {}}}, \
@@ -283,6 +284,7 @@ impl ExploreOutcome {
             s.points_resumed,
             s.points_failed,
             s.journal_malformed,
+            s.journal_torn_tail,
             s.workers,
             s.wall_millis,
             s.compute_millis,

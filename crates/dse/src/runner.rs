@@ -55,6 +55,10 @@ pub struct ExploreConfig {
     /// into [`ExploreStats::journal_malformed`] so reports surface the
     /// data loss.
     pub resume_malformed: usize,
+    /// Whether the resume journal ended in a torn final line that was
+    /// dropped ([`JournalScan::torn_tail`]); carried into
+    /// [`ExploreStats::journal_torn_tail`].
+    pub resume_torn_tail: usize,
 }
 
 /// Aggregate counters of one [`explore`] call: point accounting,
@@ -76,6 +80,10 @@ pub struct ExploreStats {
     /// Malformed journal lines skipped while loading the resume
     /// checkpoint (from [`ExploreConfig::resume_malformed`]).
     pub journal_malformed: usize,
+    /// Torn final journal lines dropped while loading the resume
+    /// checkpoint (from [`ExploreConfig::resume_torn_tail`]; `0` or
+    /// `1` — an interrupted append leaves at most one).
+    pub journal_torn_tail: usize,
     /// Effective worker-thread count used.
     pub workers: usize,
     /// Wall-clock milliseconds of the whole exploration.
@@ -420,6 +428,7 @@ pub fn explore(spec: &SweepSpec, cfg: &ExploreConfig) -> Result<ExploreOutcome, 
         points_resumed,
         points_failed: failures.len(),
         journal_malformed: cfg.resume_malformed,
+        journal_torn_tail: cfg.resume_torn_tail,
         workers,
         wall_millis: t0.elapsed().as_millis() as u64,
         compute_millis: results.iter().map(|r| r.millis).sum(),

@@ -83,6 +83,45 @@ fn random_byte_corruptions_never_panic_the_parser() {
     }
 }
 
+/// Truncating a valid journal at every byte position past the header —
+/// the file shapes `kill -9` can leave behind — must never panic the
+/// parser, never mis-count interior damage, and account for the cut
+/// exactly: the partial tail either still parses (the cut happened to
+/// land after all required fields) or is dropped and counted in
+/// `torn_tail`, never both and never silently.
+#[test]
+fn truncation_at_every_byte_counts_the_torn_tail() {
+    let clean = journal_text(4);
+    let header_len = render_header(0xfeed_f00d).len();
+    for cut in header_len..=clean.len() {
+        let text = &clean[..cut];
+        let scan = parse(text).unwrap_or_else(|e| panic!("cut at byte {cut}: {e}"));
+        let complete = text[header_len..].matches('\n').count();
+        assert_eq!(scan.malformed, 0, "cut at byte {cut}: truncation is not corruption");
+        assert!(scan.torn_tail <= 1, "cut at byte {cut}");
+        if text.ends_with('\n') {
+            assert_eq!(
+                (scan.points.len(), scan.torn_tail),
+                (complete, 0),
+                "cut at byte {cut} on a line boundary"
+            );
+        } else {
+            // Exactly one of: the partial tail parsed as a point, or it
+            // was dropped as the torn tail.
+            assert_eq!(
+                (scan.points.len() - complete) + scan.torn_tail,
+                1,
+                "cut at byte {cut}: {} points over {complete} complete lines, torn {}",
+                scan.points.len(),
+                scan.torn_tail
+            );
+        }
+        for (i, p) in scan.points.iter().take(complete).enumerate() {
+            assert_eq!(p, &sample(i), "complete line {i} must survive cut at {cut}");
+        }
+    }
+}
+
 /// Surgically corrupting the *tail* of one interior line (past the ID
 /// field, so no duplicate-ID ambiguity) loses exactly that point.
 #[test]

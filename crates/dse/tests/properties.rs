@@ -122,12 +122,14 @@ fn resume_recomputes_nothing_and_preserves_the_front() {
     let scan = load_journal(&path, &spec).expect("journal loads");
     assert_eq!(scan.points.len(), keep);
     assert_eq!(scan.malformed, 0, "torn tail is not counted as corruption");
+    assert_eq!(scan.torn_tail, 1, "but the dropped tail is reported");
     let resumed = explore(
         &spec,
         &ExploreConfig {
             jobs: 2,
             journal: Some(path.clone()),
             resume: scan.points,
+            resume_torn_tail: scan.torn_tail,
             ..ExploreConfig::default()
         },
     )
@@ -141,6 +143,10 @@ fn resume_recomputes_nothing_and_preserves_the_front() {
         "resumed front must be bit-identical to the uninterrupted one"
     );
     assert_eq!(resumed.results, uninterrupted.results);
+    assert_eq!(
+        resumed.stats.journal_torn_tail, 1,
+        "the dropped tail surfaces in the explore stats"
+    );
 
     // The re-appended journal now covers the whole sweep again: a
     // second resume replays everything and computes nothing.

@@ -82,9 +82,19 @@ pub trait Rng: RngCore {
 
     /// Uniform draw from `[low, high)`; mirrors
     /// `rand::Rng::gen_range(low..high)` for `usize` bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty (or reversed) range, naming the offending
+    /// bounds.
     fn gen_range(&mut self, range: core::ops::Range<usize>) -> usize {
+        assert!(
+            range.start < range.end,
+            "gen_range over empty range {}..{}",
+            range.start,
+            range.end
+        );
         let span = range.end - range.start;
-        assert!(span > 0, "gen_range over empty range");
         // Lemire-style rejection-free enough for test use: modulo bias is
         // negligible for span << 2^64.
         range.start + (self.next_u64() % span as u64) as usize
@@ -227,6 +237,67 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         assert!((0..100).all(|_| !rng.gen_bool(0.0)));
         assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_extremes_hold_for_every_seed_offset() {
+        // p = 0.0 can never fire (samples are in [0, 1)) and p = 1.0
+        // always fires, regardless of where in the stream we are.
+        for seed in [0, 1, u64::MAX] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..64 {
+                assert!(!rng.clone().gen_bool(0.0));
+                assert!(rng.gen_bool(1.0));
+            }
+        }
+    }
+
+    /// Pinned stream values: the generator is pure integer arithmetic,
+    /// so these hold on every platform and toolchain. Seeded workload
+    /// generation depends on this — a drifting stream would silently
+    /// change every generated graph.
+    #[test]
+    fn seed_42_stream_is_pinned_across_platforms() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let got: Vec<u64> = (0..4).map(|_| rng.gen::<u64>()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0x1578_0b2e_0c2e_c716,
+                0x6104_d986_6d11_3a7e,
+                0xae17_5332_39e4_99a1,
+                0xecb8_ad47_03b3_60a1,
+            ]
+        );
+    }
+
+    #[test]
+    fn gen_range_covers_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.gen_range(10..15);
+            assert!((10..15).contains(&v));
+            seen[v - 10] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "gen_range over empty range 7..7")]
+    fn gen_range_empty_range_names_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(7..7);
+    }
+
+    #[test]
+    #[should_panic(expected = "gen_range over empty range 9..3")]
+    fn gen_range_reversed_range_names_bounds() {
+        // Before the bounds check preceded the span subtraction, a
+        // reversed range underflowed instead of reporting itself.
+        let mut rng = StdRng::seed_from_u64(0);
+        #[allow(clippy::reversed_empty_ranges)]
+        let _ = rng.gen_range(9..3);
     }
 
     #[test]

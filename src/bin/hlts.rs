@@ -7,18 +7,26 @@
 //! hlts explore <source>... [--flow LIST] [--bits LIST] [--k LIST]
 //!      [--weights A:B,...] [--jobs N] [--journal PATH | --resume PATH]
 //!      [--json] [--quiet]
+//! hlts gen [--seed N] [--preset NAME] [--list-presets] [--out FILE]
+//!      [--ops N] [--inputs N] [--const-ratio X] [--mul W] [--addsub W]
+//!      [--logic W] [--cmp W] [--shift W] [--depth-bias X]
+//!      [--fanout-skew X] [--loops N] [--name IDENT]
 //! ```
 //!
 //! `run` (the default subcommand) reads a behavioral description in the
 //! textual DFG format (or a built-in benchmark via `bench:ex`,
-//! `bench:dct`, …), synthesizes it with the requested flow, prints the
-//! resulting schedule/allocation and metrics, and optionally grades the
-//! elaborated netlist with the two-phase ATPG. `explore` sweeps the
-//! grid of k × (α, β) × bits × flow points over one or more sources on
-//! a worker pool and reports the Pareto front (see `hlts-dse`); with
-//! `--journal` completed points checkpoint to a plain-text file that
-//! `--resume` picks up without recomputing. `--json` switches either
-//! subcommand to machine-readable output. `--audit` runs the
+//! `bench:dct`, …, or stdin via `-`), synthesizes it with the requested
+//! flow, prints the resulting schedule/allocation and metrics, and
+//! optionally grades the elaborated netlist with the two-phase ATPG.
+//! `explore` sweeps the grid of k × (α, β) × bits × flow points over
+//! one or more sources on a worker pool and reports the Pareto front
+//! (see `hlts-dse`); with `--journal` completed points checkpoint to a
+//! plain-text file that `--resume` picks up without recomputing. `gen`
+//! emits a random — but seed-reproducible — workload in the textual
+//! DFG format (see `hlts-gen`), so `hlts gen --seed 7 | hlts run -`
+//! synthesizes a fresh graph and a conformance failure's printed
+//! `(seed, preset)` pair replays anywhere. `--json` switches `run` and
+//! `explore` to machine-readable output. `--audit` runs the
 //! cross-crate invariant auditor (`hlts-check`) over the synthesized
 //! design and fails with a violation report if anything is
 //! inconsistent.
@@ -58,18 +66,25 @@ struct ExploreOptions {
 }
 
 fn usage() -> &'static str {
-    "usage: hlts [run] <file.dfg | bench:NAME> [--flow ours|camad|approach1|approach2]\n\
+    "usage: hlts [run] <file.dfg | bench:NAME | -> [--flow ours|camad|approach1|approach2]\n\
      \x20            [--bits N] [--k N] [--alpha X] [--beta X] [--atpg] [--audit]\n\
      \x20            [--json] [--quiet]\n\
      \x20      hlts explore <source>... [--flow LIST] [--bits LIST] [--k LIST]\n\
      \x20            [--weights A:B,...] [--jobs N] [--journal PATH | --resume PATH]\n\
      \x20            [--json] [--quiet]\n\
+     \x20      hlts gen [--seed N] [--preset NAME] [--list-presets] [--out FILE]\n\
+     \x20            [--ops N] [--inputs N] [--const-ratio X] [--mul W] [--addsub W]\n\
+     \x20            [--logic W] [--cmp W] [--shift W] [--depth-bias X]\n\
+     \x20            [--fanout-skew X] [--loops N] [--name IDENT]\n\
      built-in benchmarks: ex, dct, diffeq, ewf, paulin, tseng"
 }
 
 const RUN_FLAGS: &str = "--flow, --bits, --k, --alpha, --beta, --atpg, --audit, --json, --quiet";
 const EXPLORE_FLAGS: &str =
     "--flow, --bits, --k, --weights, --jobs, --journal, --resume, --json, --quiet";
+const GEN_FLAGS: &str = "--seed, --preset, --list-presets, --out, --ops, --inputs, \
+    --const-ratio, --mul, --addsub, --logic, --cmp, --shift, --depth-bias, --fanout-skew, \
+    --loops, --name";
 
 fn unknown_flag(arg: &str, valid: &str) -> String {
     format!("unexpected argument `{arg}` (valid flags: {valid})\n{}", usage())
@@ -146,7 +161,10 @@ fn parse_run_args(mut args: impl Iterator<Item = String>) -> Result<RunOptions, 
             "--json" => opts.json = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => return Err(usage().to_owned()),
-            other if other.starts_with('-') => return Err(unknown_flag(other, RUN_FLAGS)),
+            // A bare `-` is the stdin source, not a flag.
+            other if other.starts_with('-') && other != "-" => {
+                return Err(unknown_flag(other, RUN_FLAGS))
+            }
             other if opts.source.is_empty() => opts.source = other.to_owned(),
             other => return Err(unknown_flag(other, RUN_FLAGS)),
         }
@@ -207,7 +225,10 @@ fn parse_explore_args(mut args: impl Iterator<Item = String>) -> Result<ExploreO
             "--json" => opts.json = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => return Err(usage().to_owned()),
-            other if other.starts_with('-') => return Err(unknown_flag(other, EXPLORE_FLAGS)),
+            // A bare `-` is the stdin source, not a flag.
+            other if other.starts_with('-') && other != "-" => {
+                return Err(unknown_flag(other, EXPLORE_FLAGS))
+            }
             other => opts.sources.push(other.to_owned()),
         }
     }
@@ -227,14 +248,29 @@ fn load(source: &str) -> Result<hlts::dfg::Dfg, String> {
             hlts::benchmarks::NAMES.join(", ")
         ));
     }
-    let text = std::fs::read_to_string(source).map_err(|e| format!("{source}: {e}"))?;
+    let text = if source == "-" {
+        // Read the behavior from stdin, so generated workloads pipe
+        // straight through: `hlts gen --seed 7 | hlts run -`.
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(source).map_err(|e| format!("{source}: {e}"))?
+    };
     hlts::dfg::parse(&text).map_err(|e| format!("{source}: {e}"))
 }
 
-/// The sweep name of a source: the benchmark name, or a file's stem.
+/// The sweep name of a source: the benchmark name, the graph name for
+/// stdin, or a file's stem.
 fn source_name(source: &str) -> String {
     if let Some(name) = source.strip_prefix("bench:") {
         return name.to_owned();
+    }
+    if source == "-" {
+        return "stdin".to_owned();
     }
     std::path::Path::new(source)
         .file_stem()
@@ -440,8 +476,16 @@ fn explore_main(args: impl Iterator<Item = String>) -> Result<(), String> {
                 scan.malformed
             );
         }
+        if scan.torn_tail > 0 {
+            eprintln!(
+                "warning: {}: dropped a torn final line (interrupted write); \
+                 that point will be recomputed",
+                path.display()
+            );
+        }
         cfg.resume = scan.points;
         cfg.resume_malformed = scan.malformed;
+        cfg.resume_torn_tail = scan.torn_tail;
         cfg.journal = Some(path);
     } else if let Some(path) = &opts.journal {
         // A fresh checkpoint: start the journal over (resuming an
@@ -473,10 +517,116 @@ fn explore_main(args: impl Iterator<Item = String>) -> Result<(), String> {
     Ok(())
 }
 
+struct GenOptions {
+    seed: u64,
+    preset: String,
+    list_presets: bool,
+    out: Option<String>,
+    overrides: Vec<(String, String)>,
+}
+
+fn parse_gen_args(mut args: impl Iterator<Item = String>) -> Result<GenOptions, String> {
+    let mut opts = GenOptions {
+        seed: 0,
+        preset: "balanced".into(),
+        list_presets: false,
+        out: None,
+        overrides: Vec::new(),
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                opts.seed = take(&mut args, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--preset" => opts.preset = take(&mut args, "--preset")?,
+            "--list-presets" => opts.list_presets = true,
+            "--out" => opts.out = Some(take(&mut args, "--out")?),
+            // Knob overrides are collected as (flag, value) and applied
+            // on top of the preset; hlts-gen validates the results.
+            "--ops" | "--inputs" | "--const-ratio" | "--mul" | "--addsub" | "--logic"
+            | "--cmp" | "--shift" | "--depth-bias" | "--fanout-skew" | "--loops" | "--name" => {
+                let value = take(&mut args, &arg)?;
+                opts.overrides.push((arg, value));
+            }
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other => return Err(unknown_flag(other, GEN_FLAGS)),
+        }
+    }
+    Ok(opts)
+}
+
+fn apply_gen_override(
+    cfg: &mut hlts::gen::GenConfig,
+    flag: &str,
+    value: &str,
+) -> Result<(), String> {
+    let int = |v: &str| v.parse::<usize>().map_err(|e| format!("{flag}: {e}"));
+    let weight = |v: &str| v.parse::<u32>().map_err(|e| format!("{flag}: {e}"));
+    let ratio = |v: &str| v.parse::<f64>().map_err(|e| format!("{flag}: {e}"));
+    match flag {
+        "--ops" => cfg.ops = int(value)?,
+        "--inputs" => cfg.inputs = int(value)?,
+        "--const-ratio" => cfg.const_ratio = ratio(value)?,
+        "--mul" => cfg.mul = weight(value)?,
+        "--addsub" => cfg.addsub = weight(value)?,
+        "--logic" => cfg.logic = weight(value)?,
+        "--cmp" => cfg.cmp = weight(value)?,
+        "--shift" => cfg.shift = weight(value)?,
+        "--depth-bias" => cfg.depth_bias = ratio(value)?,
+        "--fanout-skew" => cfg.fanout_skew = ratio(value)?,
+        "--loops" => cfg.loop_pairs = int(value)?,
+        "--name" => cfg.name = value.to_owned(),
+        other => return Err(format!("unknown gen knob `{other}`")),
+    }
+    Ok(())
+}
+
+fn gen_main(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let opts = parse_gen_args(args)?;
+    if opts.list_presets {
+        for name in hlts::gen::PRESET_NAMES {
+            let cfg = hlts::gen::preset(name).ok_or(format!("missing preset `{name}`"))?;
+            println!(
+                "{name}: {} ops, {} inputs, mix */{} +-/{} logic/{} cmp/{} shift/{}, \
+                 depth {:.1}, fanout {:.1}, {} loop pair(s)",
+                cfg.ops,
+                cfg.inputs,
+                cfg.mul,
+                cfg.addsub,
+                cfg.logic,
+                cfg.cmp,
+                cfg.shift,
+                cfg.depth_bias,
+                cfg.fanout_skew,
+                cfg.loop_pairs,
+            );
+        }
+        return Ok(());
+    }
+    let mut cfg = hlts::gen::preset(&opts.preset).ok_or(format!(
+        "unknown preset `{}` (have: {})",
+        opts.preset,
+        hlts::gen::PRESET_NAMES.join(", ")
+    ))?;
+    for (flag, value) in &opts.overrides {
+        apply_gen_override(&mut cfg, flag, value)?;
+    }
+    let dfg = hlts::gen::generate(opts.seed, &cfg).map_err(|e| format!("error: {e}"))?;
+    let text = hlts::dfg::emit(&dfg).map_err(|e| format!("error: {e}"))?;
+    match &opts.out {
+        Some(path) => std::fs::write(path, &text).map_err(|e| format!("error: {path}: {e}"))?,
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     let outcome = match args.peek().map(String::as_str) {
         Some("explore") => explore_main(args.skip(1)),
+        Some("gen") => gen_main(args.skip(1)),
         Some("run") => run_main(args.skip(1)),
         _ => run_main(args),
     };

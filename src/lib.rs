@@ -18,7 +18,9 @@
 //! * [`atpg`] — stuck-at fault simulation and test generation;
 //! * [`benchmarks`] — the six DATE'98 benchmark graphs;
 //! * [`dse`] — parallel Pareto design-space exploration over
-//!   parameter sweeps, with checkpoint/resume.
+//!   parameter sweeps, with checkpoint/resume;
+//! * [`gen`] — seeded random DFG workload generator and the
+//!   differential conformance harness over the engine matrix.
 //!
 //! # Quickstart
 //!
@@ -48,6 +50,7 @@ pub use hlts_cost as cost;
 pub use hlts_dfg as dfg;
 pub use hlts_dse as dse;
 pub use hlts_etpn as etpn;
+pub use hlts_gen as gen;
 pub use hlts_netlist as netlist;
 pub use hlts_sched as sched;
 pub use hlts_testability as testability;

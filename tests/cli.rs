@@ -207,6 +207,112 @@ fn explore_journal_roundtrips_through_resume() {
 }
 
 #[test]
+fn gen_is_deterministic_and_names_the_seed() {
+    let run = || {
+        let out = hlts()
+            .args(["gen", "--seed", "11", "--preset", "loopy-mul"])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{out:?}");
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let first = run();
+    assert_eq!(first, run(), "same (seed, preset) must emit identical text");
+    assert!(first.starts_with("dfg loopy_mul_s11 {"), "{first}");
+    assert!(first.contains("loop "), "loopy-mul closes loop pairs: {first}");
+}
+
+#[test]
+fn gen_pipes_into_run_via_stdin() {
+    use std::io::Write as _;
+    let gen = hlts()
+        .args(["gen", "--seed", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(gen.status.success(), "{gen:?}");
+
+    let mut run = hlts()
+        .args(["run", "-", "--quiet", "--audit"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    run.stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(&gen.stdout)
+        .expect("feed dfg text");
+    let out = run.wait_with_output().expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("audit: clean"), "{text}");
+    assert!(text.contains("E = "), "{text}");
+}
+
+#[test]
+fn gen_writes_to_a_file_and_lists_presets() {
+    let dir = std::env::temp_dir().join("hlts-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(format!("gen-{}.dfg", std::process::id()));
+    let out = hlts()
+        .args(["gen", "--seed", "5", "--ops", "8", "--out"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = std::fs::read_to_string(&path).expect("file written");
+    assert!(text.starts_with("dfg balanced_s5 {"), "{text}");
+
+    // The emitted file is directly synthesizable.
+    let out = hlts()
+        .arg(&path)
+        .arg("--quiet")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let _ = std::fs::remove_file(&path);
+
+    let out = hlts()
+        .args(["gen", "--list-presets"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for preset in ["balanced", "deep-arith", "wide-logic", "loopy-mul"] {
+        assert!(text.contains(preset), "missing {preset} in: {text}");
+    }
+}
+
+#[test]
+fn gen_rejects_unknown_presets_and_bad_knobs() {
+    let out = hlts()
+        .args(["gen", "--preset", "wat"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown preset `wat`"), "{err}");
+    assert!(err.contains("balanced"), "should list presets: {err}");
+
+    let out = hlts()
+        .args(["gen", "--ops", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("ops must be >= 1"), "{err}");
+
+    let out = hlts()
+        .args(["gen", "--wat"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--preset"), "should list gen flags: {err}");
+}
+
+#[test]
 fn explore_rejects_journal_plus_resume() {
     let out = hlts()
         .args(["explore", "bench:ex", "--journal", "/tmp/a", "--resume", "/tmp/b"])

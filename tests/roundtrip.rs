@@ -1,0 +1,152 @@
+//! Textual round-trip of every bundled benchmark, and pinned parser
+//! error paths.
+//!
+//! The emitter (`hlts::dfg::emit`) is the inverse of the parser:
+//! `parse(emit(g))` must reconstruct `g` structurally identically —
+//! same value ids, same operation ids, same outputs and loop-carried
+//! pairs — which is what lets generated workloads and divergence
+//! reports replay through `hlts run -` byte-for-byte. The error-path
+//! tests pin the `DfgError` variants the parser raises on malformed
+//! input, so error-handling changes are visible diffs rather than
+//! silent drift.
+
+use hlts::dfg::{emit, parse, DfgError};
+
+/// Every DATE'98 benchmark survives emit → parse exactly.
+#[test]
+fn every_benchmark_roundtrips_exactly() {
+    for (name, dfg) in hlts::benchmarks::all() {
+        let text = emit(&dfg).unwrap_or_else(|e| panic!("{name}: emit failed: {e}"));
+        let back = parse(&text).unwrap_or_else(|e| panic!("{name}: re-parse failed: {e}\n{text}"));
+        assert_eq!(dfg, back, "{name}: round-trip changed the graph");
+        // And the emission is a fixpoint: emitting the re-parse
+        // reproduces the text byte-for-byte.
+        let again = emit(&back).unwrap_or_else(|e| panic!("{name}: re-emit failed: {e}"));
+        assert_eq!(text, again, "{name}: emission is not stable");
+    }
+}
+
+/// A duplicate operation name is a `DuplicateOp`, naming the op.
+#[test]
+fn duplicate_op_name_is_rejected() {
+    let err = parse("dfg d { input a, b; N1: s = a + b; N1: t = s + b; output t; }")
+        .expect_err("duplicate op must be rejected");
+    assert!(
+        matches!(&err, DfgError::DuplicateOp(n) if n == "N1"),
+        "wrong error: {err:?}"
+    );
+}
+
+/// Re-defining an operation result is a `DuplicateValue` (the IR is
+/// SSA-like); re-*declaring* an input or constant is the builder's
+/// documented declare-or-fetch idempotency, not an error.
+#[test]
+fn duplicate_value_name_is_rejected() {
+    let err = parse("dfg d { input a, b; N1: s = a + b; N2: s = a - b; output s; }")
+        .expect_err("duplicate op result must be rejected");
+    assert!(
+        matches!(&err, DfgError::DuplicateValue(n) if n == "s"),
+        "wrong error: {err:?}"
+    );
+    // Declare-or-fetch: `input a, a` resolves to one value.
+    let dfg = parse("dfg d { input a, a; N1: s = a + a; output s; }").expect("idempotent");
+    assert_eq!(dfg.inputs().count(), 1);
+}
+
+/// An operand that was never declared is a line-numbered parse error
+/// telling the user how to fix it.
+#[test]
+fn use_before_def_is_rejected_with_line_number() {
+    let err = parse("dfg d {\n  input a;\n  N1: s = a + zz;\n  output s;\n}")
+        .expect_err("undeclared operand must be rejected");
+    match err {
+        DfgError::Parse { line, message } => {
+            assert_eq!(line, 3, "error should point at the offending line");
+            assert!(message.contains("undeclared value `zz`"), "{message}");
+            assert!(message.contains("dependence order"), "{message}");
+        }
+        other => panic!("wrong error: {other:?}"),
+    }
+}
+
+/// An expression with a missing operand is rejected, not silently
+/// parsed: a dangling binary/unary operator is a bad identifier, and a
+/// bare `shl` (the keyword needs a trailing operand) falls through to
+/// the unrecognized-expression diagnostic.
+#[test]
+fn empty_operand_expressions_are_rejected() {
+    for text in [
+        "dfg d { input a; N1: s = a + ; output s; }",
+        "dfg d { input a; N1: s = ~ ; output s; }",
+    ] {
+        let err = parse(text).expect_err("empty operand must be rejected");
+        assert!(
+            matches!(&err, DfgError::Parse { message, .. } if message.contains("bad identifier")),
+            "wrong error for `{text}`: {err:?}"
+        );
+    }
+    let err = parse("dfg d { input a; N1: s = shl ; output s; }")
+        .expect_err("bare keyword must be rejected");
+    assert!(
+        matches!(&err, DfgError::Parse { message, .. }
+            if message.contains("unrecognized expression `shl`")),
+        "wrong error: {err:?}"
+    );
+}
+
+/// Statements that fit no form are named back to the user.
+#[test]
+fn unrecognized_statements_are_rejected() {
+    let err = parse("dfg d { input a; wibble a; }").expect_err("junk must be rejected");
+    assert!(
+        matches!(&err, DfgError::Parse { message, .. }
+            if message.contains("unrecognized statement")),
+        "wrong error: {err:?}"
+    );
+}
+
+/// Outputs and loop edges referencing never-defined values are
+/// rejected at the declared line.
+#[test]
+fn dangling_output_and_loop_are_rejected() {
+    let err = parse("dfg d { input a; N1: s = a + a; output t; }")
+        .expect_err("dangling output must be rejected");
+    assert!(
+        matches!(&err, DfgError::Parse { message, .. }
+            if message.contains("output `t` is never defined")),
+        "wrong error: {err:?}"
+    );
+    let err = parse("dfg d { input a; N1: s = a + a; output s; loop q -> a; }")
+        .expect_err("dangling loop source must be rejected");
+    assert!(
+        matches!(&err, DfgError::Parse { message, .. }
+            if message.contains("loop source `q` is never defined")),
+        "wrong error: {err:?}"
+    );
+}
+
+/// The emitter refuses graphs whose precedence overlay (merge
+/// constraints) would be silently lost in text.
+#[test]
+fn emit_rejects_overlay_arcs() {
+    let mut dfg = hlts::benchmarks::ex();
+    let ops: Vec<_> = dfg.ops().iter().map(|o| o.id()).collect();
+    // Find any pair not already related and order it.
+    let mut added = false;
+    'outer: for &x in &ops {
+        for &y in &ops {
+            if x != y && !dfg.reaches(x, y) && !dfg.reaches(y, x) {
+                dfg.add_precedence(x, y).expect("acyclic arc");
+                added = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(added, "ex has independent op pairs");
+    let err = emit(&dfg).expect_err("overlay must not emit");
+    assert!(
+        matches!(&err, DfgError::Parse { message, .. }
+            if message.contains("precedence-overlay")),
+        "wrong error: {err:?}"
+    );
+}
