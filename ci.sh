@@ -32,8 +32,11 @@ cargo test -q --release --offline --test conformance -- --ignored conformance_fu
 echo "==> bench smoke: testability solvers + speedup gate"
 cargo bench -q --bench testability --offline
 
-echo "==> bench smoke: merge-loop txn-vs-clone trial gate"
+echo "==> bench smoke: merge-loop txn-vs-clone + arena speedup gates"
 cargo bench -q --bench merge_loop --offline
+
+echo "==> zero-allocation gate: steady-state trial merges (count-allocs)"
+cargo test -q --release --offline --features count-allocs --test zero_alloc
 
 echo "==> bench smoke: dse parallel-explore gate"
 cargo bench -q --bench dse --offline

@@ -22,6 +22,9 @@
 //! transaction, apply, and commit on success; on failure the
 //! transaction drops and the state is restored bit-identically.
 
+use std::cell::RefCell;
+use std::mem;
+
 use hlts_alloc::{ModuleId, RegisterId};
 use hlts_dfg::{Dfg, OpId, ValueId};
 use hlts_testability::total_co_depth;
@@ -58,15 +61,30 @@ pub struct PrecArc {
 /// vector means the order already holds structurally.
 #[must_use]
 pub fn disjointness_arcs(dfg: &Dfg, earlier: ValueId, later: ValueId) -> Option<Vec<PrecArc>> {
-    let uses_e: Vec<OpId> = dfg.uses_of(earlier).to_vec();
+    let mut arcs = Vec::new();
+    disjointness_arcs_into(dfg, earlier, later, &mut arcs).then_some(arcs)
+}
+
+/// [`disjointness_arcs`] into a caller-provided buffer: `arcs` is
+/// cleared and filled, and the return value says whether the relation is
+/// expressible at all (`false` corresponds to `None`). The merge loop
+/// reuses one buffer across all pair probes, so the steady state
+/// allocates nothing here.
+pub fn disjointness_arcs_into(
+    dfg: &Dfg,
+    earlier: ValueId,
+    later: ValueId,
+    arcs: &mut Vec<PrecArc>,
+) -> bool {
+    arcs.clear();
+    let uses_e: &[OpId] = dfg.uses_of(earlier);
     let def_e = dfg.def_of(earlier);
-    let mut arcs: Vec<PrecArc> = Vec::new();
-    let mut push = |from: OpId, to: OpId, weak: bool| {
+    fn push(arcs: &mut Vec<PrecArc>, from: OpId, to: OpId, weak: bool) {
         let arc = PrecArc { from, to, weak };
         if !arcs.contains(&arc) {
             arcs.push(arc);
         }
-    };
+    }
     match dfg.def_of(later) {
         Some(dj) => {
             if uses_e.is_empty() {
@@ -75,13 +93,13 @@ pub fn disjointness_arcs(dfg: &Dfg, earlier: ValueId, later: ValueId) -> Option<
                 // `later` is born at dj + 1 >= 1: nothing to add then.)
                 if let Some(de) = def_e {
                     if de != dj {
-                        push(de, dj, false);
+                        push(arcs, de, dj, false);
                     }
                 }
             } else {
-                for &u in &uses_e {
+                for &u in uses_e {
                     if u != dj {
-                        push(u, dj, true);
+                        push(arcs, u, dj, true);
                     }
                 }
             }
@@ -90,30 +108,27 @@ pub fn disjointness_arcs(dfg: &Dfg, earlier: ValueId, later: ValueId) -> Option<
             // `later` is a primary input, born at its first use.
             let uses_j = dfg.uses_of(later);
             if uses_j.is_empty() {
-                return None; // alive only at step 0 — nothing fits before
+                return false; // alive only at step 0 — nothing fits before
             }
             if uses_e.is_empty() {
                 // death(earlier) = def_e + 1 < min_use(later) needs a
                 // two-step gap no single arc expresses.
-                return None;
+                return false;
             }
-            for &u in &uses_e {
+            for &u in uses_e {
                 for &w in uses_j {
                     if u == w {
-                        return None; // same op uses both: never disjoint
+                        return false; // same op uses both: never disjoint
                     }
-                    push(u, w, false);
+                    push(arcs, u, w, false);
                 }
             }
         }
     }
     // Drop weak arcs already implied by the (strict-or-weak) reachability
     // relation; strict arcs are kept — a weak path does not imply them.
-    Some(
-        arcs.into_iter()
-            .filter(|a| !(a.weak && dfg.reaches(a.from, a.to)))
-            .collect(),
-    )
+    arcs.retain(|a| !(a.weak && dfg.reaches(a.from, a.to)));
+    true
 }
 
 /// How free ordering decisions inside a merger are resolved.
@@ -155,14 +170,22 @@ fn sr1_merit(state: &DesignState) -> Result<(f64, usize), CoreError> {
 /// undoes.
 fn probe_arcs(txn: &mut StateTxn<'_>, arcs: &[PrecArc]) -> bool {
     for &PrecArc { from, to, weak } in arcs {
-        if weak {
-            if txn.state().dfg.reaches(from, to) {
-                continue;
-            }
-            if txn.add_weak_precedence(from, to).is_err() {
-                return false;
-            }
-        } else if txn.add_precedence(from, to).is_err() {
+        if weak && txn.state().dfg.reaches(from, to) {
+            continue;
+        }
+        // A cyclic arc is the common infeasibility; `add_precedence`
+        // rejects exactly when `to` already reaches `from`, so testing
+        // that first lets a rejected probe return without ever
+        // constructing the (heap-allocated) cycle error.
+        if txn.state().dfg.reaches(to, from) {
+            return false;
+        }
+        let added = if weak {
+            txn.add_weak_precedence(from, to)
+        } else {
+            txn.add_precedence(from, to)
+        };
+        if added.is_err() {
             return false;
         }
     }
@@ -205,6 +228,44 @@ fn strict(pairs: &[(OpId, OpId)]) -> Vec<PrecArc> {
             weak: false,
         })
         .collect()
+}
+
+/// Reusable working buffers of one merge application. One set lives per
+/// thread; it is moved out of its slot for the duration of a merge (so a
+/// re-entrant use could never alias it) and moved back afterwards, every
+/// vector keeping its capacity across trials.
+#[derive(Default)]
+struct MergeScratch {
+    seq_a_ops: Vec<OpId>,
+    seq_b_ops: Vec<OpId>,
+    merged_ops: Vec<OpId>,
+    seq_a_vals: Vec<ValueId>,
+    seq_b_vals: Vec<ValueId>,
+    merged_vals: Vec<ValueId>,
+    ab: Vec<PrecArc>,
+    ba: Vec<PrecArc>,
+    chain: Vec<PrecArc>,
+}
+
+thread_local! {
+    static MERGE_SCRATCH: RefCell<MergeScratch> = RefCell::new(MergeScratch::default());
+}
+
+fn scratch_take() -> MergeScratch {
+    MERGE_SCRATCH.with(|c| mem::take(&mut *c.borrow_mut()))
+}
+
+fn scratch_put(s: MergeScratch) {
+    MERGE_SCRATCH.with(|c| *c.borrow_mut() = s);
+}
+
+/// Cold-path rejection for an inexpressible/cyclic lifetime ordering.
+fn reject_lifetime_order(dfg: &Dfg, a: ValueId, b: ValueId) -> CoreError {
+    CoreError::MergeRejected(format!(
+        "lifetime ordering of `{}` before `{}` is infeasible",
+        dfg.value(a).name(),
+        dfg.value(b).name()
+    ))
 }
 
 /// SR2: pick between two tentative constraint sets by SR1 depth, then
@@ -309,18 +370,36 @@ fn apply_module_merge(
     b: ModuleId,
     strategy: OrderStrategy,
 ) -> Result<(), CoreError> {
-    let ops_of = |m: ModuleId| -> Vec<OpId> {
-        let state = txn.state();
-        let mut ops = state
-            .allocation
-            .module(m)
-            .map(|x| x.ops().to_vec())
-            .unwrap_or_default();
-        ops.sort_by_key(|&o| (state.schedule.step_of(o), o.index()));
-        ops
+    let mut s = scratch_take();
+    let out = module_merge_body(txn, a, b, strategy, &mut s);
+    scratch_put(s);
+    out
+}
+
+fn module_merge_body(
+    txn: &mut StateTxn<'_>,
+    a: ModuleId,
+    b: ModuleId,
+    strategy: OrderStrategy,
+    s: &mut MergeScratch,
+) -> Result<(), CoreError> {
+    let MergeScratch {
+        seq_a_ops: seq_a,
+        seq_b_ops: seq_b,
+        merged_ops: merged,
+        ..
+    } = s;
+    let fill_ops = |m: ModuleId, out: &mut Vec<OpId>, state: &DesignState| {
+        out.clear();
+        if let Some(x) = state.allocation.module(m) {
+            out.extend_from_slice(x.ops());
+        }
+        // The key ends in the unique op index, so the unstable sort is
+        // deterministic and identical to the stable one.
+        out.sort_unstable_by_key(|&o| (state.schedule.step_of(o), o.index()));
     };
-    let seq_a = ops_of(a);
-    let seq_b = ops_of(b);
+    fill_ops(a, seq_a, txn.state());
+    fill_ops(b, seq_b, txn.state());
     if seq_a.is_empty() || seq_b.is_empty() {
         return Err(CoreError::MergeRejected(format!("{a} or {b} is stale")));
     }
@@ -329,7 +408,8 @@ fn apply_module_merge(
     // goal is to merge these two sequential orders into one"). The SR2
     // probes mutate and roll back the transaction; between decisions the
     // state is exactly the pre-merge one.
-    let mut merged: Vec<OpId> = Vec::with_capacity(seq_a.len() + seq_b.len());
+    merged.clear();
+    merged.reserve(seq_a.len() + seq_b.len());
     let (mut i, mut j) = (0usize, 0usize);
     let mut first_free_decision = true;
     while i < seq_a.len() && j < seq_b.len() {
@@ -441,22 +521,43 @@ fn apply_register_merge(
     b: RegisterId,
     strategy: OrderStrategy,
 ) -> Result<(), CoreError> {
-    let vals_of = |r: RegisterId| -> Vec<ValueId> {
-        txn.state()
-            .allocation
-            .register(r)
-            .map(|x| x.values().to_vec())
-            .unwrap_or_default()
+    let mut s = scratch_take();
+    let out = register_merge_body(txn, a, b, strategy, &mut s);
+    scratch_put(s);
+    out
+}
+
+fn register_merge_body(
+    txn: &mut StateTxn<'_>,
+    a: RegisterId,
+    b: RegisterId,
+    strategy: OrderStrategy,
+    s: &mut MergeScratch,
+) -> Result<(), CoreError> {
+    let MergeScratch {
+        seq_a_vals: seq_a,
+        seq_b_vals: seq_b,
+        merged_vals: merged,
+        ab,
+        ba,
+        chain,
+        ..
+    } = s;
+    let fill_vals = |r: RegisterId, out: &mut Vec<ValueId>, state: &DesignState| {
+        out.clear();
+        if let Some(x) = state.allocation.register(r) {
+            out.extend_from_slice(x.values());
+        }
     };
-    let va = vals_of(a);
-    let vb = vals_of(b);
-    if va.is_empty() || vb.is_empty() {
+    fill_vals(a, seq_a, txn.state());
+    fill_vals(b, seq_b, txn.state());
+    if seq_a.is_empty() || seq_b.is_empty() {
         return Err(CoreError::MergeRejected(format!("{a} or {b} is stale")));
     }
 
     // Veto case 2: a common consumer needs both values at once.
-    for &x in &va {
-        for &y in &vb {
+    for &x in seq_a.iter() {
+        for &y in seq_b.iter() {
             let clash = txn
                 .state()
                 .dfg
@@ -475,24 +576,21 @@ fn apply_register_merge(
 
     let lt = txn.state().lifetimes();
     let birth = |v: ValueId| lt.interval(v).map_or(usize::MAX, |iv| iv.birth);
-    let mut seq_a = va;
-    let mut seq_b = vb;
-    seq_a.sort_by_key(|&v| (birth(v), v.index()));
-    seq_b.sort_by_key(|&v| (birth(v), v.index()));
+    // The key ends in the unique value index: the unstable sort is
+    // deterministic and identical to the stable one.
+    seq_a.sort_unstable_by_key(|&v| (birth(v), v.index()));
+    seq_b.sort_unstable_by_key(|&v| (birth(v), v.index()));
 
-    let mut merged: Vec<ValueId> = Vec::with_capacity(seq_a.len() + seq_b.len());
+    merged.clear();
+    merged.reserve(seq_a.len() + seq_b.len());
     let (mut i, mut j) = (0usize, 0usize);
     let mut first_free_decision = true;
     while i < seq_a.len() && j < seq_b.len() {
         let (ha, hb) = (seq_a[i], seq_b[j]);
-        let ab = disjointness_arcs(&txn.state().dfg, ha, hb);
-        let ba = disjointness_arcs(&txn.state().dfg, hb, ha);
-        let a_feasible = ab
-            .as_deref()
-            .is_some_and(|arcs| arcs_feasible(txn, arcs));
-        let b_feasible = ba
-            .as_deref()
-            .is_some_and(|arcs| arcs_feasible(txn, arcs));
+        let ab_ok = disjointness_arcs_into(&txn.state().dfg, ha, hb, ab);
+        let ba_ok = disjointness_arcs_into(&txn.state().dfg, hb, ha, ba);
+        let a_feasible = ab_ok && arcs_feasible(txn, ab);
+        let b_feasible = ba_ok && arcs_feasible(txn, ba);
         let take_a = match (a_feasible, b_feasible) {
             (false, false) => {
                 return Err(CoreError::MergeRejected(format!(
@@ -506,13 +604,7 @@ fn apply_register_merge(
             (true, true) => {
                 if first_free_decision {
                     first_free_decision = false;
-                    sr2_choose(
-                        txn,
-                        ab.as_deref().unwrap_or(&[]),
-                        ba.as_deref().unwrap_or(&[]),
-                        strategy,
-                    )
-                    .unwrap_or(true)
+                    sr2_choose(txn, ab, ba, strategy).unwrap_or(true)
                 } else {
                     (birth(ha), ha.index()) <= (birth(hb), hb.index())
                 }
@@ -532,21 +624,20 @@ fn apply_register_merge(
     // Chain the merged order with disjointness constraints. Later pairs
     // see the arcs of earlier ones (through the reachability filter in
     // `disjointness_arcs`), exactly as in the clone-based formulation.
-    for w in merged.windows(2) {
-        let reject_msg = format!(
-            "lifetime ordering of `{}` before `{}` is infeasible",
-            txn.state().dfg.value(w[0]).name(),
-            txn.state().dfg.value(w[1]).name()
-        );
-        let arcs = disjointness_arcs(&txn.state().dfg, w[0], w[1])
-            .ok_or_else(|| CoreError::MergeRejected(reject_msg.clone()))?;
-        for PrecArc { from, to, weak } in arcs {
+    for k in 1..merged.len() {
+        let (w0, w1) = (merged[k - 1], merged[k]);
+        if !disjointness_arcs_into(&txn.state().dfg, w0, w1, chain) {
+            return Err(reject_lifetime_order(&txn.state().dfg, w0, w1));
+        }
+        for &PrecArc { from, to, weak } in chain.iter() {
             let added = if weak {
                 txn.add_weak_precedence(from, to)
             } else {
                 txn.add_precedence(from, to)
             };
-            added.map_err(|_| CoreError::MergeRejected(reject_msg.clone()))?;
+            if added.is_err() {
+                return Err(reject_lifetime_order(&txn.state().dfg, w0, w1));
+            }
         }
     }
     txn.merge_registers(a, b)?;

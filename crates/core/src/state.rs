@@ -5,7 +5,7 @@ use std::sync::Arc;
 use hlts_alloc::Allocation;
 use hlts_dfg::Dfg;
 use hlts_etpn::Etpn;
-use hlts_sched::{list_schedule, Lifetimes, ListPriority, Schedule};
+use hlts_sched::{list_schedule, reschedule_in_place, Lifetimes, ListPriority, Schedule};
 use hlts_testability::TestabilityEngine;
 
 use crate::txn::{StateTxn, TxnCounters, TxnStats};
@@ -128,13 +128,11 @@ impl DesignState {
     ///
     /// [`Dfg::add_precedence`]: hlts_dfg::Dfg::add_precedence
     pub fn reschedule(&mut self) -> Result<(), CoreError> {
-        let prev: Vec<usize> = (0..self.dfg.num_ops())
-            .map(|i| self.schedule.step_of(hlts_dfg::OpId::from_index(i)))
-            .collect();
-        self.schedule = list_schedule(
+        reschedule_in_place(
             &self.dfg,
-            &self.allocation.conflict_groups(),
-            ListPriority::Previous(prev),
+            &self.allocation,
+            &mut self.schedule,
+            ListPriority::CriticalPath,
         )?;
         Ok(())
     }
@@ -191,7 +189,7 @@ impl DesignState {
     pub fn validate(&self) -> Result<(), CoreError> {
         self.schedule.validate(&self.dfg)?;
         self.schedule
-            .validate_groups(&self.dfg, &self.allocation.conflict_groups())?;
+            .validate_groups_src(&self.dfg, &self.allocation)?;
         let lt = self.lifetimes();
         self.allocation.validate(&self.dfg, &self.schedule, &lt)?;
         Ok(())

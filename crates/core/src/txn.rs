@@ -25,12 +25,14 @@
 //! [`ModuleMergeUndo`]: hlts_alloc::ModuleMergeUndo
 //! [`RegisterMergeUndo`]: hlts_alloc::RegisterMergeUndo
 
+use std::cell::RefCell;
+use std::mem;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hlts_alloc::{AllocError, ModuleId, ModuleMergeUndo, RegisterId, RegisterMergeUndo};
 use hlts_dfg::{ArcSavepoint, OpId};
-use hlts_sched::{list_schedule, ListPriority, ScheduleDelta};
+use hlts_sched::{reschedule_in_place, ListPriority, ScheduleDelta};
 
 use crate::candidates::MergeKind;
 use crate::resched::{apply_merge, OrderStrategy};
@@ -47,6 +49,31 @@ enum UndoOp {
     Modules(ModuleMergeUndo),
     /// Split an absorbed register back out of its survivor.
     Registers(RegisterMergeUndo),
+}
+
+// Thread-local recycling pool for transaction journals (bounded so a
+// pathological burst of nested transactions cannot pin memory): the
+// journal vector of a finished transaction keeps its capacity for the
+// next trial, so steady-state journaling allocates nothing.
+thread_local! {
+    static JOURNAL_POOL: RefCell<Vec<Vec<UndoOp>>> = const { RefCell::new(Vec::new()) };
+}
+const JOURNAL_POOL_CAP: usize = 8;
+
+fn journal_acquire() -> Vec<UndoOp> {
+    JOURNAL_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default()
+}
+
+fn journal_release(mut journal: Vec<UndoOp>) {
+    journal.clear();
+    JOURNAL_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < JOURNAL_POOL_CAP {
+            pool.push(journal);
+        }
+    });
 }
 
 /// An open transaction over a [`DesignState`]: edits apply in place and
@@ -76,7 +103,7 @@ impl<'a> StateTxn<'a> {
         counters.begun.fetch_add(1, Ordering::Relaxed);
         StateTxn {
             state,
-            journal: Vec::new(),
+            journal: journal_acquire(),
             committed: false,
             counters,
         }
@@ -127,16 +154,16 @@ impl<'a> StateTxn<'a> {
     /// As [`DesignState::reschedule`]; on error nothing is recorded and
     /// the schedule is unchanged.
     pub fn reschedule(&mut self) -> Result<(), CoreError> {
-        let prev: Vec<usize> = (0..self.state.dfg.num_ops())
-            .map(|i| self.state.schedule.step_of(OpId::from_index(i)))
-            .collect();
-        let new = list_schedule(
+        // In-place re-solve: the scheduler reads the conflict groups
+        // straight from the binding tables and uses the schedule's own
+        // steps as the stability priority, so a steady-state reschedule
+        // allocates nothing.
+        let delta = reschedule_in_place(
             &self.state.dfg,
-            &self.state.allocation.conflict_groups(),
-            ListPriority::Previous(prev),
+            &self.state.allocation,
+            &mut self.state.schedule,
+            ListPriority::CriticalPath,
         )?;
-        let delta = new.delta_from(&self.state.schedule);
-        self.state.schedule = new;
         self.record(UndoOp::Schedule(delta));
         Ok(())
     }
@@ -226,11 +253,13 @@ impl Drop for StateTxn<'_> {
     /// borrowed state bit-identically to what it was at
     /// [`StateTxn::begin`].
     fn drop(&mut self) {
-        if self.committed {
-            return;
+        if !self.committed {
+            self.rollback_to(TxnSavepoint(0));
+            self.counters.rolled_back.fetch_add(1, Ordering::Relaxed);
         }
-        self.rollback_to(TxnSavepoint(0));
-        self.counters.rolled_back.fetch_add(1, Ordering::Relaxed);
+        // Recycle the journal buffer (empty after a rollback; committed
+        // entries are dropped here) for the next transaction.
+        journal_release(mem::take(&mut self.journal));
     }
 }
 

@@ -1,6 +1,6 @@
 use std::collections::HashMap;
 
-use crate::{Dfg, DfgError, OpId, OpKind, Operation, Value, ValueId, ValueKind};
+use crate::{Dfg, DfgError, OpId, OpKind, Operation, Sym, Value, ValueId, ValueKind};
 
 /// Incremental constructor for a [`Dfg`].
 ///
@@ -32,8 +32,8 @@ pub struct DfgBuilder {
     ops: Vec<Operation>,
     def: Vec<Option<OpId>>,
     uses: Vec<Vec<OpId>>,
-    value_names: HashMap<String, ValueId>,
-    op_names: HashMap<String, OpId>,
+    value_names: HashMap<Sym, ValueId>,
+    op_names: HashMap<Sym, OpId>,
     loop_carried: Vec<(ValueId, ValueId)>,
 }
 
@@ -55,20 +55,21 @@ impl DfgBuilder {
 
     /// Crate-private name lookup used by the parser.
     pub(crate) fn lookup(&self, name: &str) -> Option<ValueId> {
-        self.value_names.get(name).copied()
+        let sym = Sym::lookup(name)?;
+        self.value_names.get(&sym).copied()
     }
 
-    fn add_value(&mut self, name: &str, kind: ValueKind, condition: bool) -> ValueId {
+    fn add_value(&mut self, name: Sym, kind: ValueKind, condition: bool) -> ValueId {
         let id = ValueId::from_index(self.values.len());
         self.values.push(Value {
             id,
-            name: name.to_owned(),
+            name,
             kind,
             condition,
         });
         self.def.push(None);
         self.uses.push(Vec::new());
-        self.value_names.insert(name.to_owned(), id);
+        self.value_names.insert(name, id);
         id
     }
 
@@ -76,18 +77,20 @@ impl DfgBuilder {
     ///
     /// Calling `input` twice with the same name returns the same id.
     pub fn input(&mut self, name: &str) -> ValueId {
-        if let Some(&id) = self.value_names.get(name) {
+        let sym = Sym::intern(name);
+        if let Some(&id) = self.value_names.get(&sym) {
             return id;
         }
-        self.add_value(name, ValueKind::Input, false)
+        self.add_value(sym, ValueKind::Input, false)
     }
 
     /// Declare (or fetch) a named constant.
     pub fn constant(&mut self, name: &str, value: i64) -> ValueId {
-        if let Some(&id) = self.value_names.get(name) {
+        let sym = Sym::intern(name);
+        if let Some(&id) = self.value_names.get(&sym) {
             return id;
         }
-        self.add_value(name, ValueKind::Const(value), false)
+        self.add_value(sym, ValueKind::Const(value), false)
     }
 
     /// Append an operation `name: out = kind(inputs...)`, creating the
@@ -106,7 +109,8 @@ impl DfgBuilder {
         inputs: &[ValueId],
         out: &str,
     ) -> Result<ValueId, DfgError> {
-        if self.op_names.contains_key(name) {
+        let name_sym = Sym::intern(name);
+        if self.op_names.contains_key(&name_sym) {
             return Err(DfgError::DuplicateOp(name.to_owned()));
         }
         if inputs.len() != kind.arity() {
@@ -116,19 +120,20 @@ impl DfgBuilder {
                 got: inputs.len(),
             });
         }
-        if self.value_names.contains_key(out) {
+        let out_sym = Sym::intern(out);
+        if self.value_names.contains_key(&out_sym) {
             return Err(DfgError::DuplicateValue(out.to_owned()));
         }
-        let out_id = self.add_value(out, ValueKind::Intermediate, kind.is_condition());
+        let out_id = self.add_value(out_sym, ValueKind::Intermediate, kind.is_condition());
         let op_id = OpId::from_index(self.ops.len());
         self.ops.push(Operation {
             id: op_id,
-            name: name.to_owned(),
+            name: name_sym,
             kind,
             inputs: inputs.to_vec(),
             output: Some(out_id),
         });
-        self.op_names.insert(name.to_owned(), op_id);
+        self.op_names.insert(name_sym, op_id);
         self.def[out_id.index()] = Some(op_id);
         for &v in inputs {
             if !self.uses[v.index()].contains(&op_id) {
@@ -166,20 +171,16 @@ impl DfgBuilder {
     ///
     /// Returns any structural violation found by [`Dfg::validate`].
     pub fn finish(self) -> Result<Dfg, DfgError> {
-        let dfg = Dfg {
-            core: std::sync::Arc::new(crate::graph::DfgCore {
-                name: self.name,
-                values: self.values,
-                ops: self.ops,
-                def: self.def,
-                uses: self.uses,
-                loop_carried: self.loop_carried,
-                value_names: self.value_names,
-                op_names: self.op_names,
-            }),
-            extra_prec: Vec::new(),
-            weak_prec: Vec::new(),
-        };
+        let dfg = Dfg::from_core(std::sync::Arc::new(crate::graph::DfgCore::new(
+            self.name,
+            self.values,
+            self.ops,
+            self.def,
+            self.uses,
+            self.loop_carried,
+            self.value_names,
+            self.op_names,
+        )));
         dfg.validate()?;
         Ok(dfg)
     }

@@ -1,8 +1,8 @@
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
-use crate::{DfgError, OpKind, Value, ValueId, ValueKind};
+use crate::{scratch, DfgError, OpKind, Sym, Value, ValueId, ValueKind};
 
 /// Index of an [`Operation`] inside its [`Dfg`].
 ///
@@ -36,7 +36,7 @@ impl fmt::Display for OpId {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Operation {
     pub(crate) id: OpId,
-    pub(crate) name: String,
+    pub(crate) name: Sym,
     pub(crate) kind: OpKind,
     pub(crate) inputs: Vec<ValueId>,
     pub(crate) output: Option<ValueId>,
@@ -52,7 +52,13 @@ impl Operation {
     /// The source-level node name, e.g. `"N21"`.
     #[must_use]
     pub fn name(&self) -> &str {
-        &self.name
+        self.name.as_str()
+    }
+
+    /// The interned name symbol.
+    #[must_use]
+    pub fn name_sym(&self) -> Sym {
+        self.name
     }
 
     /// The operation kind.
@@ -80,6 +86,45 @@ impl fmt::Display for Operation {
     }
 }
 
+/// Compressed-sparse-row adjacency: per-op neighbor lists flattened into
+/// one offset array plus one id array, so a neighborhood query is a
+/// bounds-computed slice into shared storage — no per-call allocation,
+/// and the whole relation lives in two contiguous blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CsrAdj {
+    off: Vec<u32>,
+    dat: Vec<OpId>,
+}
+
+impl CsrAdj {
+    fn with_rows(n: usize) -> CsrAdj {
+        let mut off = Vec::with_capacity(n + 1);
+        off.push(0);
+        CsrAdj {
+            off,
+            dat: Vec::new(),
+        }
+    }
+
+    /// Append `id` to the row currently being built, skipping duplicates
+    /// already in that row (first-occurrence order is preserved).
+    fn push_dedup(&mut self, id: OpId) {
+        let row_start = *self.off.last().expect("csr has a row open") as usize;
+        if !self.dat[row_start..].contains(&id) {
+            self.dat.push(id);
+        }
+    }
+
+    fn seal_row(&mut self) {
+        self.off
+            .push(u32::try_from(self.dat.len()).expect("csr fits in u32"));
+    }
+
+    fn row(&self, i: usize) -> &[OpId] {
+        &self.dat[self.off[i] as usize..self.off[i + 1] as usize]
+    }
+}
+
 /// A behavioral data-flow graph: values, operations and precedence.
 ///
 /// Construct with [`DfgBuilder`](crate::DfgBuilder) or [`parse`](crate::parse).
@@ -96,13 +141,24 @@ pub struct Dfg {
     /// only the arc overlay below, so all trial states of a run share
     /// one core.
     pub(crate) core: Arc<DfgCore>,
-    /// Extra precedence arcs (from, to) beyond data dependences.
+    /// Extra precedence arcs (from, to) beyond data dependences. This is
+    /// the overlay's append-only arena: a [`ArcSavepoint`] is a high-water
+    /// mark into it, and rollback is truncation.
     pub(crate) extra_prec: Vec<(OpId, OpId)>,
     /// Weak precedence arcs: `step(from) <= step(to)` (same step allowed).
     /// Used for register-sharing constraints, where a value may be read
     /// in the very step its successor value is defined (registers are
     /// read at the start of a cycle and written at its end).
     pub(crate) weak_prec: Vec<(OpId, OpId)>,
+    /// Per-op adjacency of the overlay arcs, maintained incrementally so
+    /// `preds`/`succs` never scan the arc arena. Entries mirror
+    /// `extra_prec`/`weak_prec` push-for-push, so truncating the arena
+    /// pops these lists in reverse — capacity is retained, making a
+    /// trial-and-rollback cycle allocation-free once warmed up.
+    ov_pred: Vec<Vec<OpId>>,
+    ov_succ: Vec<Vec<OpId>>,
+    ov_weak_pred: Vec<Vec<OpId>>,
+    ov_weak_succ: Vec<Vec<OpId>>,
 }
 
 /// The immutable half of a [`Dfg`]: everything except the precedence-arc
@@ -120,8 +176,61 @@ pub(crate) struct DfgCore {
     pub(crate) uses: Vec<Vec<OpId>>,
     /// Loop-carried value pairs `(produced, consumed-next-iteration)`.
     pub(crate) loop_carried: Vec<(ValueId, ValueId)>,
-    pub(crate) value_names: HashMap<String, ValueId>,
-    pub(crate) op_names: HashMap<String, OpId>,
+    pub(crate) value_names: HashMap<Sym, ValueId>,
+    pub(crate) op_names: HashMap<Sym, OpId>,
+    /// Deduplicated data-dependence predecessors per op (producers of its
+    /// inputs, input-port first-occurrence order), in CSR form.
+    pub(crate) data_preds: CsrAdj,
+    /// Deduplicated data-dependence successors per op (consumers of its
+    /// output, use-list first-occurrence order), in CSR form.
+    pub(crate) data_succs: CsrAdj,
+}
+
+impl DfgCore {
+    /// Assemble a core and precompute its CSR data adjacency. The CSR
+    /// rows reproduce exactly what walking `inputs`/`def` and
+    /// `output`/`uses` with first-occurrence dedup yields.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        name: String,
+        values: Vec<Value>,
+        ops: Vec<Operation>,
+        def: Vec<Option<OpId>>,
+        uses: Vec<Vec<OpId>>,
+        loop_carried: Vec<(ValueId, ValueId)>,
+        value_names: HashMap<Sym, ValueId>,
+        op_names: HashMap<Sym, OpId>,
+    ) -> DfgCore {
+        let n = ops.len();
+        let mut data_preds = CsrAdj::with_rows(n);
+        let mut data_succs = CsrAdj::with_rows(n);
+        for op in &ops {
+            for &v in &op.inputs {
+                if let Some(p) = def[v.index()] {
+                    data_preds.push_dedup(p);
+                }
+            }
+            data_preds.seal_row();
+            if let Some(v) = op.output {
+                for &u in &uses[v.index()] {
+                    data_succs.push_dedup(u);
+                }
+            }
+            data_succs.seal_row();
+        }
+        DfgCore {
+            name,
+            values,
+            ops,
+            def,
+            uses,
+            loop_carried,
+            value_names,
+            op_names,
+            data_preds,
+            data_succs,
+        }
+    }
 }
 
 impl PartialEq for Dfg {
@@ -137,7 +246,8 @@ impl PartialEq for Dfg {
 ///
 /// The synthesis transaction journal uses this pair to undo a merger's
 /// scheduling constraints: arcs are only ever *appended* by
-/// [`Dfg::add_precedence`]/[`Dfg::add_weak_precedence`], so rolling back
+/// [`Dfg::add_precedence`]/[`Dfg::add_weak_precedence`], so the
+/// savepoint is a high-water mark into the arc arena and rolling back
 /// is a truncation. [`Dfg::remove_precedence`] breaks that discipline
 /// and must not be interleaved with an outstanding savepoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,6 +257,19 @@ pub struct ArcSavepoint {
 }
 
 impl Dfg {
+    pub(crate) fn from_core(core: Arc<DfgCore>) -> Dfg {
+        let n = core.ops.len();
+        Dfg {
+            core,
+            extra_prec: Vec::new(),
+            weak_prec: Vec::new(),
+            ov_pred: vec![Vec::new(); n],
+            ov_succ: vec![Vec::new(); n],
+            ov_weak_pred: vec![Vec::new(); n],
+            ov_weak_succ: vec![Vec::new(); n],
+        }
+    }
+
     /// The graph's name (benchmark name).
     #[must_use]
     pub fn name(&self) -> &str {
@@ -192,13 +315,15 @@ impl Dfg {
     /// Find an operation by name.
     #[must_use]
     pub fn op_by_name(&self, name: &str) -> Option<OpId> {
-        self.core.op_names.get(name).copied()
+        let sym = Sym::lookup(name)?;
+        self.core.op_names.get(&sym).copied()
     }
 
     /// Find a value by name.
     #[must_use]
     pub fn value_by_name(&self, name: &str) -> Option<ValueId> {
-        self.core.value_names.get(name).copied()
+        let sym = Sym::lookup(name)?;
+        self.core.value_names.get(&sym).copied()
     }
 
     /// The operation defining `value`, if any (inputs and constants have
@@ -237,33 +362,20 @@ impl Dfg {
     }
 
     /// Direct data-dependence predecessors of `op` (producers of its
-    /// inputs), deduplicated.
+    /// inputs), deduplicated, in input-port first-occurrence order.
+    /// A slice into the core's precomputed CSR adjacency — no
+    /// allocation.
     #[must_use]
-    pub fn data_preds(&self, op: OpId) -> Vec<OpId> {
-        let mut out = Vec::new();
-        for &v in &self.core.ops[op.index()].inputs {
-            if let Some(p) = self.core.def[v.index()] {
-                if !out.contains(&p) {
-                    out.push(p);
-                }
-            }
-        }
-        out
+    pub fn data_preds(&self, op: OpId) -> &[OpId] {
+        self.core.data_preds.row(op.index())
     }
 
-    /// Direct data-dependence successors of `op` (consumers of its output),
-    /// deduplicated.
+    /// Direct data-dependence successors of `op` (consumers of its
+    /// output), deduplicated. A slice into the core's precomputed CSR
+    /// adjacency — no allocation.
     #[must_use]
-    pub fn data_succs(&self, op: OpId) -> Vec<OpId> {
-        let mut out = Vec::new();
-        if let Some(v) = self.core.ops[op.index()].output {
-            for &u in &self.core.uses[v.index()] {
-                if !out.contains(&u) {
-                    out.push(u);
-                }
-            }
-        }
-        out
+    pub fn data_succs(&self, op: OpId) -> &[OpId] {
+        self.core.data_succs.row(op.index())
     }
 
     /// Extra (non-data) precedence arcs.
@@ -272,29 +384,36 @@ impl Dfg {
         &self.extra_prec
     }
 
-    /// Direct precedence predecessors: data predecessors plus extra-arc
-    /// sources.
-    #[must_use]
-    pub fn preds(&self, op: OpId) -> Vec<OpId> {
-        let mut out = self.data_preds(op);
-        for &(a, b) in &self.extra_prec {
-            if b == op && !out.contains(&a) {
-                out.push(a);
-            }
-        }
-        out
+    /// Direct precedence predecessors: data predecessors followed by
+    /// extra-arc sources (insertion order, duplicates of data
+    /// predecessors suppressed). Allocation-free.
+    pub fn preds(&self, op: OpId) -> impl Iterator<Item = OpId> + '_ {
+        let data = self.data_preds(op);
+        data.iter().copied().chain(
+            self.ov_pred[op.index()]
+                .iter()
+                .copied()
+                .filter(move |a| !data.contains(a)),
+        )
     }
 
-    /// Direct precedence successors: data successors plus extra-arc targets.
+    /// Direct precedence successors: data successors followed by
+    /// extra-arc targets (insertion order, duplicates of data successors
+    /// suppressed). Allocation-free.
+    pub fn succs(&self, op: OpId) -> impl Iterator<Item = OpId> + '_ {
+        let data = self.data_succs(op);
+        data.iter().copied().chain(
+            self.ov_succ[op.index()]
+                .iter()
+                .copied()
+                .filter(move |b| !data.contains(b)),
+        )
+    }
+
+    /// Number of direct precedence predecessors (strict only).
     #[must_use]
-    pub fn succs(&self, op: OpId) -> Vec<OpId> {
-        let mut out = self.data_succs(op);
-        for &(a, b) in &self.extra_prec {
-            if a == op && !out.contains(&b) {
-                out.push(b);
-            }
-        }
-        out
+    pub fn num_preds(&self, op: OpId) -> usize {
+        self.preds(op).count()
     }
 
     /// Add an extra precedence arc `from -> to` (a scheduling constraint:
@@ -311,10 +430,10 @@ impl Dfg {
         }
         if from == to {
             return Err(DfgError::PrecedenceCycle {
-                on: self.core.ops[from.index()].name.clone(),
+                on: self.core.ops[from.index()].name().to_owned(),
             });
         }
-        if self.extra_prec.contains(&(from, to)) {
+        if self.ov_succ[from.index()].contains(&to) {
             return Ok(());
         }
         // Adding from->to creates a cycle iff to already reaches from
@@ -322,10 +441,12 @@ impl Dfg {
         // strict arc is already unsatisfiable).
         if self.reaches(to, from) {
             return Err(DfgError::PrecedenceCycle {
-                on: self.core.ops[from.index()].name.clone(),
+                on: self.core.ops[from.index()].name().to_owned(),
             });
         }
         self.extra_prec.push((from, to));
+        self.ov_succ[from.index()].push(to);
+        self.ov_pred[to.index()].push(from);
         Ok(())
     }
 
@@ -347,15 +468,17 @@ impl Dfg {
             // `step(x) <= step(x)` is trivially true.
             return Ok(());
         }
-        if self.weak_prec.contains(&(from, to)) {
+        if self.ov_weak_succ[from.index()].contains(&to) {
             return Ok(());
         }
         if self.reaches(to, from) {
             return Err(DfgError::PrecedenceCycle {
-                on: self.core.ops[from.index()].name.clone(),
+                on: self.core.ops[from.index()].name().to_owned(),
             });
         }
         self.weak_prec.push((from, to));
+        self.ov_weak_succ[from.index()].push(to);
+        self.ov_weak_pred[to.index()].push(from);
         Ok(())
     }
 
@@ -365,28 +488,18 @@ impl Dfg {
         &self.weak_prec
     }
 
-    /// Direct weak predecessors of `op`.
+    /// Direct weak predecessors of `op`, in arc insertion order.
+    /// Allocation-free (overlay adjacency slice).
     #[must_use]
-    pub fn weak_preds(&self, op: OpId) -> Vec<OpId> {
-        let mut out = Vec::new();
-        for &(a, b) in &self.weak_prec {
-            if b == op && !out.contains(&a) {
-                out.push(a);
-            }
-        }
-        out
+    pub fn weak_preds(&self, op: OpId) -> &[OpId] {
+        &self.ov_weak_pred[op.index()]
     }
 
-    /// Direct weak successors of `op`.
+    /// Direct weak successors of `op`, in arc insertion order.
+    /// Allocation-free (overlay adjacency slice).
     #[must_use]
-    pub fn weak_succs(&self, op: OpId) -> Vec<OpId> {
-        let mut out = Vec::new();
-        for &(a, b) in &self.weak_prec {
-            if a == op && !out.contains(&b) {
-                out.push(b);
-            }
-        }
-        out
+    pub fn weak_succs(&self, op: OpId) -> &[OpId] {
+        &self.ov_weak_succ[op.index()]
     }
 
     /// The current end of the precedence-arc overlay. Together with
@@ -405,7 +518,9 @@ impl Dfg {
     /// were removed. Arcs are append-only under
     /// [`Dfg::add_precedence`]/[`Dfg::add_weak_precedence`], so this
     /// restores the overlay bit-identically to its state at the
-    /// savepoint.
+    /// savepoint: the arc arena is truncated to the high-water mark and
+    /// the mirrored adjacency entries are popped in reverse insertion
+    /// order. All capacity is retained for the next trial.
     ///
     /// # Panics
     ///
@@ -418,8 +533,20 @@ impl Dfg {
             "arc savepoint invalidated: arcs were removed while it was outstanding"
         );
         let dropped = (self.extra_prec.len() - sp.strict) + (self.weak_prec.len() - sp.weak);
-        self.extra_prec.truncate(sp.strict);
-        self.weak_prec.truncate(sp.weak);
+        while self.extra_prec.len() > sp.strict {
+            let (a, b) = self.extra_prec.pop().expect("length checked");
+            let popped = self.ov_succ[a.index()].pop();
+            debug_assert_eq!(popped, Some(b));
+            let popped = self.ov_pred[b.index()].pop();
+            debug_assert_eq!(popped, Some(a));
+        }
+        while self.weak_prec.len() > sp.weak {
+            let (a, b) = self.weak_prec.pop().expect("length checked");
+            let popped = self.ov_weak_succ[a.index()].pop();
+            debug_assert_eq!(popped, Some(b));
+            let popped = self.ov_weak_pred[b.index()].pop();
+            debug_assert_eq!(popped, Some(a));
+        }
         dropped
     }
 
@@ -445,9 +572,15 @@ impl Dfg {
                 loop_carried: self.core.loop_carried.clone(),
                 value_names: self.core.value_names.clone(),
                 op_names: self.core.op_names.clone(),
+                data_preds: self.core.data_preds.clone(),
+                data_succs: self.core.data_succs.clone(),
             }),
             extra_prec: self.extra_prec.clone(),
             weak_prec: self.weak_prec.clone(),
+            ov_pred: self.ov_pred.clone(),
+            ov_succ: self.ov_succ.clone(),
+            ov_weak_pred: self.ov_weak_pred.clone(),
+            ov_weak_succ: self.ov_weak_succ.clone(),
         }
     }
 
@@ -456,32 +589,108 @@ impl Dfg {
     pub fn remove_precedence(&mut self, from: OpId, to: OpId) -> bool {
         let before = self.extra_prec.len();
         self.extra_prec.retain(|&(a, b)| (a, b) != (from, to));
-        self.extra_prec.len() != before
+        if self.extra_prec.len() == before {
+            return false;
+        }
+        self.ov_succ[from.index()].retain(|&b| b != to);
+        self.ov_pred[to.index()].retain(|&a| a != from);
+        true
     }
 
     /// Whether `from` (transitively) precedes-or-equals `to` under data
     /// dependences, extra strict arcs and weak arcs. An operation does
     /// not reach itself.
+    ///
+    /// Uses a thread-local epoch-marked visited set — steady-state calls
+    /// perform no heap allocation.
     #[must_use]
     pub fn reaches(&self, from: OpId, to: OpId) -> bool {
         if from == to {
             return false;
         }
-        let mut seen = vec![false; self.core.ops.len()];
-        let mut stack = vec![from];
-        seen[from.index()] = true;
-        while let Some(n) = stack.pop() {
-            for s in self.succs(n).into_iter().chain(self.weak_succs(n)) {
-                if s == to {
-                    return true;
-                }
-                if !seen[s.index()] {
-                    seen[s.index()] = true;
-                    stack.push(s);
+        scratch::with(|s| {
+            s.begin(self.core.ops.len());
+            s.visit(from);
+            s.stack.push(from);
+            while let Some(n) = s.stack.pop() {
+                let i = n.index();
+                for &nb in self
+                    .data_succs(n)
+                    .iter()
+                    .chain(&self.ov_succ[i])
+                    .chain(&self.ov_weak_succ[i])
+                {
+                    if nb == to {
+                        return true;
+                    }
+                    if s.visit(nb) {
+                        s.stack.push(nb);
+                    }
                 }
             }
+            false
+        })
+    }
+
+    /// A topological order of all operations under the full precedence
+    /// relation, written into `out` (which is cleared first). The
+    /// in-degree scratch lives in thread-local storage, so with a
+    /// caller-reused `out` buffer the query is allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfgError::PrecedenceCycle`] if the relation is cyclic.
+    pub fn topo_order_into(&self, out: &mut Vec<OpId>) -> Result<(), DfgError> {
+        let n = self.core.ops.len();
+        out.clear();
+        let cycle_at = scratch::with(|s| {
+            s.indeg.clear();
+            s.indeg.resize(n, 0);
+            for op in &self.core.ops {
+                let i = op.id.index();
+                s.indeg[i] = u32::try_from(
+                    self.preds(op.id).count() + self.weak_preds(op.id).len(),
+                )
+                .expect("in-degree fits in u32");
+            }
+            // Kahn's algorithm with `out` doubling as the work queue: a
+            // dequeued op is final, so the queue prefix *is* the order.
+            out.extend((0..n).filter(|&i| s.indeg[i] == 0).map(OpId::from_index));
+            let mut head = 0;
+            while head < out.len() {
+                let u = out[head];
+                head += 1;
+                // `succs` dedups overlay arcs against data arcs exactly
+                // like the `preds` count above; weak arcs are counted
+                // separately on both sides.
+                for v in self.succs(u) {
+                    s.indeg[v.index()] -= 1;
+                    if s.indeg[v.index()] == 0 {
+                        out.push(v);
+                    }
+                }
+                for &v in self.weak_succs(u) {
+                    s.indeg[v.index()] -= 1;
+                    if s.indeg[v.index()] == 0 {
+                        out.push(v);
+                    }
+                }
+            }
+            if out.len() == n {
+                None
+            } else {
+                Some(
+                    (0..n)
+                        .find(|&i| s.indeg[i] > 0)
+                        .map(|i| self.core.ops[i].name().to_owned())
+                        .unwrap_or_default(),
+                )
+            }
+        });
+        match cycle_at {
+            None => Ok(()),
+            Some(on) => Err(DfgError::PrecedenceCycle { on }),
         }
-        false
     }
 
     /// A topological order of all operations under the full precedence
@@ -491,36 +700,9 @@ impl Dfg {
     ///
     /// Returns [`DfgError::PrecedenceCycle`] if the relation is cyclic.
     pub fn topo_order(&self) -> Result<Vec<OpId>, DfgError> {
-        let n = self.core.ops.len();
-        let mut indeg = vec![0usize; n];
-        for op in &self.core.ops {
-            indeg[op.id.index()] = self.preds(op.id).len() + self.weak_preds(op.id).len();
-        }
-        let mut queue: Vec<OpId> = (0..n)
-            .filter(|&i| indeg[i] == 0)
-            .map(OpId::from_index)
-            .collect();
-        let mut order = Vec::with_capacity(n);
-        let mut head = 0;
-        while head < queue.len() {
-            let u = queue[head];
-            head += 1;
-            order.push(u);
-            for s in self.succs(u).into_iter().chain(self.weak_succs(u)) {
-                indeg[s.index()] -= 1;
-                if indeg[s.index()] == 0 {
-                    queue.push(s);
-                }
-            }
-        }
-        if order.len() != n {
-            let on = (0..n)
-                .find(|&i| indeg[i] > 0)
-                .map(|i| self.core.ops[i].name.clone())
-                .unwrap_or_default();
-            return Err(DfgError::PrecedenceCycle { on });
-        }
-        Ok(order)
+        let mut out = Vec::with_capacity(self.core.ops.len());
+        self.topo_order_into(&mut out)?;
+        Ok(out)
     }
 
     /// Length (in operations) of the longest path in the precedence DAG —
@@ -553,7 +735,7 @@ impl Dfg {
         for op in &self.core.ops {
             if op.inputs.len() != op.kind.arity() {
                 return Err(DfgError::ArityMismatch {
-                    op: op.name.clone(),
+                    op: op.name().to_owned(),
                     expected: op.kind.arity(),
                     got: op.inputs.len(),
                 });
@@ -561,10 +743,10 @@ impl Dfg {
             if let Some(out) = op.output {
                 let v = &self.core.values[out.index()];
                 if v.kind.is_input() {
-                    return Err(DfgError::InputWritten(v.name.clone()));
+                    return Err(DfgError::InputWritten(v.name().to_owned()));
                 }
                 if self.core.def[out.index()] != Some(op.id) {
-                    return Err(DfgError::MultipleDefinitions(v.name.clone()));
+                    return Err(DfgError::MultipleDefinitions(v.name().to_owned()));
                 }
             }
         }
@@ -572,12 +754,12 @@ impl Dfg {
             match v.kind {
                 ValueKind::Input | ValueKind::Const(_) => {
                     if self.core.def[v.id.index()].is_some() {
-                        return Err(DfgError::InputWritten(v.name.clone()));
+                        return Err(DfgError::InputWritten(v.name().to_owned()));
                     }
                 }
                 ValueKind::Output | ValueKind::Intermediate => {
                     if self.core.def[v.id.index()].is_none() {
-                        return Err(DfgError::UndefinedValue(v.name.clone()));
+                        return Err(DfgError::UndefinedValue(v.name().to_owned()));
                     }
                 }
             }
@@ -587,9 +769,11 @@ impl Dfg {
     }
 
     /// Count operations per kind — the "operation mix" of a benchmark.
+    /// Returns a `BTreeMap` so iteration order (and any report derived
+    /// from it) is deterministic.
     #[must_use]
-    pub fn op_mix(&self) -> HashMap<OpKind, usize> {
-        let mut m = HashMap::new();
+    pub fn op_mix(&self) -> BTreeMap<OpKind, usize> {
+        let mut m = BTreeMap::new();
         for op in &self.core.ops {
             *m.entry(op.kind).or_insert(0) += 1;
         }
@@ -610,12 +794,11 @@ impl fmt::Display for Dfg {
             let ins: Vec<&str> = op
                 .inputs
                 .iter()
-                .map(|&v| self.core.values[v.index()].name.as_str())
+                .map(|&v| self.core.values[v.index()].name())
                 .collect();
             let out = op
                 .output
-                .map(|v| self.core.values[v.index()].name.clone())
-                .unwrap_or_else(|| "_".into());
+                .map_or("_", |v| self.core.values[v.index()].name());
             writeln!(f, "  {}: {} = {} {}", op.name, out, op.kind, ins.join(", "))?;
         }
         Ok(())
@@ -646,10 +829,40 @@ mod tests {
         let n2 = d.op_by_name("N2").unwrap();
         let n3 = d.op_by_name("N3").unwrap();
         assert!(d.data_preds(n1).is_empty());
-        assert_eq!(d.data_succs(n1), vec![n3]);
-        let mut p = d.data_preds(n3);
+        assert_eq!(d.data_succs(n1), [n3]);
+        let mut p = d.data_preds(n3).to_vec();
         p.sort();
         assert_eq!(p, vec![n1, n2]);
+    }
+
+    #[test]
+    fn preds_iter_matches_data_plus_overlay() {
+        let mut d = diamond();
+        let n1 = d.op_by_name("N1").unwrap();
+        let n2 = d.op_by_name("N2").unwrap();
+        let n3 = d.op_by_name("N3").unwrap();
+        d.add_precedence(n1, n2).unwrap();
+        // overlay arc n1->n2 appears after n2's data preds, once.
+        let p: Vec<OpId> = d.preds(n2).collect();
+        assert_eq!(p.iter().filter(|&&x| x == n1).count(), 1);
+        // an overlay arc duplicating a data dependence is suppressed.
+        d.add_precedence(n1, n3).unwrap();
+        let p3: Vec<OpId> = d.preds(n3).collect();
+        assert_eq!(p3.iter().filter(|&&x| x == n1).count(), 1);
+    }
+
+    #[test]
+    fn truncate_restores_adjacency() {
+        let mut d = diamond();
+        let n1 = d.op_by_name("N1").unwrap();
+        let n2 = d.op_by_name("N2").unwrap();
+        let sp = d.arc_savepoint();
+        d.add_precedence(n1, n2).unwrap();
+        d.add_weak_precedence(n2, n1).unwrap_err();
+        assert_eq!(d.preds(n2).count(), 1);
+        assert_eq!(d.truncate_arcs(sp), 1);
+        assert_eq!(d.preds(n2).count(), 0);
+        assert!(d.weak_preds(n1).is_empty());
     }
 
     #[test]
@@ -691,6 +904,10 @@ mod tests {
         assert_eq!(d.extra_precedence().len(), 1);
         assert!(d.remove_precedence(n1, n2));
         assert!(!d.remove_precedence(n1, n2));
+        // adjacency cleaned up too: re-adding works and is visible.
+        assert_eq!(d.preds(n2).count(), 0);
+        d.add_precedence(n1, n2).unwrap();
+        assert_eq!(d.preds(n2).count(), 1);
     }
 
     #[test]
@@ -722,6 +939,11 @@ mod tests {
         assert_eq!(mix[&OpKind::Add], 1);
         assert_eq!(mix[&OpKind::Mul], 1);
         assert_eq!(mix[&OpKind::Sub], 1);
+        // BTreeMap: kinds iterate in Ord order, deterministically.
+        let kinds: Vec<OpKind> = mix.keys().copied().collect();
+        let mut sorted = kinds.clone();
+        sorted.sort();
+        assert_eq!(kinds, sorted);
     }
 
     #[test]

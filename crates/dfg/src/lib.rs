@@ -52,6 +52,8 @@ mod error;
 mod graph;
 mod op;
 mod parser;
+mod scratch;
+mod sym;
 mod timing;
 mod value;
 
@@ -61,5 +63,6 @@ pub use error::DfgError;
 pub use graph::{ArcSavepoint, Dfg, OpId, Operation};
 pub use op::{FuClass, OpKind};
 pub use parser::parse;
+pub use sym::Sym;
 pub use timing::{AsapAlap, Mobility};
 pub use value::{Value, ValueId, ValueKind};

@@ -1,0 +1,109 @@
+//! Interned name symbols.
+//!
+//! Every value/operation name in a [`Dfg`](crate::Dfg) is interned once
+//! into a process-wide table and referred to by a dense [`Sym`] handle
+//! afterwards. Name maps in the graph core are then keyed by a `u32`
+//! instead of hashing `String`s, and resolving a symbol back to text is
+//! an index load (`&'static str`), so nothing on the synthesis hot path
+//! touches string storage.
+//!
+//! Interned strings are stored with program lifetime (`Box::leak`):
+//! benchmark and generated-graph names are short and heavily shared
+//! (`N17`, `t42`, ...), so the table stays tiny and deduplication makes
+//! repeated graph construction free.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// A handle to an interned string. `Copy`, 4 bytes, hashable as a `u32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn table() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Intern `s`, returning its stable handle. Idempotent: the same
+    /// text always yields the same `Sym` within one process.
+    #[must_use]
+    pub fn intern(s: &str) -> Sym {
+        let t = table();
+        if let Some(&id) = t.read().expect("interner poisoned").map.get(s) {
+            return Sym(id);
+        }
+        let mut w = t.write().expect("interner poisoned");
+        if let Some(&id) = w.map.get(s) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(w.strings.len()).expect("interner capacity");
+        w.strings.push(leaked);
+        w.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// Look up the handle of an already-interned string without
+    /// interning it — misses stay out of the table (used by name
+    /// lookups on arbitrary caller input).
+    #[must_use]
+    pub fn lookup(s: &str) -> Option<Sym> {
+        table()
+            .read()
+            .expect("interner poisoned")
+            .map
+            .get(s)
+            .copied()
+            .map(Sym)
+    }
+
+    /// Resolve the interned text. The returned reference has program
+    /// lifetime.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        table().read().expect("interner poisoned").strings[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Sym::intern("sym-test-a");
+        let b = Sym::intern("sym-test-a");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "sym-test-a");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert_eq!(Sym::lookup("sym-test-never-interned-xyz"), None);
+        let s = Sym::intern("sym-test-b");
+        assert_eq!(Sym::lookup("sym-test-b"), Some(s));
+    }
+
+    #[test]
+    fn distinct_strings_distinct_syms() {
+        assert_ne!(Sym::intern("sym-test-c"), Sym::intern("sym-test-d"));
+    }
+}

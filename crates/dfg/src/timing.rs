@@ -7,10 +7,12 @@ use crate::{Dfg, DfgError, OpId};
 
 /// As-soon-as-possible / as-late-as-possible step bounds for every
 /// operation, under the graph's full precedence relation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AsapAlap {
     asap: Vec<usize>,
     alap: Vec<usize>,
+    /// Topological order scratch, kept so `recompute` reuses capacity.
+    order: Vec<OpId>,
     latency: usize,
 }
 
@@ -26,38 +28,50 @@ impl AsapAlap {
     /// * [`DfgError::InvalidId`] if `latency` is smaller than the critical
     ///   path (no feasible schedule).
     pub fn compute(dfg: &Dfg, latency: Option<usize>) -> Result<Self, DfgError> {
-        let order = dfg.topo_order()?;
+        let mut aa = AsapAlap::default();
+        aa.recompute(dfg, latency)?;
+        Ok(aa)
+    }
+
+    /// Recompute in place, reusing this analysis' buffers. With a
+    /// long-lived `AsapAlap` (e.g. the scheduler's thread-local scratch)
+    /// steady-state calls perform no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AsapAlap::compute`].
+    pub fn recompute(&mut self, dfg: &Dfg, latency: Option<usize>) -> Result<(), DfgError> {
+        dfg.topo_order_into(&mut self.order)?;
         let n = dfg.num_ops();
-        let mut asap = vec![0usize; n];
-        for &u in &order {
+        self.asap.clear();
+        self.asap.resize(n, 0);
+        for &u in &self.order {
             for p in dfg.preds(u) {
-                asap[u.index()] = asap[u.index()].max(asap[p.index()] + 1);
+                self.asap[u.index()] = self.asap[u.index()].max(self.asap[p.index()] + 1);
             }
             for p in dfg.weak_preds(u) {
-                asap[u.index()] = asap[u.index()].max(asap[p.index()]);
+                self.asap[u.index()] = self.asap[u.index()].max(self.asap[p.index()]);
             }
         }
-        let cp = asap.iter().copied().max().map_or(0, |m| m + 1);
+        let cp = self.asap.iter().copied().max().map_or(0, |m| m + 1);
         let latency = latency.unwrap_or(cp);
         if latency < cp {
             return Err(DfgError::InvalidId(format!(
                 "latency {latency} below critical path {cp}"
             )));
         }
-        let mut alap = vec![latency.saturating_sub(1); n];
-        for &u in order.iter().rev() {
+        self.alap.clear();
+        self.alap.resize(n, latency.saturating_sub(1));
+        for &u in self.order.iter().rev() {
             for s in dfg.succs(u) {
-                alap[u.index()] = alap[u.index()].min(alap[s.index()].saturating_sub(1));
+                self.alap[u.index()] = self.alap[u.index()].min(self.alap[s.index()].saturating_sub(1));
             }
             for s in dfg.weak_succs(u) {
-                alap[u.index()] = alap[u.index()].min(alap[s.index()]);
+                self.alap[u.index()] = self.alap[u.index()].min(self.alap[s.index()]);
             }
         }
-        Ok(AsapAlap {
-            asap,
-            alap,
-            latency,
-        })
+        self.latency = latency;
+        Ok(())
     }
 
     /// Earliest feasible step of `op`.

@@ -1,5 +1,6 @@
 use std::fmt;
 
+use crate::Sym;
 
 /// Index of a [`Value`] inside its [`Dfg`](crate::Dfg).
 ///
@@ -71,7 +72,7 @@ impl ValueKind {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Value {
     pub(crate) id: ValueId,
-    pub(crate) name: String,
+    pub(crate) name: Sym,
     pub(crate) kind: ValueKind,
     /// `true` when the value is the 1-bit result of a relational operation
     /// and feeds the controller rather than the data path.
@@ -88,7 +89,13 @@ impl Value {
     /// The source-level name (e.g. `"x1"`).
     #[must_use]
     pub fn name(&self) -> &str {
-        &self.name
+        self.name.as_str()
+    }
+
+    /// The interned name symbol.
+    #[must_use]
+    pub fn name_sym(&self) -> Sym {
+        self.name
     }
 
     /// The value's role.
@@ -106,7 +113,7 @@ impl Value {
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.name)
+        f.write_str(self.name.as_str())
     }
 }
 

@@ -279,8 +279,9 @@ mod tests {
         let t = d.value_by_name("t").unwrap();
         let rt = dp.node_of_register(a.register_of(t).unwrap()).unwrap();
         let arc = dp
-            .in_arcs(rt)
-            .into_iter()
+            .in_arc_ids(rt)
+            .iter()
+            .map(|&a| dp.arc(a))
             .find(|arc| arc.from() == m)
             .expect("module feeds t's register");
         let labels: Vec<&str> = arc
@@ -329,7 +330,10 @@ mod tests {
         // x1 and x in different registers: loop-carried copy arc exists
         let rx = dp.node_of_register(alloc.register_of(x).unwrap()).unwrap();
         let rx1 = dp.node_of_register(alloc.register_of(x1).unwrap()).unwrap();
-        assert!(dp.in_arcs(rx).iter().any(|arc| arc.from() == rx1));
+        assert!(dp
+            .in_arc_ids(rx)
+            .iter()
+            .any(|&a| dp.arc(a).from() == rx1));
     }
 
     #[test]
@@ -353,9 +357,9 @@ mod tests {
         let rn = dp.node_of_register(rx).unwrap();
         // no register-to-register copy arc into the shared register
         assert!(dp
-            .in_arcs(rn)
+            .in_arc_ids(rn)
             .iter()
-            .all(|arc| !dp.node(arc.from()).kind().is_register()));
+            .all(|&a| !dp.node(dp.arc(a).from()).kind().is_register()));
     }
 
     #[test]

@@ -284,60 +284,18 @@ impl DataPath {
         &self.arcs[id.index()]
     }
 
-    /// Incoming arcs of `node`.
-    #[must_use]
-    pub fn in_arcs(&self, node: DpNodeId) -> Vec<&DpArc> {
-        self.in_arcs[node.index()]
-            .iter()
-            .map(|&a| &self.arcs[a.index()])
-            .collect()
-    }
-
-    /// Outgoing arcs of `node`.
-    #[must_use]
-    pub fn out_arcs(&self, node: DpNodeId) -> Vec<&DpArc> {
-        self.out_arcs[node.index()]
-            .iter()
-            .map(|&a| &self.arcs[a.index()])
-            .collect()
-    }
-
-    /// Ids of incoming arcs of `node`, in insertion order — the
-    /// allocation-free sibling of [`DataPath::in_arcs`] for hot paths.
+    /// Ids of incoming arcs of `node`, in insertion order. Resolve an id
+    /// with [`DataPath::arc`]; neither step allocates.
     #[must_use]
     pub fn in_arc_ids(&self, node: DpNodeId) -> &[DpArcId] {
         &self.in_arcs[node.index()]
     }
 
-    /// Ids of outgoing arcs of `node`, in insertion order — the
-    /// allocation-free sibling of [`DataPath::out_arcs`] for hot paths.
+    /// Ids of outgoing arcs of `node`, in insertion order. Resolve an id
+    /// with [`DataPath::arc`]; neither step allocates.
     #[must_use]
     pub fn out_arc_ids(&self, node: DpNodeId) -> &[DpArcId] {
         &self.out_arcs[node.index()]
-    }
-
-    /// Direct predecessors of `node` (deduplicated).
-    #[must_use]
-    pub fn preds(&self, node: DpNodeId) -> Vec<DpNodeId> {
-        let mut v: Vec<DpNodeId> = self.in_arcs[node.index()]
-            .iter()
-            .map(|&a| self.arcs[a.index()].from)
-            .collect();
-        v.sort();
-        v.dedup();
-        v
-    }
-
-    /// Direct successors of `node` (deduplicated).
-    #[must_use]
-    pub fn succs(&self, node: DpNodeId) -> Vec<DpNodeId> {
-        let mut v: Vec<DpNodeId> = self.out_arcs[node.index()]
-            .iter()
-            .map(|&a| self.arcs[a.index()].to)
-            .collect();
-        v.sort();
-        v.dedup();
-        v
     }
 
     /// Node ids of all registers.
@@ -406,11 +364,17 @@ impl DataPath {
     /// itself.
     #[must_use]
     pub fn on_self_loop(&self, node: DpNodeId) -> bool {
-        let preds = self.preds(node);
-        if preds.contains(&node) {
+        let is_pred = |x: DpNodeId| {
+            self.in_arcs[node.index()]
+                .iter()
+                .any(|&a| self.arcs[a.index()].from == x)
+        };
+        if is_pred(node) {
             return true;
         }
-        self.succs(node).iter().any(|s| preds.contains(s))
+        self.out_arcs[node.index()]
+            .iter()
+            .any(|&a| is_pred(self.arcs[a.index()].to))
     }
 
     /// A 64-bit structural fingerprint of the graph: node kinds (with
@@ -613,7 +577,7 @@ mod tests {
     }
 
     #[test]
-    fn preds_succs_dedup() {
+    fn arc_id_accessors_track_insertion_order() {
         let mut dp = DataPath::new();
         let r = dp.add_node(DpNodeKind::Register(RegisterId::from_index(0)), "R0");
         let m = dp.add_node(
@@ -623,9 +587,11 @@ mod tests {
             },
             "FU0",
         );
-        dp.add_arc(r, m, 0, [place(0)]);
-        dp.add_arc(r, m, 1, [place(0)]);
-        assert_eq!(dp.preds(m), vec![r]);
-        assert_eq!(dp.succs(r), vec![m]);
+        let a0 = dp.add_arc(r, m, 0, [place(0)]);
+        let a1 = dp.add_arc(r, m, 1, [place(0)]);
+        assert_eq!(dp.in_arc_ids(m), [a0, a1]);
+        assert_eq!(dp.out_arc_ids(r), [a0, a1]);
+        assert!(dp.in_arc_ids(r).is_empty());
+        assert_eq!(dp.arc(a1).port(), 1);
     }
 }

@@ -92,14 +92,14 @@ proptest! {
             let mn = dp.node_of_module(m.id()).expect("module node exists");
             let max_arity = m.ops().iter().map(|&o| d.op(o).inputs().len()).max().unwrap_or(0);
             for port in 0..max_arity {
-                let fed = dp.in_arcs(mn).iter().any(|arc| arc.port() == port);
+                let fed = dp.in_arc_ids(mn).iter().any(|&a| dp.arc(a).port() == port);
                 prop_assert!(fed, "port {port} of {} unfed", dp.node(mn).label());
             }
             for &o in m.ops() {
                 if let Some(out) = d.op(o).output() {
                     if let Some(r) = a.register_of(out) {
                         let rn = dp.node_of_register(r).expect("register node exists");
-                        let drives = dp.out_arcs(mn).iter().any(|arc| arc.to() == rn);
+                        let drives = dp.out_arc_ids(mn).iter().any(|&a| dp.arc(a).to() == rn);
                         prop_assert!(drives);
                     }
                 }

@@ -160,10 +160,10 @@ pub fn elaborate_with(
         }
         remaining.retain(|&m| {
             // buildable when all source nodes have words (or cond bits)
-            let ready = dp
-                .in_arcs(m)
-                .iter()
-                .all(|a| word.contains_key(&a.from()) || cond_bit.contains_key(&a.from()));
+            let ready = dp.in_arc_ids(m).iter().all(|&a| {
+                let from = dp.arc(a).from();
+                word.contains_key(&from) || cond_bit.contains_key(&from)
+            });
             if !ready {
                 return true;
             }
@@ -183,7 +183,7 @@ pub fn elaborate_with(
     // 4. Register D networks.
     for rn in dp.register_nodes() {
         let q = word[&rn].clone();
-        let ins = dp.in_arcs(rn);
+        let ins = dp.in_arc_ids(rn);
         if ins.is_empty() {
             // dead register: holds reset value
             let zero = {
@@ -196,7 +196,8 @@ pub fn elaborate_with(
         }
         let mut acts = Vec::new();
         let mut d: Option<Vec<GateId>> = None;
-        for arc in &ins {
+        for &aid in ins {
+            let arc = dp.arc(aid);
             let src = word
                 .get(&arc.from())
                 .cloned()
@@ -225,9 +226,9 @@ pub fn elaborate_with(
         match node.kind() {
             DpNodeKind::PrimaryOutput(v) => {
                 let src = dp
-                    .in_arcs(node.id())
+                    .in_arc_ids(node.id())
                     .first()
-                    .map(|a| a.from())
+                    .map(|&a| dp.arc(a).from())
                     .ok_or_else(|| ElaborateError::MissingSource(node.label().to_owned()))?;
                 let w = word
                     .get(&src)
@@ -236,9 +237,9 @@ pub fn elaborate_with(
                 // The arc into the output port is guarded by the final
                 // place; under strobing, gate the observation with it.
                 let strobe = if strobe_outputs {
-                    dp.in_arcs(node.id())
+                    dp.in_arc_ids(node.id())
                         .first()
-                        .and_then(|a| a.guards().iter().next().copied())
+                        .and_then(|&a| dp.arc(a).guards().iter().next().copied())
                         .and_then(|p| ctrl.get(&p).copied())
                 } else {
                     None
@@ -253,9 +254,9 @@ pub fn elaborate_with(
             }
             DpNodeKind::ConditionOut(v) => {
                 let src = dp
-                    .in_arcs(node.id())
+                    .in_arc_ids(node.id())
                     .first()
-                    .map(|a| a.from())
+                    .map(|&a| dp.arc(a).from())
                     .ok_or_else(|| ElaborateError::MissingSource(node.label().to_owned()))?;
                 let c = cond_bit
                     .get(&src)
@@ -302,12 +303,12 @@ fn build_module(
         unreachable!("build_module called on non-module");
     };
     // Port words: mux chain over sources by guard activity.
-    let ins = dp.in_arcs(m);
-    let max_port = ins.iter().map(|a| a.port()).max().unwrap_or(0);
+    let ins = dp.in_arc_ids(m);
+    let max_port = ins.iter().map(|&a| dp.arc(a).port()).max().unwrap_or(0);
     let mut ports: Vec<Vec<GateId>> = Vec::new();
     for p in 0..=max_port {
         let mut w: Option<Vec<GateId>> = None;
-        for arc in ins.iter().filter(|a| a.port() == p) {
+        for arc in ins.iter().map(|&a| dp.arc(a)).filter(|a| a.port() == p) {
             let src = word
                 .get(&arc.from())
                 .cloned()

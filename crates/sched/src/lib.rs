@@ -31,6 +31,6 @@ mod schedule;
 pub use error::SchedError;
 pub use fds::fds_schedule;
 pub use lifetime::{Interval, Lifetimes};
-pub use list::{list_schedule, ListPriority};
+pub use list::{list_schedule, list_schedule_src, reschedule_in_place, GroupSource, ListPriority};
 pub use mobility_path::{mobility_path_schedule, FuLimits};
 pub use schedule::{Schedule, ScheduleDelta};

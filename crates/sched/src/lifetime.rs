@@ -17,6 +17,9 @@
 //! `[L, L]`. The pair itself is exempted from the `[L, L]` clash (the
 //! copy carries the very value the source holds).
 
+use std::cell::RefCell;
+use std::mem;
+
 use hlts_dfg::{Dfg, ValueId, ValueKind};
 
 use crate::Schedule;
@@ -53,6 +56,10 @@ impl Interval {
 }
 
 /// The computed lifetime of every value of a [`Dfg`] under a [`Schedule`].
+///
+/// Backing buffers are recycled through a thread-local pool on drop:
+/// the per-trial lifetime analysis of the synthesis inner loop reuses
+/// capacity instead of allocating.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Lifetimes {
     intervals: Vec<Option<Interval>>,
@@ -61,6 +68,48 @@ pub struct Lifetimes {
     /// Loop-carried pairs by value index (src, dst).
     loop_pairs: Vec<(usize, usize)>,
     latency: usize,
+}
+
+/// Recycled buffer set for [`Lifetimes`]. Bounded pool per thread.
+struct LtBufs {
+    intervals: Vec<Option<Interval>>,
+    extra: Vec<Option<Interval>>,
+    loop_pairs: Vec<(usize, usize)>,
+}
+
+thread_local! {
+    static LT_POOL: RefCell<Vec<LtBufs>> = const { RefCell::new(Vec::new()) };
+}
+const LT_POOL_CAP: usize = 16;
+
+fn lt_pool_acquire() -> LtBufs {
+    LT_POOL.with(|p| p.borrow_mut().pop()).unwrap_or(LtBufs {
+        intervals: Vec::new(),
+        extra: Vec::new(),
+        loop_pairs: Vec::new(),
+    })
+}
+
+impl Drop for Lifetimes {
+    fn drop(&mut self) {
+        let mut bufs = LtBufs {
+            intervals: mem::take(&mut self.intervals),
+            extra: mem::take(&mut self.extra),
+            loop_pairs: mem::take(&mut self.loop_pairs),
+        };
+        if bufs.intervals.capacity() == 0 {
+            return;
+        }
+        bufs.intervals.clear();
+        bufs.extra.clear();
+        bufs.loop_pairs.clear();
+        LT_POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < LT_POOL_CAP {
+                p.push(bufs);
+            }
+        });
+    }
 }
 
 impl Lifetimes {
@@ -89,7 +138,11 @@ impl Lifetimes {
     #[must_use]
     pub fn compute(dfg: &Dfg, schedule: &Schedule) -> Self {
         let latency = schedule.num_steps();
-        let mut intervals = Vec::with_capacity(dfg.num_values());
+        let LtBufs {
+            mut intervals,
+            mut extra,
+            mut loop_pairs,
+        } = lt_pool_acquire();
         for v in dfg.values() {
             let id = v.id();
             let interval = match v.kind() {
@@ -131,8 +184,7 @@ impl Lifetimes {
             intervals.push(interval);
         }
         // Loop-carried handling.
-        let mut extra = vec![None; dfg.num_values()];
-        let mut loop_pairs = Vec::new();
+        extra.resize(dfg.num_values(), None);
         for &(src, dst) in dfg.loop_carried() {
             loop_pairs.push((src.index(), dst.index()));
             if let Some(iv) = intervals[src.index()].as_mut() {

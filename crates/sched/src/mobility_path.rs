@@ -116,7 +116,6 @@ pub fn mobility_path_schedule(
             // continue the path through an equal-mobility successor
             let next = dfg
                 .succs(cur)
-                .into_iter()
                 .filter(|&s| !visited[s.index()] && aat.mobility(s) == aat.mobility(cur))
                 .min_by_key(|&s| (aat.asap(s), s.index()));
             match next {
@@ -199,8 +198,7 @@ fn greedy_topological(
             }
             let preds_placed = dfg
                 .preds(op)
-                .iter()
-                .chain(dfg.weak_preds(op).iter())
+                .chain(dfg.weak_preds(op).iter().copied())
                 .all(|p| step_of[p.index()] != usize::MAX);
             if !preds_placed {
                 continue;

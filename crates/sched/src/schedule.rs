@@ -1,8 +1,10 @@
+use std::cell::RefCell;
 use std::fmt;
+use std::mem;
 
 use hlts_dfg::{Dfg, OpId};
 
-use crate::SchedError;
+use crate::{GroupSource, SchedError};
 
 /// An assignment of every operation of a [`Dfg`] to a 0-based control step.
 ///
@@ -111,7 +113,7 @@ impl Schedule {
                     });
                 }
             }
-            for p in dfg.weak_preds(op.id()) {
+            for &p in dfg.weak_preds(op.id()) {
                 if self.step_of[p.index()] > self.step_of[op.id().index()] {
                     return Err(SchedError::PrecedenceViolated {
                         from: dfg.op(p).name().to_owned(),
@@ -130,20 +132,78 @@ impl Schedule {
     ///
     /// [`SchedError::GroupConflict`] naming the first clashing pair.
     pub fn validate_groups(&self, dfg: &Dfg, groups: &[Vec<OpId>]) -> Result<(), SchedError> {
-        for group in groups {
+        self.validate_groups_src(dfg, groups)
+    }
+
+    /// [`Schedule::validate_groups`] generalized over any
+    /// [`GroupSource`] — validating directly against e.g. a module
+    /// binding's own operation lists, without building a
+    /// `Vec<Vec<OpId>>`. Allocation-free on success.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::GroupConflict`] naming the first clashing pair.
+    pub fn validate_groups_src(
+        &self,
+        dfg: &Dfg,
+        groups: impl GroupSource,
+    ) -> Result<(), SchedError> {
+        let mut bad: Option<SchedError> = None;
+        groups.for_each_group(|_, group| {
+            if bad.is_some() {
+                return;
+            }
             for (i, &a) in group.iter().enumerate() {
                 for &b in &group[i + 1..] {
                     if self.step_of[a.index()] == self.step_of[b.index()] {
-                        return Err(SchedError::GroupConflict {
+                        bad = Some(SchedError::GroupConflict {
                             a: dfg.op(a).name().to_owned(),
                             b: dfg.op(b).name().to_owned(),
                             step: self.step_of[a.index()],
                         });
+                        return;
                     }
                 }
             }
+        });
+        match bad {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
-        Ok(())
+    }
+
+    /// The raw per-op step assignment, indexed by [`OpId::index`].
+    #[must_use]
+    pub fn step_slice(&self) -> &[usize] {
+        &self.step_of
+    }
+
+    /// Overwrite this schedule's assignment with `steps`, returning the
+    /// journaled difference (one `(op, previous step)` move per changed
+    /// operation — the same record [`Schedule::delta_from`] produces).
+    /// The delta's move buffer comes from a thread-local pool and this
+    /// schedule's storage is reused, so the steady state allocates
+    /// nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` has a different length (the schedules must
+    /// belong to the same graph).
+    pub fn replace_steps(&mut self, steps: &[usize]) -> ScheduleDelta {
+        assert_eq!(
+            self.step_of.len(),
+            steps.len(),
+            "schedule delta requires schedules of the same graph"
+        );
+        let mut moves = delta_pool_acquire();
+        for (i, (&now, was)) in steps.iter().zip(&mut self.step_of).enumerate() {
+            if now != *was {
+                moves.push((OpId::from_index(i), *was));
+                *was = now;
+            }
+        }
+        self.latency = self.step_of.iter().copied().max().map_or(0, |m| m + 1);
+        ScheduleDelta { moves }
     }
 
     /// The fine-grained moves that turned `prev` into `self`: one
@@ -163,14 +223,15 @@ impl Schedule {
             prev.step_of.len(),
             "schedule delta requires schedules of the same graph"
         );
-        let moves = self
-            .step_of
-            .iter()
-            .zip(&prev.step_of)
-            .enumerate()
-            .filter(|(_, (now, was))| now != was)
-            .map(|(i, (_, &was))| (OpId::from_index(i), was))
-            .collect();
+        let mut moves = delta_pool_acquire();
+        moves.extend(
+            self.step_of
+                .iter()
+                .zip(&prev.step_of)
+                .enumerate()
+                .filter(|(_, (now, was))| now != was)
+                .map(|(i, (_, &was))| (OpId::from_index(i), was)),
+        );
         ScheduleDelta { moves }
     }
 
@@ -203,11 +264,50 @@ impl Schedule {
 
 /// The recorded difference between two schedules of one graph: which
 /// operations moved and where they were. Produced by
-/// [`Schedule::delta_from`], undone by [`Schedule::revert`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// [`Schedule::delta_from`]/[`Schedule::replace_steps`], undone by
+/// [`Schedule::revert`].
+///
+/// Move buffers are recycled through a thread-local pool on drop, so
+/// the journal of a steady-state trial-and-rollback cycle reuses
+/// capacity instead of allocating.
+#[derive(Debug, PartialEq, Eq)]
 pub struct ScheduleDelta {
     /// `(op, previous step)` for every operation whose step changed.
     moves: Vec<(OpId, usize)>,
+}
+
+// Thread-local recycling pool for delta move buffers (bounded so a
+// pathological burst of deltas cannot pin memory).
+thread_local! {
+    static DELTA_POOL: RefCell<Vec<Vec<(OpId, usize)>>> = const { RefCell::new(Vec::new()) };
+}
+const DELTA_POOL_CAP: usize = 64;
+
+fn delta_pool_acquire() -> Vec<(OpId, usize)> {
+    DELTA_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+impl Drop for ScheduleDelta {
+    fn drop(&mut self) {
+        let mut moves = mem::take(&mut self.moves);
+        if moves.capacity() > 0 {
+            moves.clear();
+            DELTA_POOL.with(|p| {
+                let mut p = p.borrow_mut();
+                if p.len() < DELTA_POOL_CAP {
+                    p.push(moves);
+                }
+            });
+        }
+    }
+}
+
+impl Clone for ScheduleDelta {
+    fn clone(&self) -> Self {
+        let mut moves = delta_pool_acquire();
+        moves.extend_from_slice(&self.moves);
+        ScheduleDelta { moves }
+    }
 }
 
 impl ScheduleDelta {

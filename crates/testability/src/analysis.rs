@@ -521,11 +521,11 @@ impl TestabilityAnalysis {
     /// their own output controllability.
     #[must_use]
     pub fn node_controllability(&self, dp: &DataPath, node: DpNodeId) -> Controllability {
-        let ins = dp.in_arcs(node);
+        let ins = dp.in_arc_ids(node);
         if ins.is_empty() {
             return self.out_ctrl[node.index()];
         }
-        ins.iter().map(|a| self.out_ctrl[a.from().index()]).fold(
+        ins.iter().map(|&a| self.out_ctrl[dp.arc(a).from().index()]).fold(
             Controllability::none(),
             |acc, c| {
                 if c.better_than(acc) {
@@ -541,9 +541,9 @@ impl TestabilityAnalysis {
     /// the node's *output* lines.
     #[must_use]
     pub fn node_observability(&self, dp: &DataPath, node: DpNodeId) -> Observability {
-        dp.out_arcs(node)
+        dp.out_arc_ids(node)
             .iter()
-            .map(|a| self.arc_obs[a.id().index()])
+            .map(|&a| self.arc_obs[a.index()])
             .fold(Observability::none(), |acc, o| {
                 if o.better_than(acc) {
                     o
@@ -572,9 +572,9 @@ fn best_input<F>(dp: &DataPath, node: DpNodeId, ctrl_of: &F) -> Controllability
 where
     F: Fn(DpNodeId) -> Controllability,
 {
-    dp.in_arcs(node)
+    dp.in_arc_ids(node)
         .iter()
-        .map(|a| ctrl_of(a.from()))
+        .map(|&a| ctrl_of(dp.arc(a).from()))
         .fold(Controllability::none(), |acc, c| {
             if c.better_than(acc) {
                 c
@@ -597,15 +597,15 @@ where
     F: Fn(DpNodeId) -> Controllability,
 {
     let f = kinds.map(ctf).fold(1.0, f64::min);
-    let ins = dp.in_arcs(node);
-    let max_port = ins.iter().map(|a| a.port()).max().unwrap_or(0);
+    let ins = dp.in_arc_ids(node);
+    let max_port = ins.iter().map(|&a| dp.arc(a).port()).max().unwrap_or(0);
     let mut cc: f64 = 1.0;
     let mut sc: f64 = 0.0;
     for port in 0..=max_port {
         let best = ins
             .iter()
-            .filter(|a| a.port() == port)
-            .map(|a| ctrl_of(a.from()))
+            .filter(|&&a| dp.arc(a).port() == port)
+            .map(|&a| ctrl_of(dp.arc(a).from()))
             .fold(Controllability::none(), |acc, c| {
                 if c.better_than(acc) {
                     c
@@ -629,8 +629,8 @@ fn side_ports_ctrl<F>(dp: &DataPath, node: DpNodeId, port: usize, ctrl_of: &F) -
 where
     F: Fn(DpNodeId) -> Controllability,
 {
-    let ins = dp.in_arcs(node);
-    let max_port = ins.iter().map(|a| a.port()).max().unwrap_or(0);
+    let ins = dp.in_arc_ids(node);
+    let max_port = ins.iter().map(|&a| dp.arc(a).port()).max().unwrap_or(0);
     let mut cc: f64 = 1.0;
     let mut sc: f64 = 0.0;
     let mut any = false;
@@ -640,8 +640,8 @@ where
         }
         let best = ins
             .iter()
-            .filter(|a| a.port() == p)
-            .map(|a| ctrl_of(a.from()))
+            .filter(|&&a| dp.arc(a).port() == p)
+            .map(|&a| ctrl_of(dp.arc(a).from()))
             .fold(Controllability::none(), |acc, c| {
                 if c.better_than(acc) {
                     c
@@ -673,9 +673,9 @@ fn node_out_obs<G>(dp: &DataPath, node: DpNodeId, obs_of: &G) -> Observability
 where
     G: Fn(DpArcId) -> Observability,
 {
-    dp.out_arcs(node)
+    dp.out_arc_ids(node)
         .iter()
-        .map(|a| obs_of(a.id()))
+        .map(|&a| obs_of(a))
         .fold(Observability::none(), |acc, o| {
             if o.better_than(acc) {
                 o

@@ -24,11 +24,15 @@ pub fn register_adjacency(dp: &DataPath) -> (Vec<DpNodeId>, Vec<Vec<usize>>) {
     let pos = |n: DpNodeId| regs.iter().position(|&r| r == n);
     let mut adj = vec![Vec::new(); regs.len()];
     for (i, &r) in regs.iter().enumerate() {
-        // r -> module -> register, or r -> register (loop-carried copies)
-        for succ in dp.succs(r) {
+        // r -> module -> register, or r -> register (loop-carried copies).
+        // Walking out-arcs may visit a successor once per arc; the
+        // `contains` dedup keeps the adjacency a set either way.
+        for &arc in dp.out_arc_ids(r) {
+            let succ = dp.arc(arc).to();
             match dp.node(succ).kind() {
                 DpNodeKind::Module { .. } => {
-                    for succ2 in dp.succs(succ) {
+                    for &arc2 in dp.out_arc_ids(succ) {
+                        let succ2 = dp.arc(arc2).to();
                         if let Some(j) = pos(succ2) {
                             if !adj[i].contains(&j) {
                                 adj[i].push(j);

@@ -91,9 +91,9 @@ proptest! {
         for rn in dp.register_nodes() {
             let out = ta.output_controllability(rn);
             let best_src = dp
-                .in_arcs(rn)
+                .in_arc_ids(rn)
                 .iter()
-                .map(|arc| ta.output_controllability(arc.from()).cc)
+                .map(|&a| ta.output_controllability(dp.arc(a).from()).cc)
                 .fold(0.0f64, f64::max);
             prop_assert!(out.cc <= best_src + 1e-9);
         }
