@@ -19,6 +19,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> fault-injection suites (test-faults feature)"
 cargo test -q -p hlts-core --features test-faults --offline
 cargo test -q -p hlts-dse --features test-faults --offline
+cargo test -q -p hlts-jobs --features test-faults --offline
 
 echo "==> conformance harness meta-test (broken engine must be caught)"
 cargo test -q -p hlts-gen --features test-faults --offline
@@ -40,5 +41,45 @@ cargo test -q --release --offline --features count-allocs --test zero_alloc
 
 echo "==> bench smoke: dse parallel-explore gate"
 cargo bench -q --bench dse --offline
+
+echo "==> serve smoke: 3 jobs (one cancelled) over stdin, clean shutdown"
+# One worker: job 1 (a multi-second ewf sweep) is claimed first, so
+# jobs 2 and 3 are deterministically still queued when the cancel for
+# job 2 arrives (-> dequeued). After a one-second pause — enough for
+# the worker to be mid-sweep, far from done — shutdown lets the
+# running sweep finish and cancels the still-queued job 3: the
+# graceful-drain contract, asserted line by line below.
+SERVE_OUT=$(
+  {
+    printf '%s\n' \
+      '{"op":"submit","id":"s1","job":{"kind":"explore","sources":["bench:ewf"],"ks":[1,2,3,4,5,6],"weights":[[2,1],[10,1],[1,10]]}}' \
+      '{"op":"submit","id":"s2","job":{"kind":"run","source":"bench:ex"}}' \
+      '{"op":"submit","id":"s3","job":{"kind":"gen","seed":7}}' \
+      '{"op":"cancel","job":2}' \
+      '{"op":"status","id":"health"}'
+    sleep 1
+    printf '%s\n' '{"op":"shutdown","id":"bye"}'
+  } | ./target/release/hlts serve --workers 1 --queue 8
+)
+for want in \
+  '"id": "s1", "job": 1' \
+  '"id": "s2", "job": 2' \
+  '"id": "s3", "job": 3' \
+  '"cancel": "dequeued"' \
+  '"id": "health"' \
+  '"event": "done", "job": 1' \
+  '"event": "cancelled", "job": 2' \
+  '"event": "cancelled", "job": 3' \
+  '"shutdown": true'
+do
+  if ! grep -qF "$want" <<<"$SERVE_OUT"; then
+    echo "serve smoke: missing '$want' in daemon output:" >&2
+    echo "$SERVE_OUT" >&2
+    exit 1
+  fi
+done
+
+echo "==> bench smoke: serve warm-vs-cold request gate"
+cargo bench -q --bench serve --offline
 
 echo "==> OK: build + tests + clippy + bench smoke all green"

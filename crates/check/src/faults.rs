@@ -25,6 +25,9 @@ pub mod sites {
     /// Force a trial merge to roll back after a successful apply,
     /// before pricing.
     pub const CORE_FORCE_ROLLBACK: &str = "core::trial_merge::force_rollback";
+    /// A job-engine worker thread dies right after claiming a job from
+    /// the queue (the job is reported failed; the thread is gone).
+    pub const JOBS_WORKER_KILL: &str = "jobs::worker::kill";
 }
 
 #[cfg(feature = "test-faults")]

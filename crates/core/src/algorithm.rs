@@ -9,7 +9,7 @@ use crate::resched::{
     merge_modules_with_resched_using, merge_registers_with_resched_using, OrderStrategy,
 };
 use crate::txn::trial_merge;
-use crate::{CoreError, DesignState, SynthesisResult};
+use crate::{CoreError, DesignState, ProgressEvent, RunCtl, SynthesisResult};
 
 /// How the *k* shortlisted candidates of each iteration are evaluated.
 ///
@@ -244,11 +244,41 @@ impl IntegratedSynthesizer {
         mode: EvalMode,
         evaluator: &DeltaEvaluator,
     ) -> Result<SynthesisResult, CoreError> {
+        self.run_on_ctl(base, mode, evaluator, &RunCtl::none())
+    }
+
+    /// [`run_on`](Self::run_on) under an external [`RunCtl`]: the
+    /// job-engine entry point. The cancel token is checked once per
+    /// iteration — between transactions, never inside one — so a fired
+    /// token surfaces as [`CoreError::Cancelled`] with no partially
+    /// applied merge behind it, and a token that never fires leaves the
+    /// run **bit-identical** to [`run_on`](Self::run_on) (the check is
+    /// one relaxed atomic load; nothing else differs). One
+    /// [`ProgressEvent::Iteration`] streams to the sink per iteration.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](IntegratedSynthesizer::run), plus
+    /// [`CoreError::Cancelled`] when `ctl.cancel` fires.
+    pub fn run_on_ctl(
+        &self,
+        base: &DesignState,
+        mode: EvalMode,
+        evaluator: &DeltaEvaluator,
+        ctl: &RunCtl<'_>,
+    ) -> Result<SynthesisResult, CoreError> {
         self.params.validate()?;
         let mut state = base.fork();
         let mut merge_log: Vec<String> = Vec::new();
 
-        for _ in 0..self.params.max_merges {
+        for iteration in 0..self.params.max_merges {
+            if ctl.cancel.is_cancelled() {
+                return Err(CoreError::Cancelled);
+            }
+            ctl.progress.event(ProgressEvent::Iteration {
+                iteration,
+                merges: merge_log.len(),
+            });
             let etpn = state.lower()?;
             // The baseline analysis goes through the shared engine (a
             // hit after iteration 1: the committed trial of iteration i

@@ -27,7 +27,7 @@ use crate::resched::{
     merge_modules_with_resched_using, merge_registers_with_resched_using, OrderStrategy,
 };
 use crate::txn::trial_merge;
-use crate::{CoreError, DesignState, SynthesisParams, SynthesisResult};
+use crate::{CoreError, DesignState, RunCtl, SynthesisParams, SynthesisResult};
 
 /// CAMAD-style synthesis: iterative mergers ranked by connectivity gain
 /// (interconnect saved minus muxes added), priced by the same
@@ -42,6 +42,23 @@ use crate::{CoreError, DesignState, SynthesisParams, SynthesisResult};
 ///
 /// Construction-level failures only (cyclic graph, inconsistent state).
 pub fn camad(dfg: &Dfg, params: &SynthesisParams) -> Result<SynthesisResult, CoreError> {
+    camad_ctl(dfg, params, &RunCtl::none())
+}
+
+/// [`camad`] under an external [`RunCtl`]: like the integrated loop,
+/// the token is checked once per merger iteration, between
+/// transactions, so cancellation surfaces as
+/// [`CoreError::Cancelled`] on a consistent state and an unfired token
+/// changes nothing.
+///
+/// # Errors
+///
+/// As [`camad`], plus [`CoreError::Cancelled`] when `ctl.cancel` fires.
+pub fn camad_ctl(
+    dfg: &Dfg,
+    params: &SynthesisParams,
+    ctl: &RunCtl<'_>,
+) -> Result<SynthesisResult, CoreError> {
     params.validate()?;
     // The CAMAD rows of the paper's tables keep one register per variable
     // (12 on Ex, 17 on Dct): register sharing buys little interconnect
@@ -54,7 +71,14 @@ pub fn camad(dfg: &Dfg, params: &SynthesisParams) -> Result<SynthesisResult, Cor
     let mut state = DesignState::initial(dfg)?;
     let mut merge_log = Vec::new();
 
-    for _ in 0..params.max_merges {
+    for iteration in 0..params.max_merges {
+        if ctl.cancel.is_cancelled() {
+            return Err(CoreError::Cancelled);
+        }
+        ctl.progress.event(crate::ProgressEvent::Iteration {
+            iteration,
+            merges: merge_log.len(),
+        });
         // score all legal pairs by connectivity gain
         let mut cands: Vec<(f64, MergeKind)> = Vec::new();
         let modules: Vec<_> = state.allocation.modules().map(|m| m.id()).collect();

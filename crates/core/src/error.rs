@@ -32,6 +32,10 @@ pub enum CoreError {
     ///
     /// [`DesignState::audit`]: crate::DesignState::audit
     AuditFailed(String),
+    /// The run's [`CancelToken`](crate::CancelToken) fired and the loop
+    /// stopped cooperatively between iterations. The state the run was
+    /// building is discarded; nothing was corrupted.
+    Cancelled,
 }
 
 impl fmt::Display for CoreError {
@@ -44,6 +48,7 @@ impl fmt::Display for CoreError {
             CoreError::MergeRejected(r) => write!(f, "merge rejected: {r}"),
             CoreError::InvalidParams(r) => write!(f, "invalid parameters: {r}"),
             CoreError::AuditFailed(r) => write!(f, "design-state audit failed: {r}"),
+            CoreError::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -57,7 +62,8 @@ impl Error for CoreError {
             CoreError::Etpn(e) => Some(e),
             CoreError::MergeRejected(_)
             | CoreError::InvalidParams(_)
-            | CoreError::AuditFailed(_) => None,
+            | CoreError::AuditFailed(_)
+            | CoreError::Cancelled => None,
         }
     }
 }

@@ -51,12 +51,14 @@ mod candidates;
 mod delta_eval;
 mod error;
 pub mod oracle;
+mod progress;
 mod report;
 mod resched;
 mod state;
 mod txn;
 
 pub use algorithm::{EvalMode, IntegratedSynthesizer, SelectionPolicy, SynthesisParams};
+pub use progress::{CancelToken, NullSink, ProgressEvent, ProgressSink, RunCtl};
 pub use candidates::{MergeCandidate, MergeKind};
 pub use delta_eval::{DeltaEvaluator, EvalStats};
 pub use error::CoreError;

@@ -1,0 +1,167 @@
+//! Cooperative cancellation and progress streaming for long runs.
+//!
+//! The synthesis loops were written for one-shot invocations: once
+//! [`IntegratedSynthesizer::run`] starts there is no way to stop it
+//! short of killing the process, and no way to observe it short of
+//! waiting for the result. A daemon serving many queued jobs needs
+//! both, so the layers that loop — Algorithm 1, the CAMAD baseline,
+//! the design-space worker pool — now thread a [`RunCtl`] through:
+//!
+//! * [`CancelToken`] — a shared flag checked **between** iterations
+//!   (never inside a trial transaction), so cancellation lands on a
+//!   consistent state and an uncancelled run is bit-identical to one
+//!   executed without any token at all;
+//! * [`ProgressSink`] — a callback receiving coarse
+//!   [`ProgressEvent`]s (one per committed-merge iteration, one per
+//!   completed sweep point). Sinks observe, they cannot steer:
+//!   nothing in the loop reads anything back from them.
+//!
+//! [`IntegratedSynthesizer::run`]: crate::IntegratedSynthesizer::run
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Cloning is cheap (an [`Arc`] bump) and
+/// every clone observes the same state; [`CancelToken::cancel`] is
+/// just an atomic store, so it is safe to call from a signal handler.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks (async-signal
+    /// safe: one relaxed atomic store).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A coarse progress notification from one of the looping layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProgressEvent {
+    /// Algorithm 1 (or CAMAD) is starting iteration `iteration` with
+    /// `merges` mergers committed so far.
+    Iteration {
+        /// 0-based iteration index.
+        iteration: usize,
+        /// Mergers committed before this iteration.
+        merges: usize,
+    },
+    /// A design-space sweep completed one point.
+    PointDone {
+        /// The point's stable sweep ID.
+        id: usize,
+        /// Points completed so far (including resumed ones).
+        completed: usize,
+        /// Points in the whole sweep.
+        total: usize,
+    },
+}
+
+/// A consumer of [`ProgressEvent`]s. Implementations must be cheap
+/// and non-blocking-ish: they run on the synthesis thread between
+/// iterations. They must also tolerate being called from several
+/// worker threads at once (`Send + Sync`).
+pub trait ProgressSink: Send + Sync {
+    /// Observe one event.
+    fn event(&self, event: ProgressEvent);
+}
+
+/// A sink that drops every event — the default for one-shot runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ProgressSink for NullSink {
+    fn event(&self, _event: ProgressEvent) {}
+}
+
+/// The control handle threaded through a synthesis run: a cancellation
+/// token plus a progress sink. [`RunCtl::none`] is the inert handle
+/// the plain entry points use; constructing one costs an `Arc` and an
+/// unused vtable pointer, nothing per iteration.
+#[derive(Clone)]
+pub struct RunCtl<'a> {
+    /// Checked between iterations; a fired token makes the run return
+    /// [`CoreError::Cancelled`](crate::CoreError::Cancelled).
+    pub cancel: CancelToken,
+    /// Receives one event per iteration.
+    pub progress: &'a dyn ProgressSink,
+}
+
+impl std::fmt::Debug for RunCtl<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunCtl")
+            .field("cancel", &self.cancel)
+            .field("progress", &"<dyn ProgressSink>")
+            .finish()
+    }
+}
+
+impl RunCtl<'_> {
+    /// An inert handle: never cancelled, events discarded.
+    #[must_use]
+    pub fn none() -> RunCtl<'static> {
+        RunCtl {
+            cancel: CancelToken::new(),
+            progress: &NullSink,
+        }
+    }
+
+    /// A handle that only cancels (events discarded).
+    #[must_use]
+    pub fn cancel_only(cancel: CancelToken) -> RunCtl<'static> {
+        RunCtl {
+            cancel,
+            progress: &NullSink,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn token_clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        a.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn sink_receives_events() {
+        struct Collect(Mutex<Vec<ProgressEvent>>);
+        impl ProgressSink for Collect {
+            fn event(&self, event: ProgressEvent) {
+                self.0.lock().unwrap().push(event);
+            }
+        }
+        let sink = Collect(Mutex::new(Vec::new()));
+        let ctl = RunCtl {
+            cancel: CancelToken::new(),
+            progress: &sink,
+        };
+        ctl.progress.event(ProgressEvent::Iteration {
+            iteration: 0,
+            merges: 0,
+        });
+        assert_eq!(sink.0.lock().unwrap().len(), 1);
+    }
+}

@@ -53,7 +53,7 @@ mod graph;
 mod op;
 mod parser;
 mod scratch;
-mod sym;
+pub mod sym;
 mod timing;
 mod value;
 
@@ -63,6 +63,6 @@ pub use error::DfgError;
 pub use graph::{ArcSavepoint, Dfg, OpId, Operation};
 pub use op::{FuClass, OpKind};
 pub use parser::parse;
-pub use sym::Sym;
+pub use sym::{Sym, SymStats};
 pub use timing::{AsapAlap, Mobility};
 pub use value::{Value, ValueId, ValueKind};

@@ -77,6 +77,34 @@ impl Sym {
     }
 }
 
+/// A snapshot of the interner's size — the daemon's leak detector.
+///
+/// The table is leak-backed (`Box::leak`) and process-global, which is
+/// free for a one-shot CLI but a liability in a long-running `hlts
+/// serve` process *if* it grew per request. It must not: interning is
+/// deduplicating, so re-parsing the same graph text or re-synthesizing
+/// the same benchmark adds **zero** entries. [`stats`] makes that
+/// checkable — the serve status report exposes it, and a regression
+/// test pins "repeated synthesis does not grow the interner".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SymStats {
+    /// Interned strings in the table.
+    pub count: usize,
+    /// Bytes of leaked string storage (text only, excluding the map
+    /// and vector bookkeeping).
+    pub bytes: usize,
+}
+
+/// The current size of the process-wide interner.
+#[must_use]
+pub fn stats() -> SymStats {
+    let t = table().read().expect("interner poisoned");
+    SymStats {
+        count: t.strings.len(),
+        bytes: t.strings.iter().map(|s| s.len()).sum(),
+    }
+}
+
 impl fmt::Display for Sym {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
@@ -105,5 +133,17 @@ mod tests {
     #[test]
     fn distinct_strings_distinct_syms() {
         assert_ne!(Sym::intern("sym-test-c"), Sym::intern("sym-test-d"));
+    }
+
+    // The strict no-growth regressions live in tests/sym_stats.rs and
+    // the hlts-jobs engine tests, where no parallel unit test interns
+    // concurrently; here only sanity of the counters themselves.
+    #[test]
+    fn stats_track_interned_text() {
+        let probe = "sym-test-stats-probe";
+        let _ = Sym::intern(probe);
+        let s = stats();
+        assert!(s.count >= 1);
+        assert!(s.bytes >= probe.len());
     }
 }

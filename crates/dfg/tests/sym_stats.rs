@@ -1,0 +1,42 @@
+//! Regression gate: the leak-backed interner is bounded under reuse.
+//!
+//! `hlts serve` keeps one process alive across thousands of requests,
+//! so the process-global `Sym` table must not grow when the same text
+//! flows through it again. This file holds a single test (nothing else
+//! interns concurrently in this binary) so the before/after snapshots
+//! are exact.
+
+use hlts_dfg::sym;
+
+#[test]
+fn reparsing_the_same_text_does_not_grow_the_interner() {
+    let text = "dfg sym_bound { input a, b, c;
+        N1: p = a * b; N2: q = b * c; N3: r = p - q; N4: s = p + c;
+        output r, s; }";
+    let first = hlts_dfg::parse(text).expect("parses");
+    let baseline = sym::stats();
+    assert!(baseline.count > 0, "parsing interned the graph's names");
+
+    for _ in 0..32 {
+        let again = hlts_dfg::parse(text).expect("parses");
+        assert_eq!(again.num_ops(), first.num_ops());
+    }
+    let after = sym::stats();
+    assert_eq!(
+        (after.count, after.bytes),
+        (baseline.count, baseline.bytes),
+        "re-parsing identical text must be interner-neutral"
+    );
+
+    // Emitting and re-parsing the emitted text is also neutral: emit
+    // resolves the same symbols it parses back in.
+    let emitted = hlts_dfg::emit(&first).expect("emits");
+    let reparsed = hlts_dfg::parse(&emitted).expect("round-trips");
+    assert_eq!(reparsed.num_ops(), first.num_ops());
+    let after_roundtrip = sym::stats();
+    assert_eq!(
+        (after_roundtrip.count, after_roundtrip.bytes),
+        (baseline.count, baseline.bytes),
+        "emit/parse round-trip must be interner-neutral"
+    );
+}

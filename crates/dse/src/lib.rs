@@ -56,7 +56,7 @@ mod spec;
 pub use journal::JournalScan;
 pub use pareto::{Objectives, ParetoArchive, PointResult};
 pub use runner::{
-    explore, load_journal, ExploreConfig, ExploreOutcome, ExploreStats, PointFailure,
+    explore, explore_ctl, load_journal, ExploreConfig, ExploreOutcome, ExploreStats, PointFailure,
 };
 pub use spec::{Flow, PointParams, SweepPoint, SweepSpec};
 
@@ -205,6 +205,13 @@ impl ExploreOutcome {
                 s.points_failed, s.journal_malformed, s.journal_torn_tail,
             ));
         }
+        if s.points_cancelled > 0 {
+            out.push_str(&format!(
+                "degraded: cancelled — {} point(s) abandoned; every finished point is \
+                 journaled, so --resume continues exactly here\n",
+                s.points_cancelled,
+            ));
+        }
         out.push_str(&format!(
             "testability cache: {} hits / {} misses ({} incremental, {} full); \
              (E,H) cache: {} hits / {} misses; txn: {} trials, {} undo ops\n",
@@ -272,6 +279,7 @@ impl ExploreOutcome {
         out.push_str(&format!(
             "  ],\n  \"front\": [{}],\n  \"failures\": [{}],\n  \"stats\": {{\"points_total\": {}, \
              \"points_computed\": {}, \"points_resumed\": {}, \"points_failed\": {}, \
+             \"points_cancelled\": {}, \
              \"journal_malformed\": {}, \"journal_torn_tail\": {}, \"workers\": {}, \
              \"wall_millis\": {}, \"compute_millis\": {}, \
              \"testability\": {{\"hits\": {}, \"misses\": {}, \"incremental\": {}, \
@@ -283,6 +291,7 @@ impl ExploreOutcome {
             s.points_computed,
             s.points_resumed,
             s.points_failed,
+            s.points_cancelled,
             s.journal_malformed,
             s.journal_torn_tail,
             s.workers,

@@ -26,8 +26,8 @@ use std::time::Instant;
 use hlts_check::faults;
 use hlts_core::baselines;
 use hlts_core::{
-    DeltaEvaluator, DesignState, EvalMode, EvalStats, IntegratedSynthesizer, SynthesisResult,
-    TestabilityCacheStats, TxnStats,
+    CoreError, DeltaEvaluator, DesignState, EvalMode, EvalStats, IntegratedSynthesizer,
+    ProgressEvent, ProgressSink, RunCtl, SynthesisResult, TestabilityCacheStats, TxnStats,
 };
 use hlts_dfg::Dfg;
 
@@ -77,6 +77,11 @@ pub struct ExploreStats {
     /// Points that failed (synthesis error, journal append error, or a
     /// worker panic/kill) — listed in [`ExploreOutcome::failures`].
     pub points_failed: usize,
+    /// Points abandoned because the run's
+    /// [`CancelToken`](hlts_core::CancelToken) fired — also listed in
+    /// [`ExploreOutcome::failures`], but accounted separately: a
+    /// cancelled point is the *user's* doing, not the engine's.
+    pub points_cancelled: usize,
     /// Malformed journal lines skipped while loading the resume
     /// checkpoint (from [`ExploreConfig::resume_malformed`]).
     pub journal_malformed: usize,
@@ -177,24 +182,35 @@ struct BenchCtx<'a> {
     evaluator: DeltaEvaluator,
 }
 
-fn synthesize(point: &SweepPoint, ctx: &BenchCtx<'_>) -> Result<SynthesisResult, DseError> {
+fn synthesize(
+    point: &SweepPoint,
+    ctx: &BenchCtx<'_>,
+    ctl: &RunCtl<'_>,
+) -> Result<SynthesisResult, DseError> {
     let params = point.params.synthesis_params();
+    // Only the iterative flows can observe mid-point cancellation; the
+    // one-shot constructive baselines finish in a single step anyway.
     let run = match point.params.flow {
-        Flow::Ours => IntegratedSynthesizer::new(params).run_on(
+        Flow::Ours => IntegratedSynthesizer::new(params).run_on_ctl(
             &ctx.base,
             EvalMode::Sequential,
             &ctx.evaluator,
+            ctl,
         ),
-        Flow::Camad => baselines::camad(ctx.dfg, &params),
+        Flow::Camad => baselines::camad_ctl(ctx.dfg, &params, ctl),
         Flow::Approach1 => baselines::approach1(ctx.dfg, &params),
         Flow::Approach2 => baselines::approach2(ctx.dfg, &params),
     };
     run.map_err(DseError::Core)
 }
 
-fn run_point(point: &SweepPoint, ctx: &BenchCtx<'_>) -> Result<PointResult, DseError> {
+fn run_point(
+    point: &SweepPoint,
+    ctx: &BenchCtx<'_>,
+    ctl: &RunCtl<'_>,
+) -> Result<PointResult, DseError> {
     let t0 = Instant::now();
-    let run = synthesize(point, ctx)?;
+    let run = synthesize(point, ctx, ctl)?;
     let m = &run.metrics;
     Ok(PointResult {
         id: point.id,
@@ -297,6 +313,29 @@ impl Sink {
     }
 }
 
+/// Shared progress bookkeeping of one exploration: the caller's sink
+/// plus the completed-point counter the [`ProgressEvent::PointDone`]
+/// events carry. Counter updates race benignly across workers — the
+/// (id, total) payload is exact, `completed` is a monotone snapshot.
+struct PointProgress<'a> {
+    sink: &'a dyn ProgressSink,
+    completed: std::sync::atomic::AtomicUsize,
+    total: usize,
+}
+
+impl PointProgress<'_> {
+    fn point_done(&self, id: usize) {
+        let completed = 1 + self
+            .completed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.sink.event(ProgressEvent::PointDone {
+            id,
+            completed,
+            total: self.total,
+        });
+    }
+}
+
 /// Run one point and journal its result, catching panics: a panicking
 /// point (or an injected fault) becomes a [`DseError::Worker`] for that
 /// point alone instead of tearing down the pool.
@@ -304,12 +343,15 @@ fn run_point_guarded(
     point: &SweepPoint,
     ctx: &BenchCtx<'_>,
     sink: &Mutex<Sink>,
+    ctl: &RunCtl<'_>,
+    progress: &PointProgress<'_>,
 ) -> Result<PointResult, DseError> {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let r = run_point(point, ctx)?;
+        let r = run_point(point, ctx, ctl)?;
         // A journal failure must not lose the computed result silently;
         // surface it as the point's outcome.
         lock_recover(sink).append(&r)?;
+        progress.point_done(point.id);
         Ok(r)
     }));
     outcome.unwrap_or_else(|payload| {
@@ -336,6 +378,30 @@ fn run_point_guarded(
 /// Sweep-level problems only: invalid specs, resume entries that
 /// contradict the spec, and failure to open the checkpoint journal.
 pub fn explore(spec: &SweepSpec, cfg: &ExploreConfig) -> Result<ExploreOutcome, DseError> {
+    explore_ctl(spec, cfg, &RunCtl::none())
+}
+
+/// [`explore`] under an external [`RunCtl`]: cancellation is observed
+/// at **two** granularities — workers stop claiming new points, and
+/// the point currently synthesizing stops at its next iteration
+/// boundary (see [`IntegratedSynthesizer::run_on_ctl`]). Every point
+/// finished before the token fired is already journaled (the sink
+/// flushes per append), so a cancelled sweep's checkpoint resumes
+/// exactly where it stopped; the outcome reports the partial front
+/// over the finished points plus [`ExploreStats::points_cancelled`].
+/// The sink receives one [`ProgressEvent::PointDone`] per completed
+/// point. An unfired token leaves the outcome bit-identical to
+/// [`explore`].
+///
+/// # Errors
+///
+/// As [`explore`] — cancellation is **not** an error at this level;
+/// it degrades the outcome like a per-point failure does.
+pub fn explore_ctl(
+    spec: &SweepSpec,
+    cfg: &ExploreConfig,
+    ctl: &RunCtl<'_>,
+) -> Result<ExploreOutcome, DseError> {
     let t0 = Instant::now();
     let points = spec.points()?;
     let fingerprint = spec.fingerprint()?;
@@ -378,9 +444,17 @@ pub fn explore(spec: &SweepSpec, cfg: &ExploreConfig) -> Result<ExploreOutcome, 
     let pending: Vec<&SweepPoint> = points.iter().filter(|p| slots[p.id].is_none()).collect();
     let sink = Mutex::new(Sink::open(cfg, fingerprint)?);
     let workers = effective_workers(cfg.jobs, pending.len());
+    let progress = PointProgress {
+        sink: ctl.progress,
+        completed: std::sync::atomic::AtomicUsize::new(cfg.resume.len()),
+        total: points.len(),
+    };
 
     if workers <= 1 {
         for point in &pending {
+            if ctl.cancel.is_cancelled() {
+                break; // unclaimed slots stay None → cancelled below
+            }
             if faults::fire(faults::sites::DSE_WORKER_KILL) {
                 slots[point.id] = Some(Err(DseError::Worker(format!(
                     "worker killed by fault injection at point {} (point abandoned)",
@@ -392,21 +466,41 @@ pub fn explore(spec: &SweepSpec, cfg: &ExploreConfig) -> Result<ExploreOutcome, 
                 point,
                 &contexts[ctx_index[point.id]],
                 &sink,
+                ctl,
+                &progress,
             ));
         }
     } else {
-        run_pool(&pending, &contexts, &ctx_index, &sink, &mut slots, workers);
+        run_pool(
+            &pending, &contexts, &ctx_index, &sink, &mut slots, workers, ctl, &progress,
+        );
     }
 
+    let cancelled = ctl.cancel.is_cancelled();
     let mut results = Vec::with_capacity(points.len());
     let mut failures = Vec::new();
+    let mut points_cancelled = 0usize;
     for (id, slot) in slots.into_iter().enumerate() {
         match slot {
             Some(Ok(r)) => results.push(r),
+            Some(Err(DseError::Core(CoreError::Cancelled))) => {
+                points_cancelled += 1;
+                failures.push(PointFailure {
+                    id,
+                    message: "cancelled mid-synthesis (stopped at an iteration boundary)".into(),
+                });
+            }
             Some(Err(e)) => failures.push(PointFailure {
                 id,
                 message: e.to_string(),
             }),
+            None if cancelled => {
+                points_cancelled += 1;
+                failures.push(PointFailure {
+                    id,
+                    message: "cancelled before start".into(),
+                });
+            }
             None => failures.push(PointFailure {
                 id,
                 message: "never scheduled (the worker pool died before reaching it)".into(),
@@ -426,7 +520,8 @@ pub fn explore(spec: &SweepSpec, cfg: &ExploreConfig) -> Result<ExploreOutcome, 
         points_total: points.len(),
         points_computed: results.len() - points_resumed,
         points_resumed,
-        points_failed: failures.len(),
+        points_failed: failures.len() - points_cancelled,
+        points_cancelled,
         journal_malformed: cfg.resume_malformed,
         journal_torn_tail: cfg.resume_torn_tail,
         workers,
@@ -467,6 +562,7 @@ fn effective_workers(_jobs: usize, _pending: usize) -> usize {
 /// point (the claimed point is marked failed, every later point stays
 /// on the counter for the surviving workers).
 #[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)] // internal: mirrors explore_ctl's locals
 fn run_pool(
     pending: &[&SweepPoint],
     contexts: &[BenchCtx<'_>],
@@ -474,6 +570,8 @@ fn run_pool(
     sink: &Mutex<Sink>,
     slots: &mut [Slot],
     workers: usize,
+    ctl: &RunCtl<'_>,
+    progress: &PointProgress<'_>,
 ) {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -483,6 +581,9 @@ fn run_pool(
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| loop {
+                    if ctl.cancel.is_cancelled() {
+                        break; // stop claiming; unclaimed slots stay None
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(point) = pending.get(i) else { break };
                     if faults::fire(faults::sites::DSE_WORKER_KILL) {
@@ -492,7 +593,13 @@ fn run_pool(
                         ))));
                         break; // this worker dies; the others drain on
                     }
-                    let done = run_point_guarded(point, &contexts[ctx_index[point.id]], sink);
+                    let done = run_point_guarded(
+                        point,
+                        &contexts[ctx_index[point.id]],
+                        sink,
+                        ctl,
+                        progress,
+                    );
                     *lock_recover(&out[i]) = Some(done);
                 })
             })
@@ -512,6 +619,7 @@ fn run_pool(
 }
 
 #[cfg(not(feature = "parallel"))]
+#[allow(clippy::too_many_arguments)]
 fn run_pool(
     _pending: &[&SweepPoint],
     _contexts: &[BenchCtx<'_>],
@@ -519,6 +627,8 @@ fn run_pool(
     _sink: &Mutex<Sink>,
     _slots: &mut [Slot],
     _workers: usize,
+    _ctl: &RunCtl<'_>,
+    _progress: &PointProgress<'_>,
 ) {
     unreachable!("effective_workers is 1 without the `parallel` feature")
 }

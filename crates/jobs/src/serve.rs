@@ -1,0 +1,467 @@
+//! The `hlts serve` daemon and the `hlts submit` client.
+//!
+//! The daemon reads line-delimited JSON requests (see [`crate::proto`])
+//! from stdin or from TCP connections, drives a shared [`JobEngine`],
+//! and streams each job's events back to the connection that submitted
+//! it. One engine — one warm-context pool, one bounded queue — serves
+//! every connection, so repeat requests for the same behavior hit warm
+//! caches no matter which client sends them.
+//!
+//! Failure containment, from the inside out: a failing *point* degrades
+//! its job (typed errors / `PointFailure`), a failing *job* is reported
+//! on its own connection and the engine keeps serving, and a malformed
+//! *request line* is answered with a structured error and counted —
+//! none of these ever terminate a connection or the daemon.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use hlts_core::EvalMode;
+use hlts_dse::{ExploreConfig, SweepSpec};
+use hlts_gen::GenConfig;
+
+use crate::engine::{
+    EngineConfig, JobEngine, JobEvent, JobId, JobSink, JobSpec, SubmitError,
+};
+use crate::json::{self, Json};
+use crate::proto::{self, JobRequest, Request, SourceRef};
+
+/// Daemon sizing (forwarded into [`EngineConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads of the job pool.
+    pub workers: usize,
+    /// FIFO queue bound (backpressure beyond it).
+    pub queue_capacity: usize,
+    /// Warm-context cache bound.
+    pub warm_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let e = EngineConfig::default();
+        ServeConfig {
+            workers: e.workers,
+            queue_capacity: e.queue_capacity,
+            warm_capacity: e.warm_capacity,
+        }
+    }
+}
+
+impl From<ServeConfig> for EngineConfig {
+    fn from(cfg: ServeConfig) -> EngineConfig {
+        EngineConfig {
+            workers: cfg.workers,
+            queue_capacity: cfg.queue_capacity,
+            warm_capacity: cfg.warm_capacity,
+        }
+    }
+}
+
+/// A line-oriented event sink: serializes response and event lines
+/// onto one writer. Write failures are swallowed — a client that went
+/// away must not take its jobs (or the daemon) with it.
+struct LineSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl LineSink {
+    fn new(out: Box<dyn Write + Send>) -> LineSink {
+        LineSink { out: Mutex::new(out) }
+    }
+
+    fn send(&self, line: &str) {
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+impl JobSink for LineSink {
+    fn event(&self, job: JobId, event: &JobEvent<'_>) {
+        self.send(&proto::render_event(job, event));
+    }
+}
+
+/// Shared daemon state: the engine plus protocol health counters.
+struct Daemon {
+    engine: JobEngine,
+    malformed: AtomicU64,
+    /// Set once a shutdown request was accepted; the TCP accept loop
+    /// checks it after every accepted connection.
+    stopping: std::sync::atomic::AtomicBool,
+    /// The TCP listener's own address, used to self-connect and
+    /// unblock the accept loop on shutdown (stdin mode leaves it
+    /// unset).
+    local_addr: OnceLock<SocketAddr>,
+}
+
+impl Daemon {
+    fn new(cfg: ServeConfig) -> Daemon {
+        Daemon {
+            engine: JobEngine::start(cfg.into()),
+            malformed: AtomicU64::new(0),
+            stopping: std::sync::atomic::AtomicBool::new(false),
+            local_addr: OnceLock::new(),
+        }
+    }
+}
+
+/// FNV-1a over the canonical source text: the warm-context key for
+/// run jobs (same text + same bits ⇒ same shared context; the daemon
+/// always synthesizes with the default module library, which the key
+/// therefore need not encode).
+fn warm_key(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Resolve a source reference into a named graph (daemon-side I/O).
+fn resolve_source(source: &SourceRef) -> Result<(String, hlts_dfg::Dfg, String), String> {
+    let text = match source {
+        SourceRef::Bench(name) => {
+            let dfg = hlts_benchmarks::by_name(name).ok_or_else(|| {
+                format!(
+                    "unknown benchmark `{name}` (have: {})",
+                    hlts_benchmarks::NAMES.join(", ")
+                )
+            })?;
+            let text = hlts_dfg::emit(&dfg).map_err(|e| e.to_string())?;
+            return Ok((source.name(), dfg, text));
+        }
+        SourceRef::Path(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+        }
+        SourceRef::Inline { text, .. } => text.clone(),
+    };
+    let dfg = hlts_dfg::parse(&text).map_err(|e| format!("{}: {e}", source.name()))?;
+    Ok((source.name(), dfg, text))
+}
+
+/// Build the executable spec for a parsed job request. Mirrors the
+/// one-shot CLI's parameter derivation (paper defaults per bit width,
+/// the camad flow's (0.1, 10) weight default) so a daemon submission
+/// and `hlts run` produce bit-identical results.
+fn resolve_job(job: &JobRequest) -> Result<JobSpec, String> {
+    use hlts_core::SynthesisParams;
+    use hlts_dse::Flow;
+    match job {
+        JobRequest::Run {
+            source,
+            flow,
+            bits,
+            k,
+            alpha,
+            beta,
+        } => {
+            let (name, dfg, text) = resolve_source(source)?;
+            let mut params = SynthesisParams::paper_defaults(*bits);
+            if *flow == Flow::Camad {
+                params.alpha = 0.1;
+                params.beta = 10.0;
+            }
+            if let Some(k) = k {
+                params.k = *k;
+            }
+            if let Some(a) = alpha {
+                params.alpha = *a;
+            }
+            if let Some(b) = beta {
+                params.beta = *b;
+            }
+            Ok(JobSpec::Run {
+                name,
+                warm: Some(warm_key(&text)),
+                dfg,
+                flow: *flow,
+                params,
+                // Worker-pool parallelism comes from the engine; keep
+                // each job single-threaded inside (results are
+                // bit-identical across modes).
+                mode: EvalMode::Sequential,
+            })
+        }
+        JobRequest::Explore {
+            sources,
+            flows,
+            ks,
+            weights,
+            bits,
+            jobs,
+        } => {
+            let mut benches = Vec::new();
+            for source in sources {
+                let (name, dfg, _) = resolve_source(source)?;
+                benches.push((name, dfg));
+            }
+            let spec = SweepSpec {
+                benches,
+                flows: flows.clone(),
+                ks: ks.clone(),
+                weights: weights.clone(),
+                bits: bits.clone(),
+                extra: Vec::new(),
+            };
+            let cfg = ExploreConfig {
+                jobs: *jobs,
+                ..ExploreConfig::default()
+            };
+            Ok(JobSpec::Explore { spec, cfg })
+        }
+        JobRequest::Gen { seed, preset } => {
+            let cfg: GenConfig = hlts_gen::preset(preset).ok_or_else(|| {
+                format!(
+                    "unknown preset `{preset}` (have: {})",
+                    hlts_gen::PRESET_NAMES.join(", ")
+                )
+            })?;
+            Ok(JobSpec::Gen { seed: *seed, cfg })
+        }
+    }
+}
+
+enum LineOutcome {
+    Continue,
+    Shutdown,
+}
+
+/// Handle one request line: parse, act, answer. Never fails the
+/// connection — every problem becomes an `{"ok":false,...}` line.
+fn handle_line(daemon: &Daemon, line: &str, sink: &Arc<LineSink>) -> LineOutcome {
+    let line = line.trim();
+    if line.is_empty() {
+        return LineOutcome::Continue;
+    }
+    let request = match proto::parse_request(line) {
+        Ok(request) => request,
+        Err(e) => {
+            daemon.malformed.fetch_add(1, Ordering::Relaxed);
+            sink.send(&proto::render_error(e.id.as_deref(), &e.message));
+            return LineOutcome::Continue;
+        }
+    };
+    match request {
+        Request::Submit { id, job } => {
+            match resolve_job(&job) {
+                Ok(spec) => {
+                    // Hold the write lock across submit so the
+                    // acknowledgement line lands before the job's
+                    // first event (workers contend on the same lock).
+                    let mut out =
+                        sink.out.lock().unwrap_or_else(PoisonError::into_inner);
+                    let response = match daemon
+                        .engine
+                        .submit(spec, Some(Arc::clone(sink) as Arc<dyn JobSink>))
+                    {
+                        Ok(job) => proto::render_submit_ok(id.as_deref(), job),
+                        Err(e @ (SubmitError::QueueFull { .. } | SubmitError::ShuttingDown)) => {
+                            proto::render_error(id.as_deref(), &e.to_string())
+                        }
+                    };
+                    let _ = writeln!(out, "{response}");
+                    let _ = out.flush();
+                }
+                Err(message) => {
+                    sink.send(&proto::render_error(id.as_deref(), &message));
+                }
+            }
+            LineOutcome::Continue
+        }
+        Request::Status { id } => {
+            sink.send(&proto::render_status(
+                id.as_deref(),
+                &daemon.engine.counts(),
+                daemon.malformed.load(Ordering::Relaxed),
+                hlts_dfg::sym::stats(),
+            ));
+            LineOutcome::Continue
+        }
+        Request::Cancel { id, job } => {
+            let outcome = daemon.engine.cancel(job);
+            sink.send(&proto::render_cancel(id.as_deref(), job, outcome));
+            LineOutcome::Continue
+        }
+        Request::Shutdown { id } => {
+            daemon.stopping.store(true, Ordering::Release);
+            sink.send(&proto::render_shutdown(id.as_deref()));
+            LineOutcome::Shutdown
+        }
+    }
+}
+
+/// Serve requests from a reader/writer pair until a shutdown request
+/// or end of input, then drain the engine (running jobs finish,
+/// queued jobs are cancelled). This is `hlts serve`'s stdin mode —
+/// and the deterministic harness the protocol tests drive.
+pub fn serve_lines(input: impl BufRead, output: Box<dyn Write + Send>, cfg: ServeConfig) {
+    let daemon = Daemon::new(cfg);
+    let sink = Arc::new(LineSink::new(output));
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        if let LineOutcome::Shutdown = handle_line(&daemon, &line, &sink) {
+            break;
+        }
+    }
+    daemon.engine.shutdown();
+}
+
+fn handle_conn(daemon: &Arc<Daemon>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let sink = Arc::new(LineSink::new(Box::new(write_half)));
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if let LineOutcome::Shutdown = handle_line(daemon, &line, &sink) {
+            // Unblock the accept loop so the daemon can exit: the
+            // stopping flag is set, one self-connection wakes it.
+            if let Some(addr) = daemon.local_addr.get() {
+                let _ = TcpStream::connect(addr);
+            }
+            break;
+        }
+    }
+}
+
+/// Serve requests over TCP until a shutdown request arrives on any
+/// connection. Each connection gets its own handler thread; events of
+/// a job stream to the connection that submitted it. Returns after
+/// the engine drained.
+///
+/// # Errors
+///
+/// Propagates listener I/O errors (accepting, local address).
+pub fn serve_tcp(listener: TcpListener, cfg: ServeConfig) -> std::io::Result<()> {
+    let daemon = Arc::new(Daemon::new(cfg));
+    let _ = daemon.local_addr.set(listener.local_addr()?);
+    for stream in listener.incoming() {
+        let stream = stream?;
+        if daemon.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        let daemon = Arc::clone(&daemon);
+        // Handler threads are not joined: a client that never sends
+        // another line would otherwise block shutdown forever. They
+        // hold only an Arc on the daemon and die with the process.
+        let _ = std::thread::Builder::new()
+            .name("hlts-serve-conn".to_owned())
+            .spawn(move || handle_conn(&daemon, stream));
+    }
+    daemon.engine.shutdown();
+    Ok(())
+}
+
+/// How a submitted job ended, as observed by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientEnd {
+    /// The job finished; its result line was printed.
+    Done,
+    /// The job failed; the error line was printed.
+    Failed,
+    /// The job was cancelled.
+    Cancelled,
+    /// The daemon rejected the request (error response).
+    Rejected,
+}
+
+/// Submit one request line to a TCP daemon and stream the job's lines
+/// (acknowledgement + events) to `out` until the job terminates.
+///
+/// # Errors
+///
+/// Connection/protocol failures as strings (the caller formats them).
+pub fn submit_once(
+    addr: &str,
+    request_line: &str,
+    out: &mut dyn Write,
+) -> Result<ClientEnd, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut write_half = stream.try_clone().map_err(|e| e.to_string())?;
+    writeln!(write_half, "{request_line}").map_err(|e| e.to_string())?;
+    write_half.flush().map_err(|e| e.to_string())?;
+    let reader = BufReader::new(stream);
+    let mut job: Option<u64> = None;
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read {addr}: {e}"))?;
+        let Ok(doc) = json::parse(&line) else {
+            continue;
+        };
+        if job.is_none() {
+            // The first response line acknowledges (or rejects) ours.
+            if doc.get("ok").and_then(Json::as_bool) == Some(false) {
+                writeln!(out, "{line}").map_err(|e| e.to_string())?;
+                return Ok(ClientEnd::Rejected);
+            }
+            if let Some(id) = doc.get("job").and_then(Json::as_u64) {
+                job = Some(id);
+                writeln!(out, "{line}").map_err(|e| e.to_string())?;
+            }
+            continue;
+        }
+        if doc.get("job").and_then(Json::as_u64) != job {
+            continue;
+        }
+        writeln!(out, "{line}").map_err(|e| e.to_string())?;
+        match doc.get("event").and_then(Json::as_str) {
+            Some("done") => return Ok(ClientEnd::Done),
+            Some("failed") => return Ok(ClientEnd::Failed),
+            Some("cancelled") => return Ok(ClientEnd::Cancelled),
+            _ => {}
+        }
+    }
+    Err("connection closed before the job terminated".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_key_distinguishes_texts() {
+        assert_eq!(warm_key("abc"), warm_key("abc"));
+        assert_ne!(warm_key("abc"), warm_key("abd"));
+        assert_ne!(warm_key(""), warm_key("a"));
+    }
+
+    #[test]
+    fn serve_lines_answers_and_shuts_down() {
+        let input = concat!(
+            "not json\n",
+            "{\"op\":\"status\",\"id\":\"s\"}\n",
+            "{\"op\":\"shutdown\"}\n",
+        );
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::default();
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        serve_lines(
+            input.as_bytes(),
+            Box::new(Shared(Arc::clone(&buf))),
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 2,
+                warm_capacity: 2,
+            },
+        );
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "unexpected output: {text}");
+        assert!(lines[0].starts_with("{\"ok\": false"));
+        assert!(lines[1].contains("\"malformed_requests\": 1"));
+        assert!(lines[2].contains("\"shutdown\": true"));
+    }
+}

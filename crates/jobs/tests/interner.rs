@@ -1,0 +1,54 @@
+//! Regression test for the leak-backed `Sym` interner bound: repeated
+//! synthesis and re-parsing of the same behavior through the job
+//! engine must not grow the interner (the leak is bounded by the set
+//! of *distinct* names ever seen, not by the number of jobs).
+//!
+//! This lives in its own integration binary on purpose: it is the
+//! only test in the process, so no concurrently running test can
+//! intern unrelated names between the snapshot and the assertion.
+
+use hlts_core::{EvalMode, SynthesisParams};
+use hlts_dse::Flow;
+use hlts_jobs::{EngineConfig, JobEngine, JobSpec, JobState};
+
+#[test]
+fn repeated_jobs_do_not_grow_the_interner() {
+    let dfg = hlts_benchmarks::ex();
+    let text = hlts_dfg::emit(&dfg).unwrap();
+    let engine = JobEngine::start(EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    });
+    let submit = |warm| {
+        // Re-parse the text each round, exactly like a daemon serving
+        // the same inline source over and over.
+        JobSpec::Run {
+            name: "ex".to_owned(),
+            dfg: hlts_dfg::parse(&text).unwrap(),
+            flow: Flow::Ours,
+            params: SynthesisParams::paper_defaults(8),
+            mode: EvalMode::Sequential,
+            warm,
+        }
+    };
+    // Warm-up round interns everything the workload will ever need.
+    let first = engine.submit(submit(Some(9)), None).unwrap();
+    assert_eq!(engine.wait(first).unwrap().state, JobState::Done);
+    let baseline = hlts_dfg::sym::stats();
+    assert!(baseline.count > 0 && baseline.bytes > 0);
+
+    for round in 0..12 {
+        // Alternate warm-keyed and cold jobs: neither path may intern
+        // anything new for an already-seen behavior.
+        let warm = if round % 2 == 0 { Some(9) } else { None };
+        let id = engine.submit(submit(warm), None).unwrap();
+        assert_eq!(engine.wait(id).unwrap().state, JobState::Done);
+        let now = hlts_dfg::sym::stats();
+        assert_eq!(
+            (now.count, now.bytes),
+            (baseline.count, baseline.bytes),
+            "interner grew on round {round}"
+        );
+    }
+    engine.shutdown();
+}

@@ -11,6 +11,9 @@
 //!      [--ops N] [--inputs N] [--const-ratio X] [--mul W] [--addsub W]
 //!      [--logic W] [--cmp W] [--shift W] [--depth-bias X]
 //!      [--fanout-skew X] [--loops N] [--name IDENT]
+//! hlts serve [--tcp ADDR] [--workers N] [--queue N] [--warm N]
+//! hlts submit <file.dfg | bench:NAME | -> --connect ADDR
+//!      [--flow FLOW] [--bits N] [--k N] [--alpha X] [--beta X]
 //! ```
 //!
 //! `run` (the default subcommand) reads a behavioral description in the
@@ -29,15 +32,69 @@
 //! `explore` to machine-readable output. `--audit` runs the
 //! cross-crate invariant auditor (`hlts-check`) over the synthesized
 //! design and fails with a violation report if anything is
-//! inconsistent.
+//! inconsistent. `serve` runs the job daemon (`hlts-jobs`): a bounded
+//! worker pool answering line-delimited JSON requests on stdin or over
+//! TCP, with warm per-behavior caches shared across submissions.
+//! `submit` is its one-shot client: `hlts gen --seed 7 | hlts submit -
+//! --connect HOST:PORT` ships the generated behavior to a daemon and
+//! streams the job's events back. `run` and `explore` honour Ctrl-C:
+//! an interrupt cancels at the next iteration/point boundary and an
+//! interrupted sweep still reports its partial front (flagged
+//! `degraded: cancelled`) with the journal intact.
 
 use std::process::ExitCode;
 
 use hlts::atpg::{AtpgConfig, TestGenerator};
-use hlts::core::{baselines, DesignState, IntegratedSynthesizer, SynthesisParams, SynthesisResult};
-use hlts::dse::{self, explore, ExploreConfig, Flow, SweepSpec};
+use hlts::core::{DesignState, EvalMode, RunCtl, SynthesisParams, SynthesisResult};
+use hlts::dse::{self, ExploreConfig, Flow, SweepSpec};
 use hlts::etpn::Etpn;
+use hlts::jobs::{execute, proto, submit_once, ClientEnd, JobOutput, JobSpec, ServeConfig, WarmPool};
 use hlts::netlist::elaborate;
+
+/// Ctrl-C wiring: SIGINT fires the process-wide [`CancelToken`], so a
+/// one-shot `hlts run`/`hlts explore` stops at the next clean boundary
+/// (an interrupted sweep keeps its flushed journal and reports the
+/// partial front with a `degraded: cancelled` line). The handler does
+/// one relaxed atomic store — nothing non-signal-safe.
+#[cfg(unix)]
+mod sigint {
+    use hlts::core::CancelToken;
+    use std::sync::OnceLock;
+
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        if let Some(token) = TOKEN.get() {
+            token.cancel();
+        }
+    }
+
+    pub fn install() -> CancelToken {
+        let token = TOKEN.get_or_init(CancelToken::new).clone();
+        const SIGINT: i32 = 2;
+        // SAFETY: registering an async-signal-safe handler (one
+        // relaxed atomic store) for SIGINT via the libc `signal`
+        // symbol; both arguments are valid for the C signature.
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+        token
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    use hlts::core::CancelToken;
+
+    /// No signal wiring off unix: the token simply never fires.
+    pub fn install() -> CancelToken {
+        CancelToken::new()
+    }
+}
 
 struct RunOptions {
     source: String,
@@ -76,12 +133,17 @@ fn usage() -> &'static str {
      \x20            [--ops N] [--inputs N] [--const-ratio X] [--mul W] [--addsub W]\n\
      \x20            [--logic W] [--cmp W] [--shift W] [--depth-bias X]\n\
      \x20            [--fanout-skew X] [--loops N] [--name IDENT]\n\
+     \x20      hlts serve [--tcp ADDR] [--workers N] [--queue N] [--warm N]\n\
+     \x20      hlts submit <file.dfg | bench:NAME | -> --connect ADDR\n\
+     \x20            [--flow FLOW] [--bits N] [--k N] [--alpha X] [--beta X]\n\
      built-in benchmarks: ex, dct, diffeq, ewf, paulin, tseng"
 }
 
 const RUN_FLAGS: &str = "--flow, --bits, --k, --alpha, --beta, --atpg, --audit, --json, --quiet";
 const EXPLORE_FLAGS: &str =
     "--flow, --bits, --k, --weights, --jobs, --journal, --resume, --json, --quiet";
+const SERVE_FLAGS: &str = "--tcp, --workers, --queue, --warm";
+const SUBMIT_FLAGS: &str = "--connect, --flow, --bits, --k, --alpha, --beta";
 const GEN_FLAGS: &str = "--seed, --preset, --list-presets, --out, --ops, --inputs, \
     --const-ratio, --mul, --addsub, --logic, --cmp, --shift, --depth-bias, --fanout-skew, \
     --loops, --name";
@@ -278,8 +340,24 @@ fn source_name(source: &str) -> String {
         .unwrap_or_else(|| source.to_owned())
 }
 
-fn synthesize(opts: &RunOptions, dfg: &hlts::dfg::Dfg) -> Result<SynthesisResult, String> {
+/// One-shot synthesis through the same [`execute`] path the daemon's
+/// workers use (same parameter derivation, same cancellation
+/// boundaries), so `hlts run` and a served submission are
+/// bit-identical by construction.
+fn synthesize(
+    opts: &RunOptions,
+    dfg: &hlts::dfg::Dfg,
+    ctl: &RunCtl<'_>,
+) -> Result<SynthesisResult, String> {
+    let Some(flow) = Flow::parse(&opts.flow) else {
+        return Err(format!("unknown flow `{}`\n{}", opts.flow, usage()));
+    };
     let mut params = SynthesisParams::paper_defaults(opts.bits);
+    if flow == Flow::Camad {
+        // The CAMAD baseline's historical default weights.
+        params.alpha = 0.1;
+        params.beta = 10.0;
+    }
     if let Some(k) = opts.k {
         params.k = k;
     }
@@ -289,21 +367,19 @@ fn synthesize(opts: &RunOptions, dfg: &hlts::dfg::Dfg) -> Result<SynthesisResult
     if let Some(b) = opts.beta {
         params.beta = b;
     }
-    let run = match opts.flow.as_str() {
-        "ours" => IntegratedSynthesizer::new(params).run(dfg),
-        "camad" => baselines::camad(
-            dfg,
-            &SynthesisParams {
-                alpha: opts.alpha.unwrap_or(0.1),
-                beta: opts.beta.unwrap_or(10.0),
-                ..params
-            },
-        ),
-        "approach1" => baselines::approach1(dfg, &params),
-        "approach2" => baselines::approach2(dfg, &params),
-        other => return Err(format!("unknown flow `{other}`\n{}", usage())),
+    let spec = JobSpec::Run {
+        name: source_name(&opts.source),
+        dfg: dfg.clone(),
+        flow,
+        params,
+        mode: EvalMode::default(),
+        warm: None,
     };
-    run.map_err(|e| e.to_string())
+    match execute(&spec, ctl, &WarmPool::new(0)) {
+        Ok(JobOutput::Run(result)) => Ok(*result),
+        Ok(_) => Err("internal: run job produced a non-run output".into()),
+        Err(e) => Err(e.to_string()),
+    }
 }
 
 struct AtpgSummary {
@@ -339,25 +415,16 @@ fn run_atpg(result: &SynthesisResult, bits: u32) -> Result<AtpgSummary, String> 
     })
 }
 
-/// Hand-rolled machine-readable report of one synthesis run.
+/// Hand-rolled machine-readable report of one synthesis run. The
+/// `metrics` object is rendered by the daemon protocol's
+/// [`proto::metrics_json`], so a served result and `hlts run --json`
+/// agree byte-for-byte on that fragment.
 fn run_json(opts: &RunOptions, result: &SynthesisResult, atpg: Option<&AtpgSummary>) -> String {
-    let m = &result.metrics;
     let mut out = format!(
-        "{{\n  \"source\": {}, \"flow\": {},\n  \"metrics\": {{\"execution_time\": {}, \
-         \"modules\": {}, \"registers\": {}, \"muxes\": {}, \"self_loops\": {}, \
-         \"hardware\": {:?}, \"avg_controllability\": {:?}, \"avg_observability\": {:?}, \
-         \"co_depth\": {:?}}},\n  \"merges\": [{}]",
+        "{{\n  \"source\": {}, \"flow\": {},\n  \"metrics\": {},\n  \"merges\": [{}]",
         dse::json_string(&opts.source),
         dse::json_string(&opts.flow),
-        m.execution_time,
-        m.num_modules,
-        m.num_registers,
-        m.mux_count,
-        m.self_loops,
-        m.hardware.total(),
-        m.avg_controllability,
-        m.avg_observability,
-        m.co_depth,
+        proto::metrics_json(&result.metrics),
         result
             .merge_log
             .iter()
@@ -386,7 +453,8 @@ fn run_json(opts: &RunOptions, result: &SynthesisResult, atpg: Option<&AtpgSumma
 fn run_main(args: impl Iterator<Item = String>) -> Result<(), String> {
     let opts = parse_run_args(args)?;
     let dfg = load(&opts.source).map_err(|e| format!("error: {e}"))?;
-    let result = synthesize(&opts, &dfg).map_err(|e| format!("error: {e}"))?;
+    let ctl = RunCtl::cancel_only(sigint::install());
+    let result = synthesize(&opts, &dfg, &ctl).map_err(|e| format!("error: {e}"))?;
     if opts.audit {
         let state = DesignState::from_parts(
             &result.dfg,
@@ -493,7 +561,18 @@ fn explore_main(args: impl Iterator<Item = String>) -> Result<(), String> {
         std::fs::write(path, "").map_err(|e| format!("error: {path}: {e}"))?;
         cfg.journal = Some(path.into());
     }
-    let outcome = explore(&spec, &cfg).map_err(|e| format!("error: {e}"))?;
+    // The sweep goes through the unified job executor under the
+    // Ctrl-C token: an interrupt stops workers at the next point
+    // boundary, the journal is already flushed per append, and the
+    // report below carries the partial front plus a
+    // `degraded: cancelled` line instead of dying mid-write.
+    let ctl = RunCtl::cancel_only(sigint::install());
+    let job = JobSpec::Explore { spec, cfg };
+    let outcome = match execute(&job, &ctl, &WarmPool::new(0)) {
+        Ok(JobOutput::Explore(outcome)) => *outcome,
+        Ok(_) => return Err("internal: explore job produced a non-explore output".into()),
+        Err(e) => return Err(format!("error: {e}")),
+    };
     for f in &outcome.failures {
         eprintln!("warning: point {} failed: {}", f.id, f.message);
     }
@@ -622,11 +701,195 @@ fn gen_main(args: impl Iterator<Item = String>) -> Result<(), String> {
     Ok(())
 }
 
+struct ServeOptions {
+    tcp: Option<String>,
+    cfg: ServeConfig,
+}
+
+fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions {
+        tcp: None,
+        cfg: ServeConfig::default(),
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tcp" => opts.tcp = Some(take(&mut args, "--tcp")?),
+            "--workers" => {
+                opts.cfg.workers = take(&mut args, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if opts.cfg.workers == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+            }
+            "--queue" => {
+                opts.cfg.queue_capacity = take(&mut args, "--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+                if opts.cfg.queue_capacity == 0 {
+                    return Err("--queue must be >= 1".into());
+                }
+            }
+            "--warm" => {
+                // 0 is meaningful here: it disables warm-context reuse.
+                opts.cfg.warm_capacity = take(&mut args, "--warm")?
+                    .parse()
+                    .map_err(|e| format!("--warm: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other => return Err(unknown_flag(other, SERVE_FLAGS)),
+        }
+    }
+    Ok(opts)
+}
+
+/// `hlts serve`: the job daemon. Default mode answers line-delimited
+/// JSON requests on stdin/stdout (pipeline-friendly, exercised by the
+/// CI smoke gate); `--tcp ADDR` serves concurrent clients over a
+/// socket instead.
+fn serve_main(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let opts = parse_serve_args(args)?;
+    match &opts.tcp {
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("error: {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| format!("error: {e}"))?;
+            // Announce the bound address (ADDR may be `host:0`) before
+            // serving, so scripts can wait for readiness.
+            println!("listening on {local}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            hlts::jobs::serve_tcp(listener, opts.cfg).map_err(|e| format!("error: {e}"))
+        }
+        None => {
+            hlts::jobs::serve_lines(
+                std::io::stdin().lock(),
+                Box::new(std::io::stdout()),
+                opts.cfg,
+            );
+            Ok(())
+        }
+    }
+}
+
+struct SubmitOptions {
+    source: String,
+    connect: String,
+    flow: Option<String>,
+    bits: Option<u32>,
+    k: Option<usize>,
+    alpha: Option<f64>,
+    beta: Option<f64>,
+}
+
+fn parse_submit_args(mut args: impl Iterator<Item = String>) -> Result<SubmitOptions, String> {
+    let mut opts = SubmitOptions {
+        source: String::new(),
+        connect: String::new(),
+        flow: None,
+        bits: None,
+        k: None,
+        alpha: None,
+        beta: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => opts.connect = take(&mut args, "--connect")?,
+            "--flow" => opts.flow = Some(take(&mut args, "--flow")?),
+            "--bits" => {
+                opts.bits = Some(
+                    take(&mut args, "--bits")?
+                        .parse()
+                        .map_err(|e| format!("--bits: {e}"))?,
+                );
+            }
+            "--k" => opts.k = Some(parse_k(&take(&mut args, "--k")?)?),
+            "--alpha" => opts.alpha = Some(parse_weight("--alpha", &take(&mut args, "--alpha")?)?),
+            "--beta" => opts.beta = Some(parse_weight("--beta", &take(&mut args, "--beta")?)?),
+            "--help" | "-h" => return Err(usage().to_owned()),
+            // A bare `-` is the stdin source, not a flag.
+            other if other.starts_with('-') && other != "-" => {
+                return Err(unknown_flag(other, SUBMIT_FLAGS))
+            }
+            other if opts.source.is_empty() => opts.source = other.to_owned(),
+            other => return Err(unknown_flag(other, SUBMIT_FLAGS)),
+        }
+    }
+    if opts.source.is_empty() {
+        return Err(usage().to_owned());
+    }
+    if opts.connect.is_empty() {
+        return Err("submit needs --connect ADDR (a running `hlts serve --tcp` daemon)".into());
+    }
+    Ok(opts)
+}
+
+/// The submit request line for one run job. Benchmarks pass through as
+/// `bench:NAME` references; files and stdin are shipped inline so the
+/// daemon's filesystem never matters — `hlts gen | hlts submit -` works
+/// against a daemon on another machine.
+fn submit_request_line(opts: &SubmitOptions) -> Result<String, String> {
+    let source = if opts.source.starts_with("bench:") {
+        dse::json_string(&opts.source)
+    } else {
+        let text = if opts.source == "-" {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("stdin: {e}"))?;
+            buf
+        } else {
+            std::fs::read_to_string(&opts.source).map_err(|e| format!("{}: {e}", opts.source))?
+        };
+        format!(
+            "{{\"name\": {}, \"dfg\": {}}}",
+            dse::json_string(&source_name(&opts.source)),
+            dse::json_string(&text)
+        )
+    };
+    let mut job = format!("{{\"kind\": \"run\", \"source\": {source}");
+    if let Some(flow) = &opts.flow {
+        job.push_str(&format!(", \"flow\": {}", dse::json_string(flow)));
+    }
+    if let Some(bits) = opts.bits {
+        job.push_str(&format!(", \"bits\": {bits}"));
+    }
+    if let Some(k) = opts.k {
+        job.push_str(&format!(", \"k\": {k}"));
+    }
+    if let Some(alpha) = opts.alpha {
+        job.push_str(&format!(", \"alpha\": {alpha}"));
+    }
+    if let Some(beta) = opts.beta {
+        job.push_str(&format!(", \"beta\": {beta}"));
+    }
+    job.push('}');
+    Ok(format!("{{\"op\": \"submit\", \"id\": \"cli\", \"job\": {job}}}"))
+}
+
+/// `hlts submit`: one-shot client for a TCP daemon. Streams the job's
+/// acknowledgement and event lines to stdout; the exit code reflects
+/// how the job ended.
+fn submit_main(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let opts = parse_submit_args(args)?;
+    let line = submit_request_line(&opts)?;
+    let mut stdout = std::io::stdout();
+    match submit_once(&opts.connect, &line, &mut stdout).map_err(|e| format!("error: {e}"))? {
+        ClientEnd::Done => Ok(()),
+        ClientEnd::Failed => Err("error: job failed (see the failed event above)".into()),
+        ClientEnd::Cancelled => Err("error: job was cancelled".into()),
+        ClientEnd::Rejected => Err("error: daemon rejected the request".into()),
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     let outcome = match args.peek().map(String::as_str) {
         Some("explore") => explore_main(args.skip(1)),
         Some("gen") => gen_main(args.skip(1)),
+        Some("serve") => serve_main(args.skip(1)),
+        Some("submit") => submit_main(args.skip(1)),
         Some("run") => run_main(args.skip(1)),
         _ => run_main(args),
     };

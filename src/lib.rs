@@ -20,7 +20,10 @@
 //! * [`dse`] — parallel Pareto design-space exploration over
 //!   parameter sweeps, with checkpoint/resume;
 //! * [`gen`] — seeded random DFG workload generator and the
-//!   differential conformance harness over the engine matrix.
+//!   differential conformance harness over the engine matrix;
+//! * [`jobs`] — the job-oriented execution engine (bounded queue,
+//!   worker pool, cancellation, warm contexts) and the `hlts serve`
+//!   daemon protocol.
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@ pub use hlts_dfg as dfg;
 pub use hlts_dse as dse;
 pub use hlts_etpn as etpn;
 pub use hlts_gen as gen;
+pub use hlts_jobs as jobs;
 pub use hlts_netlist as netlist;
 pub use hlts_sched as sched;
 pub use hlts_testability as testability;

@@ -313,6 +313,117 @@ fn gen_rejects_unknown_presets_and_bad_knobs() {
 }
 
 #[test]
+fn serve_answers_stdin_requests_line_by_line() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let mut daemon = hlts()
+        .args(["serve", "--workers", "1", "--queue", "4"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    let mut stdin = daemon.stdin.take().expect("piped stdin");
+    let mut lines = BufReader::new(daemon.stdout.take().expect("piped stdout")).lines();
+    let mut next = |what: &str| -> String {
+        lines
+            .next()
+            .unwrap_or_else(|| panic!("daemon closed stdout waiting for {what}"))
+            .expect("read line")
+    };
+    writeln!(
+        stdin,
+        r#"{{"op":"submit","id":"j1","job":{{"kind":"run","source":"bench:ex"}}}}"#
+    )
+    .expect("write submit");
+    let ack = next("submit ack");
+    assert!(
+        ack.contains("\"ok\": true") && ack.contains("\"id\": \"j1\""),
+        "{ack}"
+    );
+    // Progress events stream until the terminal done event.
+    loop {
+        let line = next("done event");
+        if line.contains("\"event\": \"done\"") {
+            assert!(line.contains("\"metrics\""), "{line}");
+            break;
+        }
+        assert!(line.contains("\"event\""), "{line}");
+    }
+    // The done event is emitted just before the job table publishes
+    // the terminal state, so poll status until it settles.
+    let status = loop {
+        writeln!(stdin, r#"{{"op":"status"}}"#).expect("write status");
+        let status = next("status");
+        if status.contains("\"done\": 1") {
+            break status;
+        }
+        std::thread::yield_now();
+    };
+    assert!(status.contains("\"interner\""), "{status}");
+    writeln!(stdin, r#"{{"op":"shutdown","id":"bye"}}"#).expect("write shutdown");
+    let bye = next("shutdown ack");
+    assert!(
+        bye.contains("\"shutdown\": true") && bye.contains("\"id\": \"bye\""),
+        "{bye}"
+    );
+    let out = daemon.wait_with_output().expect("daemon exits");
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn submit_requires_a_reachable_daemon() {
+    // No --connect at all.
+    let out = hlts()
+        .args(["submit", "bench:ex"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--connect"), "{err}");
+
+    // A --connect nobody listens on: a clean error, not a hang.
+    let out = hlts()
+        .args(["submit", "bench:ex", "--connect", "127.0.0.1:1"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("connect"), "{err}");
+}
+
+/// Ctrl-C on a one-shot sweep: the process exits cleanly with the
+/// partial front and a `degraded: cancelled` line, not a dead pipe.
+#[cfg(unix)]
+#[test]
+fn explore_interrupt_reports_a_partial_front() {
+    // 18 ewf points take many seconds; the interrupt lands mid-sweep.
+    let child = hlts()
+        .args([
+            "explore",
+            "bench:ewf",
+            "--k",
+            "1,2,3,4,5,6",
+            "--weights",
+            "2:1,10:1,1:10",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let interrupt = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(interrupt.success(), "kill -INT failed");
+    let out = child.wait_with_output().expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("degraded: cancelled"), "{text}");
+    assert!(text.contains("Pareto front"), "{text}");
+}
+
+#[test]
 fn explore_rejects_journal_plus_resume() {
     let out = hlts()
         .args(["explore", "bench:ex", "--journal", "/tmp/a", "--resume", "/tmp/b"])
