@@ -20,6 +20,7 @@ echo "==> fault-injection suites (test-faults feature)"
 cargo test -q -p hlts-core --features test-faults --offline
 cargo test -q -p hlts-dse --features test-faults --offline
 cargo test -q -p hlts-jobs --features test-faults --offline
+cargo test -q -p hlts-tcov --features test-faults --offline
 
 echo "==> conformance harness meta-test (broken engine must be caught)"
 cargo test -q -p hlts-gen --features test-faults --offline
@@ -29,6 +30,9 @@ cargo test -q --release --offline --test conformance -- --ignored conformance_ci
 
 echo "==> conformance full sweep: 128 generated graphs (release)"
 cargo test -q --release --offline --test conformance -- --ignored conformance_full_sweep
+
+echo "==> tcov conformance matrix: 4 paper benchmarks + 32 generated graphs (release)"
+cargo test -q --release --offline --test tcov_conformance -- --ignored
 
 echo "==> bench smoke: testability solvers + speedup gate"
 cargo bench -q --bench testability --offline
@@ -81,5 +85,37 @@ done
 
 echo "==> bench smoke: serve warm-vs-cold request gate"
 cargo bench -q --bench serve --offline
+
+echo "==> bench smoke: tcov parallel-grade gate (bit-identity + speedup)"
+cargo bench -q --bench tcov --offline
+
+echo "==> explore --atpg smoke: graded front, journaled coverage, resume identity"
+TCOV_JOURNAL=$(mktemp)
+GRADED_1=$(./target/release/hlts explore bench:ex --k 1,2 --bits 4 --atpg \
+  --fault-sample 300 --journal "$TCOV_JOURNAL" --quiet)
+if ! grep -qF ' cov=' "$TCOV_JOURNAL"; then
+  echo "explore --atpg smoke: journal has no coverage pair:" >&2
+  cat "$TCOV_JOURNAL" >&2
+  exit 1
+fi
+GRADED_2=$(./target/release/hlts explore bench:ex --k 1,2 --bits 4 --atpg \
+  --fault-sample 300 --resume "$TCOV_JOURNAL" --quiet)
+if ! grep -qF ' (0 computed' <<<"$GRADED_2"; then
+  echo "explore --atpg smoke: resume recomputed journaled points: $GRADED_2" >&2
+  exit 1
+fi
+if [ "${GRADED_1##*front: }" != "${GRADED_2##*front: }" ]; then
+  echo "explore --atpg smoke: resumed front diverged:" >&2
+  echo "  fresh:   $GRADED_1" >&2
+  echo "  resumed: $GRADED_2" >&2
+  exit 1
+fi
+GRADED_JSON=$(./target/release/hlts explore bench:ex --k 1,2 --bits 4 --atpg \
+  --fault-sample 300 --resume "$TCOV_JOURNAL" --json)
+if ! grep -qF '"coverage":' <<<"$GRADED_JSON"; then
+  echo "explore --atpg smoke: JSON front has no coverage objective" >&2
+  exit 1
+fi
+rm -f "$TCOV_JOURNAL"
 
 echo "==> OK: build + tests + clippy + bench smoke all green"

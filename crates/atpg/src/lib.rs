@@ -30,7 +30,7 @@ mod podem;
 mod sim;
 
 pub use faults::{Fault, FaultSite, FaultUniverse};
-pub use faultsim::FaultSimulator;
+pub use faultsim::{FaultSimulator, GoodTrace, PiAssign};
 pub use plan::{AtpgConfig, TestGenerator, TestReport};
 pub use podem::{Podem, PodemOutcome};
 pub use sim::Simulator;

@@ -51,6 +51,7 @@ fn run_spec(name: &str, dfg: &hlts_dfg::Dfg, warm: Option<u64>) -> JobSpec {
         // The daemon's per-job mode: pool-level parallelism only.
         mode: EvalMode::Sequential,
         warm,
+        atpg: None,
     }
 }
 
@@ -68,10 +69,10 @@ fn timed_requests(spec: &JobSpec, pool: &WarmPool) -> (f64, String) {
         let t = Instant::now();
         let output = execute(spec, &ctl, pool).expect("request succeeds");
         latencies.push(t.elapsed().as_secs_f64());
-        let JobOutput::Run(result) = output else {
+        let JobOutput::Run(out) = output else {
             panic!("expected a run output");
         };
-        witness = proto::run_result_json(&result);
+        witness = proto::run_result_json(&out.result);
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     (latencies[latencies.len() / 2], witness)

@@ -46,8 +46,15 @@ pub fn render_header(fingerprint: u64) -> String {
 /// included).
 #[must_use]
 pub fn render_point(r: &PointResult) -> String {
+    // The coverage pair appears only on graded sweeps, so plain
+    // journals render byte-identically to every earlier version.
+    let test = r
+        .objectives
+        .test
+        .map(|t| format!(" cov={:?} tcyc={}", t.coverage, t.test_cycles))
+        .unwrap_or_default();
     format!(
-        "point {} {} E={} H={:?} mod={} reg={} mux={} avgC={:?} avgO={:?} depth={:?} ms={}\n",
+        "point {} {} E={} H={:?} mod={} reg={} mux={} avgC={:?} avgO={:?} depth={:?}{test} ms={}\n",
         r.id,
         r.params.key(),
         r.objectives.execution_time,
@@ -62,11 +69,12 @@ pub fn render_point(r: &PointResult) -> String {
     )
 }
 
+fn opt_field<'a>(pairs: &'a [(&str, &str)], key: &str) -> Option<&'a str> {
+    pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
 fn field<'a>(pairs: &'a [(&str, &str)], key: &str, line: &str) -> Result<&'a str, DseError> {
-    pairs
-        .iter()
-        .find(|(k, _)| *k == key)
-        .map(|(_, v)| *v)
+    opt_field(pairs, key)
         .ok_or_else(|| DseError::Journal(format!("missing `{key}` in line `{line}`")))
 }
 
@@ -92,6 +100,20 @@ fn parse_point(rest: &str, line: &str) -> Result<PointResult, DseError> {
     let flow_name = field(&pairs, "flow", line)?;
     let flow = Flow::parse(flow_name)
         .ok_or_else(|| DseError::Journal(format!("unknown flow `{flow_name}` in `{line}`")))?;
+    // The coverage pair is optional (plain sweeps never write it) but
+    // atomic: exactly one of the two keys means a damaged line.
+    let test = match (opt_field(&pairs, "cov"), opt_field(&pairs, "tcyc")) {
+        (Some(cov), Some(tcyc)) => Some(crate::pareto::TestObjectives {
+            coverage: parse_num(cov, "cov", line)?,
+            test_cycles: parse_num(tcyc, "tcyc", line)?,
+        }),
+        (None, None) => None,
+        _ => {
+            return Err(DseError::Journal(format!(
+                "line has one of `cov`/`tcyc` but not both: `{line}`"
+            )))
+        }
+    };
     Ok(PointResult {
         id,
         params: PointParams {
@@ -108,6 +130,7 @@ fn parse_point(rest: &str, line: &str) -> Result<PointResult, DseError> {
             avg_controllability: parse_num(field(&pairs, "avgC", line)?, "avgC", line)?,
             avg_observability: parse_num(field(&pairs, "avgO", line)?, "avgO", line)?,
             co_depth: parse_num(field(&pairs, "depth", line)?, "depth", line)?,
+            test,
         },
         modules: parse_num(field(&pairs, "mod", line)?, "mod", line)?,
         registers: parse_num(field(&pairs, "reg", line)?, "reg", line)?,
@@ -231,6 +254,7 @@ mod tests {
                 avg_controllability: 0.9765625,
                 avg_observability: 0.95,
                 co_depth: 0.30000000000000004,
+                test: None,
             },
             modules: 4,
             registers: 7,
@@ -251,6 +275,30 @@ mod tests {
         assert_eq!(scan.points[0], r);
         assert!(scan.points[0].resumed);
         assert!(scan.points[0].objectives.hardware.to_bits() == r.objectives.hardware.to_bits());
+    }
+
+    #[test]
+    fn coverage_pair_roundtrips_and_is_atomic() {
+        use crate::pareto::TestObjectives;
+        let mut r = sample(3);
+        r.objectives.test = Some(TestObjectives {
+            coverage: 97.33333333333333,
+            test_cycles: 180,
+        });
+        let text = format!("{}{}", render_header(5), render_point(&r));
+        let scan = parse(&text).unwrap();
+        assert_eq!(scan.points[0], r);
+        let t = scan.points[0].objectives.test.unwrap();
+        assert_eq!(
+            t.coverage.to_bits(),
+            97.33333333333333_f64.to_bits(),
+            "coverage replays bit-exactly"
+        );
+        // A line carrying cov without tcyc is damage, not a plain point:
+        // it is skipped and counted like any other corrupted line.
+        let damaged = text.replace(" tcyc=180", "");
+        let scan = parse(&damaged).unwrap();
+        assert_eq!((scan.points.len(), scan.malformed, scan.torn_tail), (0, 1, 0));
     }
 
     #[test]

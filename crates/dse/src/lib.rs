@@ -54,11 +54,11 @@ mod runner;
 mod spec;
 
 pub use journal::JournalScan;
-pub use pareto::{Objectives, ParetoArchive, PointResult};
+pub use pareto::{Objectives, ParetoArchive, PointResult, TestObjectives};
 pub use runner::{
     explore, explore_ctl, load_journal, ExploreConfig, ExploreOutcome, ExploreStats, PointFailure,
 };
-pub use spec::{Flow, PointParams, SweepPoint, SweepSpec};
+pub use spec::{Flow, PointParams, SweepPoint, SweepSpec, TcovSweep};
 
 use hlts_core::CoreError;
 
@@ -74,6 +74,10 @@ pub enum DseError {
     /// A worker thread died (panic or injected kill) while holding a
     /// point; the point is lost but the sweep continues.
     Worker(String),
+    /// Coverage grading of a completed point failed (the design could
+    /// not be elaborated to gates); the point is reported failed, the
+    /// sweep continues.
+    Coverage(String),
 }
 
 impl std::fmt::Display for DseError {
@@ -83,6 +87,7 @@ impl std::fmt::Display for DseError {
             DseError::Spec(m) => write!(f, "invalid sweep: {m}"),
             DseError::Journal(m) => write!(f, "journal: {m}"),
             DseError::Worker(m) => write!(f, "worker: {m}"),
+            DseError::Coverage(m) => write!(f, "coverage: {m}"),
         }
     }
 }
@@ -113,8 +118,12 @@ impl ExploreOutcome {
             .iter()
             .map(|r| {
                 let o = &r.objectives;
+                let test = o
+                    .test
+                    .map(|t| format!(",cov={:?},tcyc={}", t.coverage, t.test_cycles))
+                    .unwrap_or_default();
                 format!(
-                    "{}:E={},H={:?},avgC={:?},avgO={:?},depth={:?}",
+                    "{}:E={},H={:?},avgC={:?},avgO={:?},depth={:?}{test}",
                     r.id,
                     o.execution_time,
                     o.hardware,
@@ -132,18 +141,44 @@ impl ExploreOutcome {
     /// summary — the `hlts explore` report.
     #[must_use]
     pub fn render(&self) -> String {
+        let graded = self.results.iter().any(|r| r.objectives.test.is_some());
         let mut out = String::new();
         out.push_str(&format!(
             "{:>4} {:>8} {:>10} {:>3} {:>7} {:>7} {:>4}   {:>3} {:>4} {:>4} {:>4} {:>8} \
-             {:>6} {:>6} {:>7} {:>6}  {}\n",
-            "id", "bench", "flow", "k", "alpha", "beta", "bits", "E", "mod", "reg", "mux", "H",
-            "avgC", "avgO", "depth", "ms", "front"
+             {:>6} {:>6} {:>7}{}{:>7}  {}\n",
+            "id",
+            "bench",
+            "flow",
+            "k",
+            "alpha",
+            "beta",
+            "bits",
+            "E",
+            "mod",
+            "reg",
+            "mux",
+            "H",
+            "avgC",
+            "avgO",
+            "depth",
+            if graded {
+                format!(" {:>7} {:>6}", "cov%", "tcyc")
+            } else {
+                String::new()
+            },
+            "ms",
+            "front"
         ));
         for r in &self.results {
             let starred = self.front.iter().any(|f| f.id == r.id);
+            let test = match (graded, r.objectives.test) {
+                (true, Some(t)) => format!(" {:>7.2} {:>6}", t.coverage, t.test_cycles),
+                (true, None) => format!(" {:>7} {:>6}", "-", "-"),
+                (false, _) => String::new(),
+            };
             out.push_str(&format!(
                 "{:>4} {:>8} {:>10} {:>3} {:>7.2} {:>7.2} {:>4}   {:>3} {:>4} {:>4} {:>4} {:>8.3} \
-                 {:>6.2} {:>6.2} {:>7.1} {:>6}  {}\n",
+                 {:>6.2} {:>6.2} {:>7.1}{test}{:>7}  {}\n",
                 r.id,
                 r.params.bench,
                 r.params.flow,
@@ -169,9 +204,14 @@ impl ExploreOutcome {
             self.results.len()
         ));
         for r in &self.front {
+            let test = r
+                .objectives
+                .test
+                .map(|t| format!(", coverage = {:.2}%, test cycles = {}", t.coverage, t.test_cycles))
+                .unwrap_or_default();
             out.push_str(&format!(
                 "  #{:<3} {} -> E = {}, H = {:.3}, avg C = {:.2}, avg O = {:.2}, \
-                 C->O depth = {:.1}\n",
+                 C->O depth = {:.1}{test}\n",
                 r.id,
                 r.params.key(),
                 r.objectives.execution_time,
@@ -236,12 +276,23 @@ impl ExploreOutcome {
         let mut out = String::from("{\n  \"points\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             let o = &r.objectives;
+            // Present only on graded sweeps, so plain output stays
+            // byte-identical to earlier versions.
+            let test = o
+                .test
+                .map(|t| {
+                    format!(
+                        " \"coverage\": {:?}, \"test_cycles\": {},",
+                        t.coverage, t.test_cycles
+                    )
+                })
+                .unwrap_or_default();
             out.push_str(&format!(
                 "    {{\"id\": {}, \"bench\": {}, \"flow\": \"{}\", \"k\": {}, \
                  \"alpha\": {:?}, \"beta\": {:?}, \"bits\": {}, \"E\": {}, \"H\": {:?}, \
                  \"modules\": {}, \"registers\": {}, \"muxes\": {}, \
                  \"avg_controllability\": {:?}, \"avg_observability\": {:?}, \
-                 \"co_depth\": {:?}, \"millis\": {}, \"resumed\": {}, \"on_front\": {}}}{}\n",
+                 \"co_depth\": {:?},{test} \"millis\": {}, \"resumed\": {}, \"on_front\": {}}}{}\n",
                 r.id,
                 json_string(&r.params.bench),
                 r.params.flow,

@@ -17,6 +17,17 @@
 
 use crate::spec::PointParams;
 
+/// Measured test objectives of one design, present when the sweep ran
+/// with coverage grading (`--atpg`): the `hlts-tcov` report folded to
+/// the two axes the paper's tables trade off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestObjectives {
+    /// Measured fault coverage in percent (maximize).
+    pub coverage: f64,
+    /// Clock cycles of the kept test set (minimize).
+    pub test_cycles: usize,
+}
+
 /// The objective vector of one synthesized design.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Objectives {
@@ -30,6 +41,9 @@ pub struct Objectives {
     pub avg_observability: f64,
     /// Total controllable→observable depth (minimize).
     pub co_depth: f64,
+    /// Measured coverage objectives — `Some` exactly when the sweep
+    /// graded its points ([`SweepSpec::tcov`](crate::SweepSpec::tcov)).
+    pub test: Option<TestObjectives>,
 }
 
 impl Objectives {
@@ -41,9 +55,23 @@ impl Objectives {
     /// deterministic extreme of each axis instead of making dominance
     /// non-transitive — the property the archive's order-independence
     /// argument rests on.
+    ///
+    /// The measured test axes join the comparison only when **both**
+    /// points carry them; a graded and an ungraded point are mutually
+    /// non-dominating (a sweep is uniformly graded or not, so the mixed
+    /// case only arises when hand-merging archives — and then neither
+    /// point may silently evict the other).
     #[must_use]
     pub fn dominates(&self, other: &Objectives) -> bool {
         use std::cmp::Ordering::{Greater, Less};
+        let (test_no_worse, test_better) = match (self.test, other.test) {
+            (Some(a), Some(b)) => (
+                a.coverage.total_cmp(&b.coverage) != Less && a.test_cycles <= b.test_cycles,
+                a.coverage.total_cmp(&b.coverage) == Greater || a.test_cycles < b.test_cycles,
+            ),
+            (None, None) => (true, false),
+            _ => return false,
+        };
         let no_worse = self.execution_time <= other.execution_time
             && self.hardware.total_cmp(&other.hardware) != Greater
             && self
@@ -60,7 +88,7 @@ impl Objectives {
                 == Greater
             || self.avg_observability.total_cmp(&other.avg_observability) == Greater
             || self.co_depth.total_cmp(&other.co_depth) == Less;
-        no_worse && better
+        no_worse && test_no_worse && (better || test_better)
     }
 }
 
@@ -180,6 +208,7 @@ mod tests {
                 avg_controllability: c,
                 avg_observability: o,
                 co_depth: d,
+                test: None,
             },
             modules: 1,
             registers: 1,
@@ -228,6 +257,37 @@ mod tests {
         assert_eq!(forward, vec![0, 3, 4]);
         assert_eq!(forward, front_of(&[4, 3, 2, 1, 0]));
         assert_eq!(forward, front_of(&[2, 0, 4, 1, 3]));
+    }
+
+    #[test]
+    fn test_axes_join_dominance_only_when_both_graded() {
+        let mut covered = result(0, 4, 1.0, 0.9, 0.9, 2.0);
+        covered.objectives.test = Some(TestObjectives {
+            coverage: 98.5,
+            test_cycles: 120,
+        });
+        let mut weak = covered.clone();
+        weak.id = 1;
+        weak.objectives.test = Some(TestObjectives {
+            coverage: 91.0,
+            test_cycles: 200,
+        });
+        assert!(covered.objectives.dominates(&weak.objectives));
+        assert!(!weak.objectives.dominates(&covered.objectives));
+        // Better coverage but more test cycles: a genuine trade-off.
+        let mut long = covered.clone();
+        long.id = 2;
+        long.objectives.test = Some(TestObjectives {
+            coverage: 99.9,
+            test_cycles: 400,
+        });
+        assert!(!covered.objectives.dominates(&long.objectives));
+        assert!(!long.objectives.dominates(&covered.objectives));
+        // Graded vs ungraded: mutually non-dominating, even when one
+        // strictly beats the other on every shared axis.
+        let plain = result(3, 9, 9.0, 0.1, 0.1, 9.0);
+        assert!(!covered.objectives.dominates(&plain.objectives));
+        assert!(!plain.objectives.dominates(&covered.objectives));
     }
 
     #[test]

@@ -32,8 +32,8 @@ use hlts_core::{
 use hlts_dfg::Dfg;
 
 use crate::journal::{render_header, render_point, JournalScan};
-use crate::pareto::{Objectives, ParetoArchive, PointResult};
-use crate::spec::{Flow, SweepPoint, SweepSpec};
+use crate::pareto::{Objectives, ParetoArchive, PointResult, TestObjectives};
+use crate::spec::{Flow, SweepPoint, SweepSpec, TcovSweep};
 use crate::DseError;
 
 /// How a sweep is executed.
@@ -204,13 +204,47 @@ fn synthesize(
     run.map_err(DseError::Core)
 }
 
+/// Elaborate a completed point to gates and grade its fault coverage.
+/// Per-point grading runs with `jobs = 1` — the sweep pool is already
+/// the parallelism; nesting tcov's fault partitions would oversubscribe
+/// it (the report is jobs-invariant, so this is purely a scheduling
+/// choice).
+fn grade_point(
+    point: &SweepPoint,
+    run: &SynthesisResult,
+    tcov: &TcovSweep,
+    ctl: &RunCtl<'_>,
+) -> Result<TestObjectives, DseError> {
+    let cfg = hlts_tcov::TcovConfig::for_schedule(run.schedule.num_steps(), tcov.sample(), 1);
+    let report = hlts_tcov::grade_design(
+        &run.dfg,
+        &run.schedule,
+        &run.allocation,
+        point.params.bits,
+        &cfg,
+        ctl,
+    )
+    .map_err(|e| match e {
+        hlts_tcov::TcovError::Cancelled => DseError::Core(CoreError::Cancelled),
+        other => DseError::Coverage(other.to_string()),
+    })?;
+    Ok(TestObjectives {
+        coverage: report.coverage(),
+        test_cycles: report.test_cycles,
+    })
+}
+
 fn run_point(
     point: &SweepPoint,
     ctx: &BenchCtx<'_>,
+    tcov: Option<TcovSweep>,
     ctl: &RunCtl<'_>,
 ) -> Result<PointResult, DseError> {
     let t0 = Instant::now();
     let run = synthesize(point, ctx, ctl)?;
+    let test = tcov
+        .map(|t| grade_point(point, &run, &t, ctl))
+        .transpose()?;
     let m = &run.metrics;
     Ok(PointResult {
         id: point.id,
@@ -221,6 +255,7 @@ fn run_point(
             avg_controllability: m.avg_controllability,
             avg_observability: m.avg_observability,
             co_depth: m.co_depth,
+            test,
         },
         modules: m.num_modules,
         registers: m.num_registers,
@@ -342,12 +377,13 @@ impl PointProgress<'_> {
 fn run_point_guarded(
     point: &SweepPoint,
     ctx: &BenchCtx<'_>,
+    tcov: Option<TcovSweep>,
     sink: &Mutex<Sink>,
     ctl: &RunCtl<'_>,
     progress: &PointProgress<'_>,
 ) -> Result<PointResult, DseError> {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let r = run_point(point, ctx, ctl)?;
+        let r = run_point(point, ctx, tcov, ctl)?;
         // A journal failure must not lose the computed result silently;
         // surface it as the point's outcome.
         lock_recover(sink).append(&r)?;
@@ -465,6 +501,7 @@ pub fn explore_ctl(
             slots[point.id] = Some(run_point_guarded(
                 point,
                 &contexts[ctx_index[point.id]],
+                spec.tcov,
                 &sink,
                 ctl,
                 &progress,
@@ -472,7 +509,8 @@ pub fn explore_ctl(
         }
     } else {
         run_pool(
-            &pending, &contexts, &ctx_index, &sink, &mut slots, workers, ctl, &progress,
+            &pending, &contexts, &ctx_index, spec.tcov, &sink, &mut slots, workers, ctl,
+            &progress,
         );
     }
 
@@ -567,6 +605,7 @@ fn run_pool(
     pending: &[&SweepPoint],
     contexts: &[BenchCtx<'_>],
     ctx_index: &[usize],
+    tcov: Option<TcovSweep>,
     sink: &Mutex<Sink>,
     slots: &mut [Slot],
     workers: usize,
@@ -596,6 +635,7 @@ fn run_pool(
                     let done = run_point_guarded(
                         point,
                         &contexts[ctx_index[point.id]],
+                        tcov,
                         sink,
                         ctl,
                         progress,
@@ -624,6 +664,7 @@ fn run_pool(
     _pending: &[&SweepPoint],
     _contexts: &[BenchCtx<'_>],
     _ctx_index: &[usize],
+    _tcov: Option<TcovSweep>,
     _sink: &Mutex<Sink>,
     _slots: &mut [Slot],
     _workers: usize,

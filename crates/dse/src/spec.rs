@@ -128,6 +128,24 @@ pub struct SweepPoint {
     pub params: PointParams,
 }
 
+/// Coverage-grading configuration of a sweep: when present, every
+/// completed point is elaborated to gates and graded with `hlts-tcov`,
+/// and the Pareto front gains the measured (coverage, test-cycle) axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcovSweep {
+    /// Collapsed-fault sample size per point; `0` grades the full
+    /// collapsed fault list (exhaustive).
+    pub fault_sample: usize,
+}
+
+impl TcovSweep {
+    /// The sample size as the grader's `Option` (`0` → exhaustive).
+    #[must_use]
+    pub fn sample(&self) -> Option<usize> {
+        (self.fault_sample > 0).then_some(self.fault_sample)
+    }
+}
+
 /// A sweep: the cross product of benches × flows × k × (α, β) × bits,
 /// plus an explicit extra point list.
 #[derive(Debug, Clone)]
@@ -145,6 +163,10 @@ pub struct SweepSpec {
     /// Explicit additional points appended after the grid (their
     /// `bench` must name a [`SweepSpec::benches`] entry).
     pub extra: Vec<PointParams>,
+    /// Grade every point's fault coverage (`--atpg`). Changes the
+    /// fingerprint — a coverage journal cannot resume a plain sweep or
+    /// vice versa.
+    pub tcov: Option<TcovSweep>,
 }
 
 impl SweepSpec {
@@ -159,6 +181,7 @@ impl SweepSpec {
             weights: vec![(2.0, 1.0)],
             bits: vec![8],
             extra: Vec::new(),
+            tcov: None,
         }
     }
 
@@ -234,11 +257,19 @@ impl SweepSpec {
     /// As [`SweepSpec::points`].
     pub fn fingerprint(&self) -> Result<u64, DseError> {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for p in self.points()? {
-            for byte in format!("{} {}\n", p.id, p.params.key()).bytes() {
+        let mut mix = |text: String| {
+            for byte in text.bytes() {
                 h ^= u64::from(byte);
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
+        };
+        for p in self.points()? {
+            mix(format!("{} {}\n", p.id, p.params.key()));
+        }
+        // Appended only when grading is on, so every pre-existing plain
+        // journal keeps its fingerprint bit-for-bit.
+        if let Some(t) = &self.tcov {
+            mix(format!("tcov fault_sample={}\n", t.fault_sample));
         }
         Ok(h)
     }
@@ -294,6 +325,24 @@ mod tests {
             bits: 8,
         });
         assert!(spec.points().is_err());
+    }
+
+    #[test]
+    fn tcov_changes_the_fingerprint_plain_spec_does_not() {
+        let plain = SweepSpec::new(vec![bench()]);
+        let mut graded = plain.clone();
+        graded.tcov = Some(TcovSweep { fault_sample: 500 });
+        let mut exhaustive = plain.clone();
+        exhaustive.tcov = Some(TcovSweep { fault_sample: 0 });
+        let fp = plain.fingerprint().unwrap();
+        assert_ne!(fp, graded.fingerprint().unwrap());
+        assert_ne!(
+            graded.fingerprint().unwrap(),
+            exhaustive.fingerprint().unwrap(),
+            "the sample size is part of what a journal certifies"
+        );
+        assert_eq!(TcovSweep { fault_sample: 0 }.sample(), None);
+        assert_eq!(TcovSweep { fault_sample: 9 }.sample(), Some(9));
     }
 
     #[test]

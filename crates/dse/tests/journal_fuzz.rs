@@ -23,6 +23,7 @@ fn sample(id: usize) -> PointResult {
             avg_controllability: 0.9765625,
             avg_observability: 0.95,
             co_depth: 0.30000000000000004,
+            test: None,
         },
         modules: 4,
         registers: 7,

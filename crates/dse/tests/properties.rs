@@ -3,7 +3,7 @@
 
 use std::path::PathBuf;
 
-use hlts_dse::{explore, load_journal, ExploreConfig, Flow, SweepSpec};
+use hlts_dse::{explore, load_journal, ExploreConfig, Flow, SweepSpec, TcovSweep};
 use proptest::prelude::*;
 
 fn spec_over(benches: &[&str]) -> SweepSpec {
@@ -54,6 +54,64 @@ fn front_is_bit_identical_for_1_2_4_workers() {
         );
         assert_eq!(sequential.results, parallel.results);
     }
+}
+
+/// A coverage-graded sweep (`--atpg`): every point carries measured
+/// (coverage, test-cycle) objectives, the front is bit-identical
+/// across worker counts, and a journaled + resumed run replays the
+/// coverage floats bit-exactly.
+#[test]
+fn graded_front_is_bit_identical_and_resumes() {
+    let mut spec = spec_over(&["ex", "tseng"]);
+    spec.ks = vec![1, 3];
+    spec.bits = vec![4];
+    spec.tcov = Some(TcovSweep { fault_sample: 300 });
+
+    let journal = tmp_journal("graded");
+    let sequential = explore(
+        &spec,
+        &ExploreConfig {
+            jobs: 1,
+            journal: Some(journal.clone()),
+            ..ExploreConfig::default()
+        },
+    )
+    .expect("sequential graded sweep");
+    assert_eq!(sequential.results.len(), 4);
+    for r in &sequential.results {
+        let t = r.objectives.test.expect("graded sweeps measure coverage");
+        assert!(t.coverage > 0.0 && t.coverage <= 100.0);
+        assert!(t.test_cycles > 0);
+    }
+    assert!(
+        sequential.front_signature().contains("cov="),
+        "the front signature certifies the coverage axes"
+    );
+
+    let parallel = explore(&spec, &jobs(4)).expect("parallel graded sweep");
+    assert_eq!(sequential.front_signature(), parallel.front_signature());
+    assert_eq!(sequential.results, parallel.results);
+
+    // Resume from the journal: nothing recomputed, same front string.
+    let scan = load_journal(&journal, &spec).expect("journal loads");
+    assert_eq!(scan.points.len(), 4);
+    let resumed = explore(
+        &spec,
+        &ExploreConfig {
+            jobs: 2,
+            resume: scan.points,
+            ..ExploreConfig::default()
+        },
+    )
+    .expect("resumed graded sweep");
+    assert_eq!(resumed.stats.points_computed, 0);
+    assert_eq!(sequential.front_signature(), resumed.front_signature());
+
+    // A plain spec must refuse the graded journal (and vice versa).
+    let mut plain = spec.clone();
+    plain.tcov = None;
+    assert!(load_journal(&journal, &plain).is_err());
+    let _ = std::fs::remove_file(&journal);
 }
 
 /// Same claim on the largest benchmark alone (the bench gate's

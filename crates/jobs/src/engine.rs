@@ -31,6 +31,7 @@ use hlts_core::{
 use hlts_dfg::Dfg;
 use hlts_dse::{explore_ctl, DseError, ExploreConfig, ExploreOutcome, Flow, SweepSpec};
 use hlts_gen::GenConfig;
+use hlts_tcov::{CoverageReport, TcovConfig, TcovError, TcovPool, TcovStats};
 
 /// Engine-assigned job identifier (dense, starting at 1).
 pub type JobId = u64;
@@ -61,6 +62,10 @@ pub enum JobSpec {
         /// layer hashes the canonical emitted text); `None` builds a
         /// fresh context. Sharing never changes results.
         warm: Option<u64>,
+        /// When set, grade the synthesized design's fault coverage
+        /// after synthesis (through the engine's [`TcovPool`] memo)
+        /// and attach the report to the output.
+        atpg: Option<AtpgRequest>,
     },
     /// A design-space sweep (see [`hlts_dse::explore`]).
     Explore {
@@ -90,11 +95,45 @@ impl JobSpec {
     }
 }
 
+/// Post-synthesis coverage grading attached to a run job. The graded
+/// report is a pure function of (design, `fault_sample`) — `jobs` only
+/// picks the worker count, never the answer — so two requests that
+/// differ only in `jobs` are answered from the same memo entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtpgRequest {
+    /// Grade at most this many collapsed faults, chosen by a seeded
+    /// shuffle (`None` = the exhaustive collapsed universe).
+    pub fault_sample: Option<usize>,
+    /// Fault-partition worker threads for the grading itself.
+    pub jobs: usize,
+}
+
+impl Default for AtpgRequest {
+    fn default() -> AtpgRequest {
+        AtpgRequest {
+            fault_sample: Some(2000),
+            jobs: 1,
+        }
+    }
+}
+
+/// A run job's payload: the synthesis result plus, when the spec asked
+/// for grading, the measured coverage report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutput {
+    /// The synthesized design and its metrics.
+    pub result: SynthesisResult,
+    /// The measured fault-coverage report (present iff the spec
+    /// carried an [`AtpgRequest`]).
+    pub coverage: Option<CoverageReport>,
+}
+
 /// What a finished job produced.
 #[derive(Debug)]
 pub enum JobOutput {
-    /// A [`JobSpec::Run`] job's synthesis result.
-    Run(Box<SynthesisResult>),
+    /// A [`JobSpec::Run`] job's synthesis result, with coverage when
+    /// the spec requested grading.
+    Run(Box<RunOutput>),
     /// A [`JobSpec::Explore`] job's outcome (possibly a partial front
     /// when the job was cancelled mid-sweep).
     Explore(Box<ExploreOutcome>),
@@ -282,6 +321,9 @@ pub struct EngineCounts {
     pub warm_hits: u64,
     /// Warm-context cache misses (a context had to be built).
     pub warm_misses: u64,
+    /// Coverage-memo counters (tier-1 netlist contexts and tier-2
+    /// report hits/misses) from the engine's [`TcovPool`].
+    pub tcov: TcovStats,
     /// Configured worker count.
     pub workers: usize,
     /// Configured queue bound.
@@ -365,6 +407,10 @@ pub struct WarmPool {
     entries: Mutex<Vec<WarmSlot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// The sibling coverage memo: per-netlist fault universes and
+    /// graded reports, shared by every [`AtpgRequest`]-carrying run
+    /// job (same capacity and eviction discipline as the contexts).
+    tcov: TcovPool,
 }
 
 /// One pool entry: ((caller key, bits), shared context).
@@ -379,7 +425,14 @@ impl WarmPool {
             entries: Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            tcov: TcovPool::new(capacity),
         }
+    }
+
+    /// The embedded coverage memo pool.
+    #[must_use]
+    pub fn tcov(&self) -> &TcovPool {
+        &self.tcov
     }
 
     fn lock(&self) -> MutexGuard<'_, Vec<WarmSlot>> {
@@ -477,6 +530,7 @@ pub fn execute(spec: &JobSpec, ctl: &RunCtl<'_>, warm: &WarmPool) -> Result<JobO
             params,
             mode,
             warm: key,
+            atpg,
             ..
         } => {
             let run = match flow {
@@ -490,17 +544,17 @@ pub fn execute(spec: &JobSpec, ctl: &RunCtl<'_>, warm: &WarmPool) -> Result<JobO
                     // (floats included), so equal fingerprints really
                     // mean equal inputs.
                     let fingerprint = key.map(|_| format!("{params:?}"));
-                    if let Some(fp) = &fingerprint {
-                        if let Some(hit) = ctx.memo_get(fp) {
-                            return Ok(JobOutput::Run(Box::new(hit)));
+                    match fingerprint.as_ref().and_then(|fp| ctx.memo_get(fp)) {
+                        Some(hit) => Ok(hit),
+                        None => {
+                            let run = IntegratedSynthesizer::new(params.clone())
+                                .run_on_ctl(&ctx.base, *mode, &ctx.evaluator, ctl);
+                            if let (Some(fp), Ok(result)) = (fingerprint, &run) {
+                                ctx.memo_put(fp, result);
+                            }
+                            run
                         }
                     }
-                    let run = IntegratedSynthesizer::new(params.clone())
-                        .run_on_ctl(&ctx.base, *mode, &ctx.evaluator, ctl);
-                    if let (Some(fp), Ok(result)) = (fingerprint, &run) {
-                        ctx.memo_put(fp, result);
-                    }
-                    run
                 }
                 Flow::Camad => baselines::camad_ctl(dfg, params, ctl),
                 // The constructive baselines are single-pass; honor a
@@ -508,7 +562,15 @@ pub fn execute(spec: &JobSpec, ctl: &RunCtl<'_>, warm: &WarmPool) -> Result<JobO
                 Flow::Approach1 => cancel_gate(ctl).and_then(|()| baselines::approach1(dfg, params)),
                 Flow::Approach2 => cancel_gate(ctl).and_then(|()| baselines::approach2(dfg, params)),
             };
-            run.map(|r| JobOutput::Run(Box::new(r))).map_err(core_err)
+            let result = run.map_err(core_err)?;
+            // Grading rides the same cancel token as synthesis and is
+            // memoized across jobs: repeats of a design answer from
+            // the pool's report memo, not a fresh ATPG pass.
+            let coverage = match atpg {
+                Some(req) => Some(grade_run(&result, params.bits, *req, warm, ctl)?),
+                None => None,
+            };
+            Ok(JobOutput::Run(Box::new(RunOutput { result, coverage })))
         }
         JobSpec::Explore { spec, cfg } => explore_ctl(spec, cfg, ctl)
             .map(|o| JobOutput::Explore(Box::new(o)))
@@ -523,6 +585,34 @@ pub fn execute(spec: &JobSpec, ctl: &RunCtl<'_>, warm: &WarmPool) -> Result<JobO
             Ok(JobOutput::Gen(text))
         }
     }
+}
+
+/// Grade a finished run's design through the engine's coverage memo.
+fn grade_run(
+    result: &SynthesisResult,
+    bits: u32,
+    req: AtpgRequest,
+    warm: &WarmPool,
+    ctl: &RunCtl<'_>,
+) -> Result<CoverageReport, ExecError> {
+    let cfg = TcovConfig::for_schedule(
+        result.schedule.num_steps(),
+        req.fault_sample,
+        req.jobs.max(1),
+    );
+    warm.tcov
+        .grade_design(
+            &result.dfg,
+            &result.schedule,
+            &result.allocation,
+            bits,
+            &cfg,
+            ctl,
+        )
+        .map_err(|e| match e {
+            TcovError::Cancelled => ExecError::Cancelled,
+            other => ExecError::Failed(other.to_string()),
+        })
 }
 
 fn cancel_gate(ctl: &RunCtl<'_>) -> Result<(), CoreError> {
@@ -729,6 +819,7 @@ impl JobEngine {
         }
         drop(st);
         (c.warm_hits, c.warm_misses) = self.inner.warm.stats();
+        c.tcov = self.inner.warm.tcov.stats();
         c
     }
 

@@ -41,15 +41,17 @@
 //!             params: SynthesisParams::paper_defaults(8),
 //!             mode: EvalMode::Sequential,
 //!             warm: Some(1),
+//!             atpg: None,
 //!         },
 //!         None,
 //!     )
 //!     .unwrap();
 //! assert_eq!(engine.wait(id).unwrap().state, JobState::Done);
-//! let Some(JobOutput::Run(result)) = engine.take_output(id) else {
+//! let Some(JobOutput::Run(out)) = engine.take_output(id) else {
 //!     panic!("expected a run output");
 //! };
-//! assert!(result.metrics.execution_time > 0);
+//! assert!(out.result.metrics.execution_time > 0);
+//! assert!(out.coverage.is_none(), "no grading was requested");
 //! engine.shutdown();
 //! ```
 
@@ -63,7 +65,8 @@ pub mod proto;
 pub mod serve;
 
 pub use engine::{
-    execute, CancelOutcome, EngineConfig, EngineCounts, ExecError, JobEngine, JobEvent, JobId,
-    JobOutput, JobSink, JobSpec, JobState, JobStatus, NullJobSink, SubmitError, WarmCtx, WarmPool,
+    execute, AtpgRequest, CancelOutcome, EngineConfig, EngineCounts, ExecError, JobEngine,
+    JobEvent, JobId, JobOutput, JobSink, JobSpec, JobState, JobStatus, NullJobSink, RunOutput,
+    SubmitError, WarmCtx, WarmPool,
 };
 pub use serve::{serve_lines, serve_tcp, submit_once, ClientEnd, ServeConfig};

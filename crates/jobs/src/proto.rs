@@ -43,9 +43,10 @@
 
 use hlts_core::{DesignMetrics, ProgressEvent, SynthesisResult};
 use hlts_dfg::SymStats;
-use hlts_dse::{json_string, ExploreOutcome, Flow};
+use hlts_dse::{json_string, ExploreOutcome, Flow, TcovSweep};
+use hlts_tcov::CoverageReport;
 
-use crate::engine::{CancelOutcome, EngineCounts, JobEvent, JobId, JobOutput};
+use crate::engine::{AtpgRequest, CancelOutcome, EngineCounts, JobEvent, JobId, JobOutput, RunOutput};
 use crate::json::{self, Json};
 
 /// A reference to a behavior source, resolved by the daemon.
@@ -97,6 +98,9 @@ pub enum JobRequest {
         alpha: Option<f64>,
         /// β override.
         beta: Option<f64>,
+        /// Post-synthesis coverage grading (`"atpg": true` or
+        /// `{"fault_sample": N, "jobs": M}`; absent = no grading).
+        atpg: Option<AtpgRequest>,
     },
     /// A parameter sweep.
     Explore {
@@ -112,6 +116,9 @@ pub enum JobRequest {
         bits: Vec<u32>,
         /// Sweep-internal worker threads (default 1).
         jobs: usize,
+        /// Coverage grading per point (`"atpg": true` or
+        /// `{"fault_sample": N}`; absent = plain objectives).
+        tcov: Option<TcovSweep>,
     },
     /// Workload generation.
     Gen {
@@ -274,6 +281,40 @@ fn parse_weight(v: &Json, what: &str) -> Result<f64, String> {
     Ok(w)
 }
 
+/// The `atpg` knob shared by run and explore jobs: absent or `false`
+/// disables grading, `true` takes the defaults, an object validates
+/// `fault_sample` (0 = the exhaustive collapsed universe) and `jobs`
+/// (grading worker threads; reports are jobs-invariant).
+fn parse_atpg(job: &Json) -> Result<Option<AtpgRequest>, String> {
+    let Some(v) = job.get("atpg") else {
+        return Ok(None);
+    };
+    match v {
+        Json::Bool(false) => Ok(None),
+        Json::Bool(true) => Ok(Some(AtpgRequest::default())),
+        Json::Obj(_) => {
+            let mut req = AtpgRequest::default();
+            if let Some(fs) = v.get("fault_sample") {
+                let n = fs
+                    .as_usize()
+                    .ok_or("`fault_sample` must be a non-negative integer")?;
+                req.fault_sample = (n > 0).then_some(n);
+            }
+            if let Some(j) = v.get("jobs") {
+                let j = j
+                    .as_usize()
+                    .ok_or("atpg `jobs` must be a non-negative integer")?;
+                if j == 0 {
+                    return Err("atpg `jobs` must be >= 1".to_owned());
+                }
+                req.jobs = j;
+            }
+            Ok(Some(req))
+        }
+        _ => Err("`atpg` must be a boolean or an object".to_owned()),
+    }
+}
+
 fn parse_job(job: &Json) -> Result<JobRequest, String> {
     let kind = job
         .get("kind")
@@ -312,6 +353,7 @@ fn parse_job(job: &Json) -> Result<JobRequest, String> {
                 .get("beta")
                 .map(|v| parse_weight(v, "beta"))
                 .transpose()?;
+            let atpg = parse_atpg(job)?;
             Ok(JobRequest::Run {
                 source,
                 flow,
@@ -319,6 +361,7 @@ fn parse_job(job: &Json) -> Result<JobRequest, String> {
                 k,
                 alpha,
                 beta,
+                atpg,
             })
         }
         "explore" => {
@@ -386,6 +429,12 @@ fn parse_job(job: &Json) -> Result<JobRequest, String> {
                     j
                 }
             };
+            // The sweep grades per point at `jobs = 1` (sweep workers
+            // are the parallelism), so only `fault_sample` carries
+            // over; a graded report is jobs-invariant either way.
+            let tcov = parse_atpg(job)?.map(|req| TcovSweep {
+                fault_sample: req.fault_sample.unwrap_or(0),
+            });
             Ok(JobRequest::Explore {
                 sources,
                 flows,
@@ -393,6 +442,7 @@ fn parse_job(job: &Json) -> Result<JobRequest, String> {
                 weights,
                 bits,
                 jobs,
+                tcov,
             })
         }
         "gen" => {
@@ -450,6 +500,8 @@ pub fn render_status(
          \"cancelled\": {}}}, \
          \"workers\": {}, \"queue_capacity\": {}, \
          \"warm\": {{\"hits\": {}, \"misses\": {}}}, \
+         \"tcov\": {{\"ctx_hits\": {}, \"ctx_misses\": {}, \
+         \"report_hits\": {}, \"report_misses\": {}}}, \
          \"malformed_requests\": {malformed}, \
          \"interner\": {{\"count\": {}, \"bytes\": {}}}}}}}",
         id_field(id),
@@ -462,6 +514,10 @@ pub fn render_status(
         counts.queue_capacity,
         counts.warm_hits,
         counts.warm_misses,
+        counts.tcov.ctx_hits,
+        counts.tcov.ctx_misses,
+        counts.tcov.report_hits,
+        counts.tcov.report_misses,
         sym.count,
         sym.bytes,
     )
@@ -507,8 +563,12 @@ pub fn metrics_json(m: &DesignMetrics) -> String {
 /// One run result as a single-line JSON object (metrics + merge log).
 #[must_use]
 pub fn run_result_json(result: &SynthesisResult) -> String {
+    format!("{{{}}}", run_fields(result))
+}
+
+fn run_fields(result: &SynthesisResult) -> String {
     format!(
-        "{{\"metrics\": {}, \"merges\": [{}]}}",
+        "\"metrics\": {}, \"merges\": [{}]",
         metrics_json(&result.metrics),
         result
             .merge_log
@@ -517,6 +577,46 @@ pub fn run_result_json(result: &SynthesisResult) -> String {
             .collect::<Vec<_>>()
             .join(", "),
     )
+}
+
+/// One coverage report as a single-line JSON object. `faults_graded`
+/// vs `total_collapsed` distinguishes a sampled estimate from an
+/// exhaustive grade — both are always reported.
+#[must_use]
+pub fn coverage_json(r: &CoverageReport) -> String {
+    format!(
+        "{{\"gates\": {}, \"coverage\": {:?}, \"efficiency\": {:?}, \"faults_graded\": {}, \
+         \"total_collapsed\": {}, \"total_uncollapsed\": {}, \"detected_random\": {}, \
+         \"detected_deterministic\": {}, \"untestable\": {}, \"aborted\": {}, \
+         \"test_cycles\": {}, \"random_patterns\": {}}}",
+        r.gates,
+        r.coverage(),
+        r.efficiency(),
+        r.faults_graded,
+        r.total_collapsed,
+        r.total_uncollapsed,
+        r.detected_random,
+        r.detected_deterministic,
+        r.untestable,
+        r.aborted,
+        r.test_cycles,
+        r.random_patterns,
+    )
+}
+
+/// A run job's full payload: [`run_result_json`] plus a `"coverage"`
+/// object when the job asked for grading. Ungraded payloads are
+/// byte-identical to the pre-coverage protocol.
+#[must_use]
+pub fn run_output_json(out: &RunOutput) -> String {
+    match &out.coverage {
+        None => run_result_json(&out.result),
+        Some(report) => format!(
+            "{{{}, \"coverage\": {}}}",
+            run_fields(&out.result),
+            coverage_json(report)
+        ),
+    }
 }
 
 /// One explore outcome as a single-line JSON summary. The
@@ -541,7 +641,7 @@ pub fn explore_result_json(outcome: &ExploreOutcome) -> String {
 
 fn output_json(output: &JobOutput) -> String {
     match output {
-        JobOutput::Run(r) => run_result_json(r),
+        JobOutput::Run(r) => run_output_json(r),
         JobOutput::Explore(o) => explore_result_json(o),
         JobOutput::Gen(text) => format!("{{\"dfg\": {}}}", json_string(text)),
     }
@@ -610,8 +710,66 @@ mod tests {
                 k: None,
                 alpha: None,
                 beta: None,
+                atpg: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_the_atpg_knob_in_all_spellings() {
+        let get = |line: &str| {
+            let Request::Submit { job, .. } = parse_request(line).unwrap() else {
+                panic!("wrong request kind");
+            };
+            job
+        };
+        // `true` takes the defaults, `false` is the same as absent.
+        let JobRequest::Run { atpg, .. } =
+            get(r#"{"op":"submit","job":{"kind":"run","source":"bench:ex","atpg":true}}"#)
+        else {
+            panic!("wrong job kind");
+        };
+        assert_eq!(atpg, Some(AtpgRequest::default()));
+        let JobRequest::Run { atpg, .. } =
+            get(r#"{"op":"submit","job":{"kind":"run","source":"bench:ex","atpg":false}}"#)
+        else {
+            panic!("wrong job kind");
+        };
+        assert_eq!(atpg, None);
+        // An object validates both knobs; `fault_sample: 0` means the
+        // exhaustive collapsed universe.
+        let JobRequest::Run { atpg, .. } = get(
+            r#"{"op":"submit","job":{"kind":"run","source":"bench:ex",
+                "atpg":{"fault_sample":0,"jobs":4}}}"#,
+        ) else {
+            panic!("wrong job kind");
+        };
+        assert_eq!(
+            atpg,
+            Some(AtpgRequest {
+                fault_sample: None,
+                jobs: 4
+            })
+        );
+        // Explore carries the sample into the sweep spec.
+        let JobRequest::Explore { tcov, .. } = get(
+            r#"{"op":"submit","job":{"kind":"explore","sources":["bench:ex"],
+                "atpg":{"fault_sample":500}}}"#,
+        ) else {
+            panic!("wrong job kind");
+        };
+        assert_eq!(tcov, Some(TcovSweep { fault_sample: 500 }));
+        // Garbage is rejected, not defaulted.
+        let e = parse_request(
+            r#"{"op":"submit","job":{"kind":"run","source":"bench:ex","atpg":{"jobs":0}}}"#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("jobs"), "{}", e.message);
+        let e = parse_request(
+            r#"{"op":"submit","job":{"kind":"run","source":"bench:ex","atpg":"yes"}}"#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("atpg"), "{}", e.message);
     }
 
     #[test]
@@ -630,6 +788,7 @@ mod tests {
                 weights,
                 bits,
                 jobs,
+                tcov,
             },
             ..
         } = req
@@ -643,6 +802,7 @@ mod tests {
         assert_eq!(weights, vec![(2.0, 1.0)]);
         assert_eq!(bits, vec![4, 8]);
         assert_eq!(jobs, 2);
+        assert_eq!(tcov, None);
     }
 
     #[test]
@@ -688,6 +848,7 @@ mod tests {
             crate::json::parse(line).unwrap();
         }
         assert!(lines[4].contains("\"malformed_requests\": 2"));
+        assert!(lines[4].contains("\"tcov\": {\"ctx_hits\": 0"));
         assert!(lines[4].contains("\"interner\": {\"count\": 5, \"bytes\": 40}"));
     }
 }

@@ -159,6 +159,7 @@ fn resolve_job(job: &JobRequest) -> Result<JobSpec, String> {
             k,
             alpha,
             beta,
+            atpg,
         } => {
             let (name, dfg, text) = resolve_source(source)?;
             let mut params = SynthesisParams::paper_defaults(*bits);
@@ -185,6 +186,7 @@ fn resolve_job(job: &JobRequest) -> Result<JobSpec, String> {
                 // each job single-threaded inside (results are
                 // bit-identical across modes).
                 mode: EvalMode::Sequential,
+                atpg: *atpg,
             })
         }
         JobRequest::Explore {
@@ -194,6 +196,7 @@ fn resolve_job(job: &JobRequest) -> Result<JobSpec, String> {
             weights,
             bits,
             jobs,
+            tcov,
         } => {
             let mut benches = Vec::new();
             for source in sources {
@@ -207,6 +210,7 @@ fn resolve_job(job: &JobRequest) -> Result<JobSpec, String> {
                 weights: weights.clone(),
                 bits: bits.clone(),
                 extra: Vec::new(),
+                tcov: *tcov,
             };
             let cfg = ExploreConfig {
                 jobs: *jobs,

@@ -20,6 +20,7 @@ fn run_spec(bench: &str, warm: Option<u64>) -> JobSpec {
         params: SynthesisParams::paper_defaults(8),
         mode: EvalMode::Sequential,
         warm,
+        atpg: None,
     }
 }
 
@@ -49,9 +50,10 @@ fn run_job_matches_direct_library_call() {
     let direct = IntegratedSynthesizer::new(SynthesisParams::paper_defaults(8))
         .run(&hlts_benchmarks::ex())
         .unwrap();
-    assert_eq!(*via_engine, direct, "engine run diverged from direct run");
+    assert_eq!(via_engine.result, direct, "engine run diverged from direct run");
+    assert!(via_engine.coverage.is_none(), "no grading was requested");
     assert_eq!(
-        proto::run_result_json(&via_engine),
+        proto::run_result_json(&via_engine.result),
         proto::run_result_json(&direct),
     );
     // Output moves out exactly once.
@@ -133,6 +135,64 @@ fn warm_contexts_are_shared_and_do_not_change_results() {
         panic!("expected two run outputs");
     };
     assert_eq!(*a, *b, "warm context changed the result");
+    engine.shutdown();
+}
+
+#[test]
+fn graded_runs_attach_a_report_and_hit_the_coverage_memo() {
+    let engine = JobEngine::start(EngineConfig {
+        workers: 1,
+        ..EngineConfig::default()
+    });
+    let atpg = Some(hlts_jobs::AtpgRequest {
+        fault_sample: Some(200),
+        jobs: 2,
+    });
+    let spec = |key| {
+        let JobSpec::Run {
+            name,
+            dfg,
+            flow,
+            params,
+            mode,
+            warm,
+            ..
+        } = run_spec("ex", key)
+        else {
+            unreachable!()
+        };
+        JobSpec::Run {
+            name,
+            dfg,
+            flow,
+            params,
+            mode,
+            warm,
+            atpg,
+        }
+    };
+    let first = engine.submit(spec(Some(9)), None).unwrap();
+    assert_eq!(engine.wait(first).unwrap().state, JobState::Done);
+    let second = engine.submit(spec(Some(9)), None).unwrap();
+    assert_eq!(engine.wait(second).unwrap().state, JobState::Done);
+    let (Some(JobOutput::Run(a)), Some(JobOutput::Run(b))) =
+        (engine.take_output(first), engine.take_output(second))
+    else {
+        panic!("expected two run outputs");
+    };
+    let report = a.coverage.as_ref().expect("graded run carries a report");
+    assert!(report.coverage() > 0.0 && report.coverage() <= 100.0);
+    assert_eq!(report.faults_graded, 200.min(report.total_collapsed));
+    assert_eq!(
+        a.coverage.as_ref().map(hlts_tcov::CoverageReport::signature),
+        b.coverage.as_ref().map(hlts_tcov::CoverageReport::signature),
+        "repeat grading diverged"
+    );
+    let counts = engine.counts();
+    assert!(
+        counts.tcov.report_hits >= 1,
+        "the second grading should answer from the report memo: {counts:?}"
+    );
     engine.shutdown();
 }
 

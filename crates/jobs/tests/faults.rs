@@ -21,6 +21,7 @@ fn run_spec(bench: &str) -> JobSpec {
         params: SynthesisParams::paper_defaults(8),
         mode: EvalMode::Sequential,
         warm: None,
+        atpg: None,
     }
 }
 

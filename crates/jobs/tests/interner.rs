@@ -29,6 +29,7 @@ fn repeated_jobs_do_not_grow_the_interner() {
             params: SynthesisParams::paper_defaults(8),
             mode: EvalMode::Sequential,
             warm,
+            atpg: None,
         }
     };
     // Warm-up round interns everything the workload will ever need.

@@ -96,6 +96,7 @@ fn oneshot_result_json(bench: &str, flow: Flow, bits: u32) -> Json {
         params,
         mode: EvalMode::Sequential,
         warm: None,
+        atpg: None,
     };
     let ctl = RunCtl {
         cancel: hlts_core::CancelToken::new(),
@@ -104,7 +105,7 @@ fn oneshot_result_json(bench: &str, flow: Flow, bits: u32) -> Json {
     let JobOutput::Run(result) = execute(&spec, &ctl, &WarmPool::new(0)).unwrap() else {
         panic!("expected run output");
     };
-    json::parse(&proto::run_result_json(&result)).unwrap()
+    json::parse(&proto::run_result_json(&result.result)).unwrap()
 }
 
 #[test]

@@ -1,0 +1,225 @@
+//! # hlts-tcov — parallel gate-level fault-coverage grading
+//!
+//! The measurement layer behind the paper's Tables 1–3: given a bound
+//! design (or an already-elaborated netlist), grade it with the
+//! two-phase ATPG flow — random 64-pattern sequences, then
+//! deterministic PODEM — and report *measured* fault coverage, test
+//! cycles and test-generation effort. One entry point:
+//!
+//! ```text
+//! grade(netlist, &TcovConfig, &RunCtl) -> CoverageReport
+//! ```
+//!
+//! Inside, the expensive per-fault work is **fault-partitioned** across
+//! scoped worker threads:
+//!
+//! * the random phase shards the pending fault list over workers that
+//!   share one recorded good-machine trace per sequence
+//!   ([`fsim::detect_partition`]);
+//! * the deterministic phase hands PODEM targets to workers that
+//!   broadcast their validated detections through a shared atomic hint
+//!   bitmap, so no thread wastes backtracks on an already-covered
+//!   fault ([`engine`]).
+//!
+//! **Determinism rule:** everything that reaches the [`CoverageReport`]
+//! is decided by a serial merge pass in fault-index order, using
+//! worker-recorded outcomes where available and recomputing the (pure,
+//! RNG-free) PODEM outcome where a racy hint — or a dead worker — left
+//! a gap. Worker scheduling can therefore change wall-clock, never the
+//! report: coverage is bit-identical at any `jobs` count, and a killed
+//! grading worker degrades to recomputation, not to a wrong answer.
+//!
+//! Repeated grading of the same netlist (sweep neighbours, daemon
+//! re-submissions) is served by [`TcovPool`], a two-tier memo keyed by
+//! a structural netlist fingerprint and the ATPG configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use hlts_atpg::AtpgConfig;
+
+mod engine;
+pub mod fsim;
+mod memo;
+
+pub use engine::{grade, grade_design, grade_with_universe};
+pub use memo::{netlist_fingerprint, TcovPool, TcovStats};
+
+/// Configuration of one grading run: the ATPG knobs plus the worker
+/// count for the fault-partitioned phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcovConfig {
+    /// The two-phase ATPG parameters (seed, sequences, frames,
+    /// backtrack limit, optional fault sampling).
+    pub atpg: AtpgConfig,
+    /// Worker threads for the fault-partitioned phases. `1` runs the
+    /// same algorithm single-threaded; the report is bit-identical for
+    /// any value.
+    pub jobs: usize,
+}
+
+impl Default for TcovConfig {
+    fn default() -> Self {
+        TcovConfig {
+            atpg: AtpgConfig::default(),
+            jobs: 1,
+        }
+    }
+}
+
+impl TcovConfig {
+    /// The CLI's schedule-derived configuration: sequences long enough
+    /// to walk the whole controller twice, frames covering the
+    /// schedule plus settle slack, and an optional fault-sample cap
+    /// (`None` = exhaustive).
+    #[must_use]
+    pub fn for_schedule(num_steps: usize, fault_sample: Option<usize>, jobs: usize) -> Self {
+        TcovConfig {
+            atpg: AtpgConfig {
+                sequence_cycles: (num_steps + 1) * 2,
+                frames: num_steps + 3,
+                fault_sample,
+                ..AtpgConfig::default()
+            },
+            jobs: jobs.max(1),
+        }
+    }
+}
+
+/// Diagnostics of one grading run. These counters depend on worker
+/// scheduling (how often the hint bitmap raced ahead of a claim, how
+/// much the merge pass had to recompute) and are therefore **excluded**
+/// from [`CoverageReport`] equality and from [`CoverageReport::signature`].
+#[derive(Debug, Clone, Default)]
+pub struct GradeStats {
+    /// Workers the fault-partitioned phases actually used.
+    pub workers: usize,
+    /// PODEM targets a worker skipped because the hint bitmap already
+    /// marked their fault detected (racy, diagnostics only).
+    pub hint_skips: usize,
+    /// PODEM outcomes the merge pass recomputed because no worker
+    /// delivered them (hint races, cancellations, killed workers).
+    pub recomputed: usize,
+}
+
+/// The measured result of grading one netlist — the paper's fault
+/// coverage / test-generation effort / test-cycle columns, plus the
+/// sampled-vs-total fault accounting.
+///
+/// Equality (and [`signature`](CoverageReport::signature)) covers only
+/// the deterministic fields; [`stats`](CoverageReport::stats) is
+/// scheduling-dependent bookkeeping.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// Gates in the graded netlist.
+    pub gates: usize,
+    /// Faults actually graded (the sample size when sampling).
+    pub faults_graded: usize,
+    /// Collapsed faults of the full netlist, before any sampling.
+    /// When `faults_graded < total_collapsed` the coverage percentage
+    /// is a sample estimate — report both counts.
+    pub total_collapsed: usize,
+    /// Faults before equivalence collapsing.
+    pub total_uncollapsed: usize,
+    /// Faults detected by the random phase.
+    pub detected_random: usize,
+    /// Faults detected by the deterministic phase.
+    pub detected_deterministic: usize,
+    /// Faults proven untestable within the frame bound.
+    pub untestable: usize,
+    /// Deterministic targets given up at the backtrack limit.
+    pub aborted: usize,
+    /// Clock cycles of the kept test set.
+    pub test_cycles: usize,
+    /// PODEM backtracks of the kept (merge-pass) target outcomes.
+    pub backtracks: usize,
+    /// Random patterns simulated (sequences × cycles × 64).
+    pub random_patterns: usize,
+    /// Scheduling-dependent diagnostics (not part of equality).
+    pub stats: GradeStats,
+}
+
+impl PartialEq for CoverageReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.signature() == other.signature()
+    }
+}
+
+impl CoverageReport {
+    /// Fault coverage in percent over the graded faults.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.faults_graded == 0 {
+            return 100.0;
+        }
+        100.0 * (self.detected_random + self.detected_deterministic) as f64
+            / self.faults_graded as f64
+    }
+
+    /// Fault efficiency in percent: detected / (graded − untestable).
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        let testable = self.faults_graded.saturating_sub(self.untestable);
+        if testable == 0 {
+            return 100.0;
+        }
+        100.0 * (self.detected_random + self.detected_deterministic) as f64 / testable as f64
+    }
+
+    /// Normalized test-generation effort: random patterns (in
+    /// thousands) plus backtracks — the unit the paper's tables report
+    /// as "test generation time".
+    #[must_use]
+    pub fn effort(&self) -> f64 {
+        self.random_patterns as f64 / 1000.0 + self.backtracks as f64
+    }
+
+    /// The canonical bit-identity witness: every deterministic field,
+    /// with floats in shortest-round-trip (`{:?}`) form. Two runs of
+    /// the same (netlist, config) must produce equal signatures at any
+    /// `jobs` count — the bench gate and the conformance tests compare
+    /// exactly this string.
+    #[must_use]
+    pub fn signature(&self) -> String {
+        format!(
+            "gates={} graded={} collapsed={} uncollapsed={} rand={} det={} untest={} \
+             abort={} cycles={} backtracks={} patterns={} cov={:?} eff={:?}",
+            self.gates,
+            self.faults_graded,
+            self.total_collapsed,
+            self.total_uncollapsed,
+            self.detected_random,
+            self.detected_deterministic,
+            self.untestable,
+            self.aborted,
+            self.test_cycles,
+            self.backtracks,
+            self.random_patterns,
+            self.coverage(),
+            self.efficiency(),
+        )
+    }
+}
+
+/// Grading failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcovError {
+    /// The design could not be lowered to gates (ETPN build or
+    /// elaboration failed); carries the rendered cause.
+    Build(String),
+    /// The run's cancel token fired; the partial grading state was
+    /// discarded.
+    Cancelled,
+}
+
+impl std::fmt::Display for TcovError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcovError::Build(msg) => write!(f, "coverage grading failed: {msg}"),
+            TcovError::Cancelled => write!(f, "coverage grading cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for TcovError {}

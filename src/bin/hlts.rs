@@ -2,28 +2,36 @@
 //!
 //! ```text
 //! hlts [run] <file.dfg | bench:NAME> [--flow ours|camad|approach1|approach2]
-//!      [--bits N] [--k N] [--alpha X] [--beta X] [--atpg] [--audit]
-//!      [--json] [--quiet]
+//!      [--bits N] [--k N] [--alpha X] [--beta X] [--atpg]
+//!      [--fault-sample N] [--tcov-jobs N] [--audit] [--json] [--quiet]
 //! hlts explore <source>... [--flow LIST] [--bits LIST] [--k LIST]
-//!      [--weights A:B,...] [--jobs N] [--journal PATH | --resume PATH]
-//!      [--json] [--quiet]
+//!      [--weights A:B,...] [--jobs N] [--atpg] [--fault-sample N]
+//!      [--journal PATH | --resume PATH] [--json] [--quiet]
 //! hlts gen [--seed N] [--preset NAME] [--list-presets] [--out FILE]
 //!      [--ops N] [--inputs N] [--const-ratio X] [--mul W] [--addsub W]
 //!      [--logic W] [--cmp W] [--shift W] [--depth-bias X]
 //!      [--fanout-skew X] [--loops N] [--name IDENT]
 //! hlts serve [--tcp ADDR] [--workers N] [--queue N] [--warm N]
 //! hlts submit <file.dfg | bench:NAME | -> --connect ADDR
-//!      [--flow FLOW] [--bits N] [--k N] [--alpha X] [--beta X]
+//!      [--flow FLOW] [--bits N] [--k N] [--alpha X] [--beta X] [--atpg]
 //! ```
 //!
 //! `run` (the default subcommand) reads a behavioral description in the
 //! textual DFG format (or a built-in benchmark via `bench:ex`,
 //! `bench:dct`, …, or stdin via `-`), synthesizes it with the requested
 //! flow, prints the resulting schedule/allocation and metrics, and
-//! optionally grades the elaborated netlist with the two-phase ATPG.
+//! optionally grades the elaborated netlist with the parallel two-phase
+//! coverage engine (`hlts-tcov`): `--atpg` measures fault coverage,
+//! `--fault-sample N` bounds the graded fault set (0 = the exhaustive
+//! collapsed universe) and `--tcov-jobs N` picks the grading worker
+//! count — reports are bit-identical at any worker count. When faults
+//! are sampled, both the sampled and the total collapsed counts are
+//! reported, so a sampled estimate is never mistaken for an exhaustive
+//! grade.
 //! `explore` sweeps the grid of k × (α, β) × bits × flow points over
 //! one or more sources on a worker pool and reports the Pareto front
-//! (see `hlts-dse`); with `--journal` completed points checkpoint to a
+//! (see `hlts-dse`); with `--atpg` every point is additionally graded
+//! and the front is Pareto over measured (coverage, test cycles) too; with `--journal` completed points checkpoint to a
 //! plain-text file that `--resume` picks up without recomputing. `gen`
 //! emits a random — but seed-reproducible — workload in the textual
 //! DFG format (see `hlts-gen`), so `hlts gen --seed 7 | hlts run -`
@@ -44,12 +52,19 @@
 
 use std::process::ExitCode;
 
-use hlts::atpg::{AtpgConfig, TestGenerator};
 use hlts::core::{DesignState, EvalMode, RunCtl, SynthesisParams, SynthesisResult};
 use hlts::dse::{self, ExploreConfig, Flow, SweepSpec};
-use hlts::etpn::Etpn;
-use hlts::jobs::{execute, proto, submit_once, ClientEnd, JobOutput, JobSpec, ServeConfig, WarmPool};
-use hlts::netlist::elaborate;
+use hlts::jobs::{
+    execute, proto, submit_once, AtpgRequest, ClientEnd, JobOutput, JobSpec, RunOutput,
+    ServeConfig, WarmPool,
+};
+use hlts::tcov::CoverageReport;
+
+/// Collapsed faults graded when `--atpg` is given without an explicit
+/// `--fault-sample` (0 = exhaustive): enough for a stable coverage
+/// estimate on every built-in benchmark while keeping one-shot runs
+/// interactive.
+const DEFAULT_FAULT_SAMPLE: usize = 2000;
 
 /// Ctrl-C wiring: SIGINT fires the process-wide [`CancelToken`], so a
 /// one-shot `hlts run`/`hlts explore` stops at the next clean boundary
@@ -104,6 +119,11 @@ struct RunOptions {
     alpha: Option<f64>,
     beta: Option<f64>,
     atpg: bool,
+    /// `--fault-sample` (0 = exhaustive); `None` = flag absent, use
+    /// the default sample.
+    fault_sample: Option<usize>,
+    /// `--tcov-jobs`; `None` = flag absent, grade single-threaded.
+    tcov_jobs: Option<usize>,
     audit: bool,
     json: bool,
     quiet: bool,
@@ -116,6 +136,8 @@ struct ExploreOptions {
     weights: Vec<(f64, f64)>,
     bits: Vec<u32>,
     jobs: usize,
+    atpg: bool,
+    fault_sample: Option<usize>,
     journal: Option<String>,
     resume: Option<String>,
     json: bool,
@@ -124,26 +146,27 @@ struct ExploreOptions {
 
 fn usage() -> &'static str {
     "usage: hlts [run] <file.dfg | bench:NAME | -> [--flow ours|camad|approach1|approach2]\n\
-     \x20            [--bits N] [--k N] [--alpha X] [--beta X] [--atpg] [--audit]\n\
-     \x20            [--json] [--quiet]\n\
+     \x20            [--bits N] [--k N] [--alpha X] [--beta X] [--atpg]\n\
+     \x20            [--fault-sample N] [--tcov-jobs N] [--audit] [--json] [--quiet]\n\
      \x20      hlts explore <source>... [--flow LIST] [--bits LIST] [--k LIST]\n\
-     \x20            [--weights A:B,...] [--jobs N] [--journal PATH | --resume PATH]\n\
-     \x20            [--json] [--quiet]\n\
+     \x20            [--weights A:B,...] [--jobs N] [--atpg] [--fault-sample N]\n\
+     \x20            [--journal PATH | --resume PATH] [--json] [--quiet]\n\
      \x20      hlts gen [--seed N] [--preset NAME] [--list-presets] [--out FILE]\n\
      \x20            [--ops N] [--inputs N] [--const-ratio X] [--mul W] [--addsub W]\n\
      \x20            [--logic W] [--cmp W] [--shift W] [--depth-bias X]\n\
      \x20            [--fanout-skew X] [--loops N] [--name IDENT]\n\
      \x20      hlts serve [--tcp ADDR] [--workers N] [--queue N] [--warm N]\n\
      \x20      hlts submit <file.dfg | bench:NAME | -> --connect ADDR\n\
-     \x20            [--flow FLOW] [--bits N] [--k N] [--alpha X] [--beta X]\n\
+     \x20            [--flow FLOW] [--bits N] [--k N] [--alpha X] [--beta X] [--atpg]\n\
      built-in benchmarks: ex, dct, diffeq, ewf, paulin, tseng"
 }
 
-const RUN_FLAGS: &str = "--flow, --bits, --k, --alpha, --beta, --atpg, --audit, --json, --quiet";
-const EXPLORE_FLAGS: &str =
-    "--flow, --bits, --k, --weights, --jobs, --journal, --resume, --json, --quiet";
+const RUN_FLAGS: &str = "--flow, --bits, --k, --alpha, --beta, --atpg, --fault-sample, \
+    --tcov-jobs, --audit, --json, --quiet";
+const EXPLORE_FLAGS: &str = "--flow, --bits, --k, --weights, --jobs, --atpg, \
+    --fault-sample, --journal, --resume, --json, --quiet";
 const SERVE_FLAGS: &str = "--tcp, --workers, --queue, --warm";
-const SUBMIT_FLAGS: &str = "--connect, --flow, --bits, --k, --alpha, --beta";
+const SUBMIT_FLAGS: &str = "--connect, --flow, --bits, --k, --alpha, --beta, --atpg";
 const GEN_FLAGS: &str = "--seed, --preset, --list-presets, --out, --ops, --inputs, \
     --const-ratio, --mul, --addsub, --logic, --cmp, --shift, --depth-bias, --fanout-skew, \
     --loops, --name";
@@ -172,6 +195,13 @@ fn parse_weight(flag: &str, text: &str) -> Result<f64, String> {
         ));
     }
     Ok(v)
+}
+
+/// `--fault-sample` must be a non-negative integer; `0` explicitly
+/// requests the exhaustive collapsed fault universe.
+fn parse_fault_sample(text: &str) -> Result<usize, String> {
+    text.parse()
+        .map_err(|e| format!("--fault-sample: {e} (0 = exhaustive, N = sample size)"))
 }
 
 fn take(args: &mut dyn Iterator<Item = String>, what: &str) -> Result<String, String> {
@@ -203,6 +233,8 @@ fn parse_run_args(mut args: impl Iterator<Item = String>) -> Result<RunOptions, 
         alpha: None,
         beta: None,
         atpg: false,
+        fault_sample: None,
+        tcov_jobs: None,
         audit: false,
         json: false,
         quiet: false,
@@ -219,6 +251,18 @@ fn parse_run_args(mut args: impl Iterator<Item = String>) -> Result<RunOptions, 
             "--alpha" => opts.alpha = Some(parse_weight("--alpha", &take(&mut args, "--alpha")?)?),
             "--beta" => opts.beta = Some(parse_weight("--beta", &take(&mut args, "--beta")?)?),
             "--atpg" => opts.atpg = true,
+            "--fault-sample" => {
+                opts.fault_sample = Some(parse_fault_sample(&take(&mut args, "--fault-sample")?)?);
+            }
+            "--tcov-jobs" => {
+                let jobs: usize = take(&mut args, "--tcov-jobs")?
+                    .parse()
+                    .map_err(|e| format!("--tcov-jobs: {e}"))?;
+                if jobs == 0 {
+                    return Err("--tcov-jobs must be >= 1".into());
+                }
+                opts.tcov_jobs = Some(jobs);
+            }
             "--audit" => opts.audit = true,
             "--json" => opts.json = true,
             "--quiet" => opts.quiet = true,
@@ -234,6 +278,9 @@ fn parse_run_args(mut args: impl Iterator<Item = String>) -> Result<RunOptions, 
     if opts.source.is_empty() {
         return Err(usage().to_owned());
     }
+    if !opts.atpg && (opts.fault_sample.is_some() || opts.tcov_jobs.is_some()) {
+        return Err("--fault-sample/--tcov-jobs configure coverage grading; add --atpg".into());
+    }
     Ok(opts)
 }
 
@@ -245,6 +292,8 @@ fn parse_explore_args(mut args: impl Iterator<Item = String>) -> Result<ExploreO
         weights: vec![(2.0, 1.0), (10.0, 1.0), (1.0, 10.0)],
         bits: vec![8],
         jobs: 1,
+        atpg: false,
+        fault_sample: None,
         journal: None,
         resume: None,
         json: false,
@@ -282,6 +331,10 @@ fn parse_explore_args(mut args: impl Iterator<Item = String>) -> Result<ExploreO
                     return Err("--jobs must be >= 1".into());
                 }
             }
+            "--atpg" => opts.atpg = true,
+            "--fault-sample" => {
+                opts.fault_sample = Some(parse_fault_sample(&take(&mut args, "--fault-sample")?)?);
+            }
             "--journal" => opts.journal = Some(take(&mut args, "--journal")?),
             "--resume" => opts.resume = Some(take(&mut args, "--resume")?),
             "--json" => opts.json = true,
@@ -299,6 +352,9 @@ fn parse_explore_args(mut args: impl Iterator<Item = String>) -> Result<ExploreO
     }
     if opts.journal.is_some() && opts.resume.is_some() {
         return Err("use either --journal (start a checkpoint) or --resume (continue one)".into());
+    }
+    if !opts.atpg && opts.fault_sample.is_some() {
+        return Err("--fault-sample configures coverage grading; add --atpg".into());
     }
     Ok(opts)
 }
@@ -348,7 +404,7 @@ fn synthesize(
     opts: &RunOptions,
     dfg: &hlts::dfg::Dfg,
     ctl: &RunCtl<'_>,
-) -> Result<SynthesisResult, String> {
+) -> Result<RunOutput, String> {
     let Some(flow) = Flow::parse(&opts.flow) else {
         return Err(format!("unknown flow `{}`\n{}", opts.flow, usage()));
     };
@@ -367,6 +423,16 @@ fn synthesize(
     if let Some(b) = opts.beta {
         params.beta = b;
     }
+    // Coverage grading is part of the job spec, so `hlts run --atpg`
+    // takes the same engine path (and the same cancellation token) as
+    // a daemon submission carrying an `atpg` request.
+    let atpg = opts.atpg.then(|| AtpgRequest {
+        fault_sample: {
+            let n = opts.fault_sample.unwrap_or(DEFAULT_FAULT_SAMPLE);
+            (n > 0).then_some(n)
+        },
+        jobs: opts.tcov_jobs.unwrap_or(1),
+    });
     let spec = JobSpec::Run {
         name: source_name(&opts.source),
         dfg: dfg.clone(),
@@ -374,52 +440,20 @@ fn synthesize(
         params,
         mode: EvalMode::default(),
         warm: None,
+        atpg,
     };
     match execute(&spec, ctl, &WarmPool::new(0)) {
-        Ok(JobOutput::Run(result)) => Ok(*result),
+        Ok(JobOutput::Run(out)) => Ok(*out),
         Ok(_) => Err("internal: run job produced a non-run output".into()),
         Err(e) => Err(e.to_string()),
     }
-}
-
-struct AtpgSummary {
-    gates: usize,
-    coverage: f64,
-    detected_random: usize,
-    detected_deterministic: usize,
-    total_faults: usize,
-    effort: f64,
-    test_cycles: usize,
-}
-
-fn run_atpg(result: &SynthesisResult, bits: u32) -> Result<AtpgSummary, String> {
-    let etpn = Etpn::from_parts(&result.dfg, &result.schedule, &result.allocation)
-        .map_err(|e| e.to_string())?;
-    let nl = elaborate(&result.dfg, &result.schedule, &result.allocation, &etpn, bits)
-        .map_err(|e| e.to_string())?;
-    let cfg = AtpgConfig {
-        sequence_cycles: (result.schedule.num_steps() + 1) * 2,
-        frames: result.schedule.num_steps() + 3,
-        fault_sample: Some(2000),
-        ..AtpgConfig::default()
-    };
-    let rep = TestGenerator::new(cfg).run(&nl);
-    Ok(AtpgSummary {
-        gates: nl.num_gates(),
-        coverage: rep.coverage(),
-        detected_random: rep.detected_random,
-        detected_deterministic: rep.detected_deterministic,
-        total_faults: rep.total_faults,
-        effort: rep.effort(),
-        test_cycles: rep.test_cycles,
-    })
 }
 
 /// Hand-rolled machine-readable report of one synthesis run. The
 /// `metrics` object is rendered by the daemon protocol's
 /// [`proto::metrics_json`], so a served result and `hlts run --json`
 /// agree byte-for-byte on that fragment.
-fn run_json(opts: &RunOptions, result: &SynthesisResult, atpg: Option<&AtpgSummary>) -> String {
+fn run_json(opts: &RunOptions, result: &SynthesisResult, atpg: Option<&CoverageReport>) -> String {
     let mut out = format!(
         "{{\n  \"source\": {}, \"flow\": {},\n  \"metrics\": {},\n  \"merges\": [{}]",
         dse::json_string(&opts.source),
@@ -432,19 +466,12 @@ fn run_json(opts: &RunOptions, result: &SynthesisResult, atpg: Option<&AtpgSumma
             .collect::<Vec<_>>()
             .join(", "),
     );
-    if let Some(a) = atpg {
-        out.push_str(&format!(
-            ",\n  \"atpg\": {{\"gates\": {}, \"fault_coverage\": {:?}, \
-             \"detected_random\": {}, \"detected_deterministic\": {}, \"total_faults\": {}, \
-             \"effort\": {:?}, \"test_cycles\": {}}}",
-            a.gates,
-            a.coverage,
-            a.detected_random,
-            a.detected_deterministic,
-            a.total_faults,
-            a.effort,
-            a.test_cycles,
-        ));
+    if let Some(report) = atpg {
+        // The daemon protocol's coverage object verbatim, so a served
+        // graded result and `hlts run --atpg --json` agree
+        // byte-for-byte on this fragment. `faults_graded` vs
+        // `total_collapsed` makes a sampled estimate explicit.
+        out.push_str(&format!(",\n  \"atpg\": {}", proto::coverage_json(report)));
     }
     out.push_str("\n}");
     out
@@ -454,7 +481,8 @@ fn run_main(args: impl Iterator<Item = String>) -> Result<(), String> {
     let opts = parse_run_args(args)?;
     let dfg = load(&opts.source).map_err(|e| format!("error: {e}"))?;
     let ctl = RunCtl::cancel_only(sigint::install());
-    let result = synthesize(&opts, &dfg, &ctl).map_err(|e| format!("error: {e}"))?;
+    let out = synthesize(&opts, &dfg, &ctl).map_err(|e| format!("error: {e}"))?;
+    let result = out.result;
     if opts.audit {
         let state = DesignState::from_parts(
             &result.dfg,
@@ -469,13 +497,8 @@ fn run_main(args: impl Iterator<Item = String>) -> Result<(), String> {
             println!("audit: clean");
         }
     }
-    let atpg = if opts.atpg {
-        Some(run_atpg(&result, opts.bits).map_err(|e| format!("error: {e}"))?)
-    } else {
-        None
-    };
     if opts.json {
-        println!("{}", run_json(&opts, &result, atpg.as_ref()));
+        println!("{}", run_json(&opts, &result, out.coverage.as_ref()));
         return Ok(());
     }
     if !opts.quiet {
@@ -496,17 +519,26 @@ fn run_main(args: impl Iterator<Item = String>) -> Result<(), String> {
         result.metrics.avg_observability,
         result.metrics.co_depth,
     );
-    if let Some(a) = atpg {
+    if let Some(r) = &out.coverage {
+        // When sampling, say so: a coverage percentage over a sample
+        // must never read as an exhaustive grade.
+        let universe = if r.faults_graded < r.total_collapsed {
+            format!(
+                "of {} sampled ({} collapsed total)",
+                r.faults_graded, r.total_collapsed
+            )
+        } else {
+            format!("of {} collapsed", r.total_collapsed)
+        };
         println!(
-            "gates = {}, fault coverage = {:.2}% ({} random + {} deterministic of {}), \
+            "gates = {}, fault coverage = {:.2}% ({} random + {} deterministic {universe}), \
              effort = {:.0}, test cycles = {}",
-            a.gates,
-            a.coverage,
-            a.detected_random,
-            a.detected_deterministic,
-            a.total_faults,
-            a.effort,
-            a.test_cycles,
+            r.gates,
+            r.coverage(),
+            r.detected_random,
+            r.detected_deterministic,
+            r.effort(),
+            r.test_cycles,
         );
     }
     Ok(())
@@ -528,6 +560,13 @@ fn explore_main(args: impl Iterator<Item = String>) -> Result<(), String> {
         weights: opts.weights.clone(),
         bits: opts.bits.clone(),
         extra: Vec::new(),
+        // `--atpg` grades every point: the front becomes Pareto over
+        // measured (coverage, test cycles) as well. The sample size
+        // joins the sweep fingerprint, so journals from plain and
+        // graded sweeps never mix.
+        tcov: opts.atpg.then(|| dse::TcovSweep {
+            fault_sample: opts.fault_sample.unwrap_or(DEFAULT_FAULT_SAMPLE),
+        }),
     };
     let mut cfg = ExploreConfig {
         jobs: opts.jobs,
@@ -780,6 +819,7 @@ struct SubmitOptions {
     k: Option<usize>,
     alpha: Option<f64>,
     beta: Option<f64>,
+    atpg: bool,
 }
 
 fn parse_submit_args(mut args: impl Iterator<Item = String>) -> Result<SubmitOptions, String> {
@@ -791,6 +831,7 @@ fn parse_submit_args(mut args: impl Iterator<Item = String>) -> Result<SubmitOpt
         k: None,
         alpha: None,
         beta: None,
+        atpg: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -806,6 +847,7 @@ fn parse_submit_args(mut args: impl Iterator<Item = String>) -> Result<SubmitOpt
             "--k" => opts.k = Some(parse_k(&take(&mut args, "--k")?)?),
             "--alpha" => opts.alpha = Some(parse_weight("--alpha", &take(&mut args, "--alpha")?)?),
             "--beta" => opts.beta = Some(parse_weight("--beta", &take(&mut args, "--beta")?)?),
+            "--atpg" => opts.atpg = true,
             "--help" | "-h" => return Err(usage().to_owned()),
             // A bare `-` is the stdin source, not a flag.
             other if other.starts_with('-') && other != "-" => {
@@ -863,6 +905,9 @@ fn submit_request_line(opts: &SubmitOptions) -> Result<String, String> {
     }
     if let Some(beta) = opts.beta {
         job.push_str(&format!(", \"beta\": {beta}"));
+    }
+    if opts.atpg {
+        job.push_str(", \"atpg\": true");
     }
     job.push('}');
     Ok(format!("{{\"op\": \"submit\", \"id\": \"cli\", \"job\": {job}}}"))

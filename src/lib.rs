@@ -16,6 +16,8 @@
 //! * [`core`] — the integrated synthesis algorithm and the three baselines;
 //! * [`netlist`] — RTL-to-gate elaboration;
 //! * [`atpg`] — stuck-at fault simulation and test generation;
+//! * [`tcov`] — parallel fault-coverage grading (fault-partitioned
+//!   fault sim + PODEM, deterministic merge, coverage memo);
 //! * [`benchmarks`] — the six DATE'98 benchmark graphs;
 //! * [`dse`] — parallel Pareto design-space exploration over
 //!   parameter sweeps, with checkpoint/resume;
@@ -57,4 +59,5 @@ pub use hlts_gen as gen;
 pub use hlts_jobs as jobs;
 pub use hlts_netlist as netlist;
 pub use hlts_sched as sched;
+pub use hlts_tcov as tcov;
 pub use hlts_testability as testability;
