@@ -46,6 +46,9 @@ cargo test -q --release --offline --features count-allocs --test zero_alloc
 echo "==> bench smoke: dse parallel-explore gate"
 cargo bench -q --bench dse --offline
 
+echo "==> bench smoke: warm-start replay gate (bit-identity + nonzero replay + speedup)"
+cargo bench -q --bench warmstart --offline
+
 echo "==> serve smoke: 3 jobs (one cancelled) over stdin, clean shutdown"
 # One worker: job 1 (a multi-second ewf sweep) is claimed first, so
 # jobs 2 and 3 are deterministically still queued when the cancel for
@@ -117,5 +120,37 @@ if ! grep -qF '"coverage":' <<<"$GRADED_JSON"; then
   exit 1
 fi
 rm -f "$TCOV_JOURNAL"
+
+echo "==> warm-start identity sweep: 4 paper benchmarks + 32 generated graphs, --jobs 1 and 4"
+# The acceptance criterion verbatim: --warm-start on reports the same
+# front signature as off, at any worker count and on every source —
+# paper benchmarks and generated workloads alike.
+WARM_DIR=$(mktemp -d)
+warm_identity() {
+  local source=$1 label=$2
+  local cold warm1 warm4
+  cold=$(./target/release/hlts explore "$source" --k 2 \
+    --weights 2:1,2:1.05,1:10 --quiet --warm-start off)
+  warm1=$(./target/release/hlts explore "$source" --k 2 \
+    --weights 2:1,2:1.05,1:10 --quiet --warm-start on --jobs 1)
+  warm4=$(./target/release/hlts explore "$source" --k 2 \
+    --weights 2:1,2:1.05,1:10 --quiet --warm-start on --jobs 4)
+  if [ "${cold##*front: }" != "${warm1##*front: }" ] \
+    || [ "${cold##*front: }" != "${warm4##*front: }" ]; then
+    echo "warm-start identity: $label diverged:" >&2
+    echo "  cold:         $cold" >&2
+    echo "  warm --jobs 1: $warm1" >&2
+    echo "  warm --jobs 4: $warm4" >&2
+    exit 1
+  fi
+}
+for b in ex dct diffeq tseng; do
+  warm_identity "bench:$b" "bench:$b"
+done
+for seed in $(seq 0 31); do
+  ./target/release/hlts gen --seed "$seed" --out "$WARM_DIR/g$seed.dfg"
+  warm_identity "$WARM_DIR/g$seed.dfg" "generated seed $seed"
+done
+rm -rf "$WARM_DIR"
 
 echo "==> OK: build + tests + clippy + bench smoke all green"

@@ -6,9 +6,11 @@ use hlts_dfg::Dfg;
 use crate::candidates::{enumerate_candidates, MergeCandidate, MergeKind};
 use crate::delta_eval::DeltaEvaluator;
 use crate::resched::{
-    merge_modules_with_resched_using, merge_registers_with_resched_using, OrderStrategy,
+    apply_merge, merge_modules_with_resched_using, merge_registers_with_resched_using,
+    OrderStrategy,
 };
-use crate::txn::trial_merge;
+use crate::trace::{MergeTrace, ReplayStats, TraceEntry, TraceMergeKind, TraceWinner};
+use crate::txn::{trial_merge, StateTxn};
 use crate::{CoreError, DesignState, ProgressEvent, RunCtl, SynthesisResult};
 
 /// How the *k* shortlisted candidates of each iteration are evaluated.
@@ -333,6 +335,260 @@ impl IntegratedSynthesizer {
         SynthesisResult::from_state(state, self.params.bits, &self.params.library, merge_log)
     }
 
+    /// [`run_on_ctl`](Self::run_on_ctl) with trace capture and optional
+    /// warm-start replay — the design-space-exploration entry point.
+    ///
+    /// The returned [`MergeTrace`] records every iteration's evaluated
+    /// `(ΔE, ΔH)` price prefix and committed winner. When `seed` holds
+    /// the trace of an already-synthesized neighbour point (same
+    /// behavior, different `α`/`β`/`k`), each seed entry is re-priced
+    /// under *this* run's weights with plain arithmetic — the parts are
+    /// weight-independent — and committed through a [`StateTxn`] while
+    /// it is still exactly the merge Algorithm 1 would pick, guarded by
+    /// the recorded post-merge fingerprint (plus a full audit in debug
+    /// builds). At the first divergence — a different winner, a price
+    /// prefix too short to decide, a fingerprint mismatch — the run
+    /// falls back to scratch synthesis from the current state, which is
+    /// bit-identical to the scratch trajectory at that iteration.
+    ///
+    /// Replay changes *work, never results*: with any seed (or none)
+    /// the [`SynthesisResult`] is bit-identical to
+    /// [`run_on_ctl`](Self::run_on_ctl); only the
+    /// [`ReplayStats`] split between replayed and recomputed merges
+    /// varies.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_on_ctl`](Self::run_on_ctl).
+    pub fn run_on_warm(
+        &self,
+        base: &DesignState,
+        mode: EvalMode,
+        evaluator: &DeltaEvaluator,
+        ctl: &RunCtl<'_>,
+        seed: Option<&MergeTrace>,
+    ) -> Result<WarmSynthesis, CoreError> {
+        self.params.validate()?;
+        let k = self.params.k.max(1);
+        let mut state = base.fork();
+        let mut merge_log: Vec<String> = Vec::new();
+        let mut trace = MergeTrace::default();
+        let mut replay = ReplayStats::default();
+        // Replay cursor into the seed; `live` drops to false at the
+        // first divergence (or exhaustion) and never recovers — the
+        // scratch loop owns every later iteration.
+        let mut cursor = 0usize;
+        let mut live = seed.is_some();
+        let mut converged = false;
+
+        for iteration in 0..self.params.max_merges {
+            if ctl.cancel.is_cancelled() {
+                return Err(CoreError::Cancelled);
+            }
+            ctl.progress.event(ProgressEvent::Iteration {
+                iteration,
+                merges: merge_log.len(),
+            });
+
+            // Fast path: re-take the seed's decision from its recorded
+            // prices — no lowering, no analysis, no enumeration, no
+            // trial transactions.
+            if live {
+                let entry = seed.and_then(|s| s.entries.get(cursor));
+                match entry.and_then(|e| self.replay_entry(&mut state, e)) {
+                    Some(ReplayStep::Commit { kind, dc, entry }) => {
+                        cursor += 1;
+                        let desc = merge_description(&state, kind);
+                        merge_log.push(format!("{desc} (ΔC = {dc:+.4})"));
+                        trace.entries.push(entry);
+                        replay.replayed += 1;
+                        continue;
+                    }
+                    Some(ReplayStep::Done(entry)) => {
+                        trace.entries.push(entry);
+                        converged = true;
+                        break;
+                    }
+                    None => live = false, // diverged/exhausted: scratch from here
+                }
+            }
+
+            // Scratch path: the exact `run_on_ctl` iteration, capturing
+            // the (ΔE, ΔH) parts it prices anyway. ΔC is computed from
+            // the identical float expression, so decisions — and
+            // therefore results — are bit-identical.
+            let etpn = state.lower()?;
+            let analysis = state.testability_engine().analyze(etpn.data_path());
+            state.testability_engine().set_anchor(etpn.data_path(), &analysis);
+            let mut candidates = enumerate_candidates(&state, &etpn, &analysis);
+            if candidates.is_empty() {
+                trace.entries.push(TraceEntry {
+                    winner: None,
+                    total: 0,
+                    prices: Vec::new(),
+                });
+                converged = true;
+                break;
+            }
+            if self.params.selection_policy == SelectionPolicy::Arbitrary {
+                candidates.sort_by_key(|c| match c.kind {
+                    MergeKind::Modules(a, b) => (0u8, a.index(), b.index()),
+                    MergeKind::Registers(a, b) => (1u8, a.index(), b.index()),
+                });
+            }
+            let (e0_steps, h0) = evaluator.eval(&state, self.params.bits, &self.params.library)?;
+            let e0 = e0_steps as f64;
+
+            let mut committed = false;
+            let mut prices: Vec<Option<(f64, f64)>> = Vec::new();
+            for (ci, chunk) in candidates.chunks(k).enumerate() {
+                let parts = self.eval_chunk_parts(&mut state, chunk, e0, h0, mode, evaluator);
+                let best = self.reduce_chunk(&parts);
+                prices.extend(parts);
+                if let Some((dc, local)) = best {
+                    if dc <= self.params.accept_threshold {
+                        let kind = chunk[local].kind;
+                        let (sym_a, sym_b) = merge_symbols(&state, kind);
+                        self.apply_winner(&mut state, kind)?;
+                        let fingerprint = DeltaEvaluator::fingerprint(&state);
+                        let desc = merge_description(&state, kind);
+                        merge_log.push(format!("{desc} (ΔC = {dc:+.4})"));
+                        trace.entries.push(TraceEntry {
+                            winner: Some(TraceWinner {
+                                kind: trace_kind(kind),
+                                sym_a,
+                                sym_b,
+                                index: ci * k + local,
+                                fingerprint,
+                            }),
+                            total: candidates.len(),
+                            prices: std::mem::take(&mut prices),
+                        });
+                        replay.recomputed += 1;
+                        committed = true;
+                        break;
+                    }
+                }
+            }
+            if !committed {
+                trace.entries.push(TraceEntry {
+                    winner: None,
+                    total: candidates.len(),
+                    prices,
+                });
+                converged = true;
+                break;
+            }
+        }
+        // A run cut short by the iteration cap carries no terminal
+        // entry; replaying such a trace simply exhausts the seed.
+        let _ = converged;
+
+        debug_assert!(state.validate().is_ok());
+        let result =
+            SynthesisResult::from_state(state, self.params.bits, &self.params.library, merge_log)?;
+        Ok(WarmSynthesis {
+            result,
+            trace,
+            replay,
+        })
+    }
+
+    /// Re-take one recorded iteration's decision on the current state.
+    ///
+    /// Scans the recorded candidate prices in shortlist order, chunked
+    /// by *this* run's `k`, re-weighting each `(ΔE, ΔH)` pair with the
+    /// identical float expression the scratch loop uses. Returns
+    /// `None` — diverged, fall back to scratch — when the re-priced
+    /// winner differs from the recorded one, when a chunk extends past
+    /// the recorded price prefix before any winner qualifies, or when
+    /// applying the recorded merge fails its fingerprint check.
+    fn replay_entry(&self, state: &mut DesignState, entry: &TraceEntry) -> Option<ReplayStep> {
+        let k = self.params.k.max(1);
+        let covered = entry.prices.len().min(entry.total);
+        let mut start = 0usize;
+        while start < entry.total {
+            let end = (start + k).min(entry.total);
+            if end > covered {
+                // The recorded run stopped pricing here; this run's
+                // chunking needs candidates it never evaluated.
+                return None;
+            }
+            if let Some((dc, local)) = self.reduce_chunk(&entry.prices[start..end]) {
+                if dc <= self.params.accept_threshold {
+                    let winner = entry.winner.as_ref()?;
+                    if winner.index != start + local {
+                        return None; // the new weights pick a different merge
+                    }
+                    return self.replay_commit(state, winner, dc, entry);
+                }
+            }
+            start = end;
+        }
+        // Every candidate is priced and none qualifies under the new
+        // weights: the run terminates at this iteration.
+        Some(ReplayStep::Done(TraceEntry {
+            winner: None,
+            total: entry.total,
+            prices: entry.prices.clone(),
+        }))
+    }
+
+    /// Apply a replayed winner through a transaction, committing only
+    /// when the post-merge state matches the recorded fingerprint
+    /// (audited in full in debug builds); any failure rolls back
+    /// bit-identically and reports divergence.
+    fn replay_commit(
+        &self,
+        state: &mut DesignState,
+        winner: &TraceWinner,
+        dc: f64,
+        entry: &TraceEntry,
+    ) -> Option<ReplayStep> {
+        let kind = resolve_winner(state, winner)?;
+        {
+            let mut txn = StateTxn::begin(state);
+            if apply_merge(&mut txn, kind, self.params.order_strategy).is_err() {
+                return None; // txn drop rolls back
+            }
+            if DeltaEvaluator::fingerprint(txn.state()) != winner.fingerprint {
+                return None; // txn drop rolls back
+            }
+            #[cfg(debug_assertions)]
+            {
+                let s = txn.state();
+                let report = hlts_check::audit_design(&s.dfg, &s.schedule, &s.allocation);
+                debug_assert!(report.is_clean(), "replayed merge failed the audit:\n{report}");
+            }
+            txn.commit();
+        }
+        Some(ReplayStep::Commit {
+            kind,
+            dc,
+            entry: entry.clone(),
+        })
+    }
+
+    /// The shared chunk reduction over `(ΔE, ΔH)` parts: weight each
+    /// feasible candidate into ΔC = α·ΔE + β·ΔH and keep the strictly
+    /// smallest (earliest index on ties) — the float-identical twin of
+    /// the `Option<f64>` fold in [`best_in_chunk`](Self::best_in_chunk).
+    /// Returns the winning ΔC and its index *within the chunk*.
+    fn reduce_chunk(&self, parts: &[Option<(f64, f64)>]) -> Option<(f64, usize)> {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, entry) in parts.iter().enumerate() {
+            let Some((de, dh)) = entry else { continue };
+            let dc = self.params.alpha * de + self.params.beta * dh;
+            if best
+                .as_ref()
+                .is_none_or(|(b, _)| dc.total_cmp(b) == std::cmp::Ordering::Less)
+            {
+                best = Some((dc, i));
+            }
+        }
+        best
+    }
+
     /// Tentatively apply each candidate of `chunk` (apply → price →
     /// rollback; `state` is bit-identical on return); return the
     /// smallest-ΔC applicable merge (ties keep the earliest shortlist
@@ -407,6 +663,28 @@ impl IntegratedSynthesizer {
         })
     }
 
+    /// [`eval_candidate`](Self::eval_candidate) returning the raw
+    /// weight-independent `(ΔE, ΔH)` parts instead of their weighted
+    /// sum — the capture path of warm-start traces. Weighting the parts
+    /// afterwards (`α·ΔE + β·ΔH` on the already-subtracted deltas)
+    /// performs the identical float operations in the identical order,
+    /// so the two paths price every candidate bit-identically.
+    fn eval_candidate_parts(
+        &self,
+        state: &mut DesignState,
+        cand: &MergeCandidate,
+        e0: f64,
+        h0: f64,
+        evaluator: &DeltaEvaluator,
+    ) -> Option<(f64, f64)> {
+        trial_merge(state, cand.kind, self.params.order_strategy, |trial| {
+            let (e1, h1) = evaluator
+                .eval(trial, self.params.bits, &self.params.library)
+                .ok()?;
+            Some((e1 as f64 - e0, h1 - h0))
+        })
+    }
+
     /// Evaluate a shortlist chunk on scoped threads (one per candidate;
     /// `k` is small). Each thread runs its transaction on a private
     /// [`DesignState::fork`] of the base state — a cheap copy sharing
@@ -468,6 +746,170 @@ impl IntegratedSynthesizer {
             .iter()
             .map(|cand| self.eval_candidate(state, cand, e0, h0, evaluator))
             .collect()
+    }
+
+    /// Chunk evaluation for the capture path: the `(ΔE, ΔH)` twin of
+    /// the scalar chunk evaluators, honoring `mode` with the same
+    /// scoped-thread strategy (results in shortlist order either way).
+    fn eval_chunk_parts(
+        &self,
+        state: &mut DesignState,
+        chunk: &[MergeCandidate],
+        e0: f64,
+        h0: f64,
+        mode: EvalMode,
+        evaluator: &DeltaEvaluator,
+    ) -> Vec<Option<(f64, f64)>> {
+        match mode {
+            EvalMode::Sequential => chunk
+                .iter()
+                .map(|cand| self.eval_candidate_parts(state, cand, e0, h0, evaluator))
+                .collect(),
+            EvalMode::Parallel => self.eval_chunk_parts_parallel(state, chunk, e0, h0, evaluator),
+        }
+    }
+
+    /// Scoped-thread `(ΔE, ΔH)` chunk evaluation (see
+    /// [`eval_chunk_parallel`](Self::eval_chunk_parallel) for the
+    /// forking/ordering contract).
+    #[cfg(feature = "parallel")]
+    fn eval_chunk_parts_parallel(
+        &self,
+        state: &mut DesignState,
+        chunk: &[MergeCandidate],
+        e0: f64,
+        h0: f64,
+        evaluator: &DeltaEvaluator,
+    ) -> Vec<Option<(f64, f64)>> {
+        if chunk.len() < 2 {
+            return chunk
+                .iter()
+                .map(|cand| self.eval_candidate_parts(state, cand, e0, h0, evaluator))
+                .collect();
+        }
+        let base = &*state;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk
+                .iter()
+                .map(|cand| {
+                    scope.spawn(move || {
+                        let mut local = base.fork();
+                        self.eval_candidate_parts(&mut local, cand, e0, h0, evaluator)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(parts) => parts,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    }
+
+    /// Sequential stand-in when the `parallel` feature is disabled.
+    #[cfg(not(feature = "parallel"))]
+    fn eval_chunk_parts_parallel(
+        &self,
+        state: &mut DesignState,
+        chunk: &[MergeCandidate],
+        e0: f64,
+        h0: f64,
+        evaluator: &DeltaEvaluator,
+    ) -> Vec<Option<(f64, f64)>> {
+        chunk
+            .iter()
+            .map(|cand| self.eval_candidate_parts(state, cand, e0, h0, evaluator))
+            .collect()
+    }
+}
+
+/// A completed warm-capable synthesis run: the result (bit-identical to
+/// the classic loop), the accepted-merge trace it recorded, and how its
+/// commits split between replay and scratch work.
+#[derive(Debug)]
+pub struct WarmSynthesis {
+    /// The synthesized design, exactly as
+    /// [`run_on_ctl`](IntegratedSynthesizer::run_on_ctl) would produce.
+    pub result: SynthesisResult,
+    /// This run's own accepted-merge trace — a valid seed for the next
+    /// neighbour, whether the run replayed or recomputed.
+    pub trace: MergeTrace,
+    /// Replayed vs recomputed commit counts.
+    pub replay: ReplayStats,
+}
+
+/// Internal verdict of one replayed seed entry.
+enum ReplayStep {
+    /// The recorded merge is still the winner; it was applied and
+    /// committed.
+    Commit {
+        kind: MergeKind,
+        dc: f64,
+        entry: TraceEntry,
+    },
+    /// Every candidate is priced and none qualifies: the run terminates
+    /// with this (re-derived) terminal entry.
+    Done(TraceEntry),
+}
+
+/// Map a live [`MergeKind`] onto its trace tag.
+fn trace_kind(kind: MergeKind) -> TraceMergeKind {
+    match kind {
+        MergeKind::Modules(..) => TraceMergeKind::Modules,
+        MergeKind::Registers(..) => TraceMergeKind::Registers,
+    }
+}
+
+/// Capture the stable operand symbols of a winner on the *pre-merge*
+/// state: the first op name (modules) or first value name (registers)
+/// of each side. Empty strings — impossible for a live winner — simply
+/// never resolve at replay time, forcing a safe divergence.
+fn merge_symbols(state: &DesignState, kind: MergeKind) -> (String, String) {
+    let module_sym = |m| {
+        state
+            .allocation
+            .module(m)
+            .and_then(|x| x.ops().first())
+            .map(|&o| state.dfg.op(o).name().to_owned())
+            .unwrap_or_default()
+    };
+    let register_sym = |r| {
+        state
+            .allocation
+            .register(r)
+            .and_then(|x| x.values().first())
+            .map(|&v| state.dfg.value(v).name().to_owned())
+            .unwrap_or_default()
+    };
+    match kind {
+        MergeKind::Modules(a, b) => (module_sym(a), module_sym(b)),
+        MergeKind::Registers(a, b) => (register_sym(a), register_sym(b)),
+    }
+}
+
+/// Resolve a recorded winner's symbols against the current state. The
+/// replayed trajectory is bit-identical to the recorded one up to this
+/// entry, so the op/value named at capture time lives in exactly the
+/// module/register the recorder merged; `None` (unknown symbol, dead
+/// register, or both symbols landing in one unit) reports divergence.
+fn resolve_winner(state: &DesignState, winner: &TraceWinner) -> Option<MergeKind> {
+    match winner.kind {
+        TraceMergeKind::Modules => {
+            let a = state.allocation.module_of(state.dfg.op_by_name(&winner.sym_a)?);
+            let b = state.allocation.module_of(state.dfg.op_by_name(&winner.sym_b)?);
+            (a != b).then_some(MergeKind::Modules(a, b))
+        }
+        TraceMergeKind::Registers => {
+            let a = state
+                .allocation
+                .register_of(state.dfg.value_by_name(&winner.sym_a)?)?;
+            let b = state
+                .allocation
+                .register_of(state.dfg.value_by_name(&winner.sym_b)?)?;
+            (a != b).then_some(MergeKind::Registers(a, b))
+        }
     }
 }
 
@@ -590,5 +1032,102 @@ mod tests {
         assert_eq!(SynthesisParams::paper_defaults(4).alpha, 2.0);
         assert_eq!(SynthesisParams::paper_defaults(8).alpha, 10.0);
         assert_eq!(SynthesisParams::paper_defaults(16).beta, 10.0);
+    }
+
+    #[test]
+    fn warm_capture_is_bit_identical_to_the_classic_loop() {
+        let d = small();
+        let synth = IntegratedSynthesizer::new(SynthesisParams::default());
+        let base = DesignState::initial(&d).unwrap();
+        let ev = DeltaEvaluator::new();
+        let cold = synth
+            .run_on_ctl(&base, EvalMode::Sequential, &ev, &RunCtl::none())
+            .unwrap();
+        let warm = synth
+            .run_on_warm(&base, EvalMode::Sequential, &ev, &RunCtl::none(), None)
+            .unwrap();
+        assert_eq!(warm.result.schedule, cold.schedule);
+        assert_eq!(warm.result.allocation, cold.allocation);
+        assert_eq!(warm.result.merge_log, cold.merge_log);
+        assert_eq!(warm.replay.replayed, 0);
+        assert_eq!(warm.replay.recomputed, cold.merge_log.len());
+        // converged runs end in a terminal entry
+        assert_eq!(warm.trace.entries.len(), cold.merge_log.len() + 1);
+        assert!(warm.trace.entries.last().unwrap().winner.is_none());
+    }
+
+    #[test]
+    fn same_point_replays_fully_and_identically() {
+        let d = small();
+        let synth = IntegratedSynthesizer::new(SynthesisParams::default());
+        let base = DesignState::initial(&d).unwrap();
+        let ev = DeltaEvaluator::new();
+        let first = synth
+            .run_on_warm(&base, EvalMode::Sequential, &ev, &RunCtl::none(), None)
+            .unwrap();
+        let again = synth
+            .run_on_warm(
+                &base,
+                EvalMode::Sequential,
+                &ev,
+                &RunCtl::none(),
+                Some(&first.trace),
+            )
+            .unwrap();
+        assert_eq!(again.result.schedule, first.result.schedule);
+        assert_eq!(again.result.allocation, first.result.allocation);
+        assert_eq!(again.result.merge_log, first.result.merge_log);
+        assert_eq!(again.replay.recomputed, 0, "identical weights never diverge");
+        assert_eq!(again.replay.replayed, first.result.merge_log.len());
+        assert_eq!(again.trace, first.trace, "the replayed trace re-records itself");
+    }
+
+    #[test]
+    fn divergent_weights_replay_and_fall_back_bit_identically() {
+        let d = small();
+        let base = DesignState::initial(&d).unwrap();
+        let ev = DeltaEvaluator::new();
+        let seed = IntegratedSynthesizer::new(SynthesisParams::default())
+            .run_on_warm(&base, EvalMode::Sequential, &ev, &RunCtl::none(), None)
+            .unwrap();
+        // A grid of neighbours, including weights that walk a different
+        // trajectory: warm output must equal the cold loop on every one.
+        for (alpha, beta, k) in [
+            (2.0, 1.0, 3),
+            (2.5, 1.0, 3),
+            (10.0, 1.0, 3),
+            (0.01, 100.0, 3),
+            (1.0, 10.0, 2),
+            (2.0, 1.0, 1),
+        ] {
+            let synth = IntegratedSynthesizer::new(SynthesisParams {
+                k,
+                alpha,
+                beta,
+                ..SynthesisParams::default()
+            });
+            let cold = synth
+                .run_on_ctl(&base, EvalMode::Sequential, &ev, &RunCtl::none())
+                .unwrap();
+            let warm = synth
+                .run_on_warm(
+                    &base,
+                    EvalMode::Sequential,
+                    &ev,
+                    &RunCtl::none(),
+                    Some(&seed.trace),
+                )
+                .unwrap();
+            assert_eq!(
+                warm.result.schedule, cold.schedule,
+                "(α={alpha}, β={beta}, k={k})"
+            );
+            assert_eq!(warm.result.allocation, cold.allocation);
+            assert_eq!(warm.result.merge_log, cold.merge_log);
+            assert_eq!(
+                warm.replay.replayed + warm.replay.recomputed,
+                cold.merge_log.len()
+            );
+        }
     }
 }

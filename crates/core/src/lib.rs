@@ -55,9 +55,13 @@ mod progress;
 mod report;
 mod resched;
 mod state;
+mod trace;
 mod txn;
 
-pub use algorithm::{EvalMode, IntegratedSynthesizer, SelectionPolicy, SynthesisParams};
+pub use algorithm::{
+    EvalMode, IntegratedSynthesizer, SelectionPolicy, SynthesisParams, WarmSynthesis,
+};
+pub use trace::{MergeTrace, ReplayStats, TraceEntry, TraceMergeKind, TraceWinner};
 pub use progress::{CancelToken, NullSink, ProgressEvent, ProgressSink, RunCtl};
 pub use candidates::{MergeCandidate, MergeKind};
 pub use delta_eval::{DeltaEvaluator, EvalStats};

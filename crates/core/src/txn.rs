@@ -270,20 +270,23 @@ impl Drop for StateTxn<'_> {
 ///
 /// Returns `None` when the merger is infeasible or `price` declines.
 /// This is the one trial path shared by Algorithm 1 and the CAMAD
-/// baseline — they differ only in the pricing closure.
+/// baseline — they differ only in the pricing closure. The price type
+/// is generic: the classic loop prices a scalar ΔC (`f64`), the
+/// warm-start capture path prices the `(ΔE, ΔH)` parts so a replayed
+/// trace can be re-weighted without re-trialing.
 ///
 /// In debug builds the rolled-back state is re-audited after every
 /// trial (see [`DesignState::audit`]): a journal-replay bug corrupts
 /// the *base* state all later candidates price, so it must be caught
 /// at the rollback that introduced it, not at the end of the run.
-pub fn trial_merge<F>(
+pub fn trial_merge<T, F>(
     state: &mut DesignState,
     kind: MergeKind,
     strategy: OrderStrategy,
     price: F,
-) -> Option<f64>
+) -> Option<T>
 where
-    F: FnOnce(&DesignState) -> Option<f64>,
+    F: FnOnce(&DesignState) -> Option<T>,
 {
     let priced = {
         let mut txn = StateTxn::begin(state);

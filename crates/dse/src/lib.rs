@@ -56,9 +56,10 @@ mod spec;
 pub use journal::JournalScan;
 pub use pareto::{Objectives, ParetoArchive, PointResult, TestObjectives};
 pub use runner::{
-    explore, explore_ctl, load_journal, ExploreConfig, ExploreOutcome, ExploreStats, PointFailure,
+    explore, explore_ctl, load_journal, select_seed, ExploreConfig, ExploreOutcome, ExploreStats,
+    PointFailure,
 };
-pub use spec::{Flow, PointParams, SweepPoint, SweepSpec, TcovSweep};
+pub use spec::{Flow, PointParams, SweepPoint, SweepSpec, TcovSweep, TRACE_SCHEMA};
 
 use hlts_core::CoreError;
 
@@ -238,6 +239,14 @@ impl ExploreOutcome {
             s.wall_millis,
             s.compute_millis,
         ));
+        // Present only on warm-start sweeps, so cold output stays
+        // byte-identical to every earlier version.
+        if self.results.iter().any(|r| r.replay.is_some()) {
+            out.push_str(&format!(
+                "warm start: {} merge(s) replayed from neighbour traces, {} recomputed\n",
+                s.merges_replayed, s.merges_recomputed,
+            ));
+        }
         if s.points_failed > 0 || s.journal_malformed > 0 || s.journal_torn_tail > 0 {
             out.push_str(&format!(
                 "degraded: {} point(s) failed, {} malformed journal line(s) skipped on \
@@ -287,12 +296,17 @@ impl ExploreOutcome {
                     )
                 })
                 .unwrap_or_default();
+            // Like `test`: present only on warm-start sweeps.
+            let replay = r
+                .replay
+                .map(|(rep, rec)| format!(" \"replayed\": {rep}, \"recomputed\": {rec},"))
+                .unwrap_or_default();
             out.push_str(&format!(
                 "    {{\"id\": {}, \"bench\": {}, \"flow\": \"{}\", \"k\": {}, \
                  \"alpha\": {:?}, \"beta\": {:?}, \"bits\": {}, \"E\": {}, \"H\": {:?}, \
                  \"modules\": {}, \"registers\": {}, \"muxes\": {}, \
                  \"avg_controllability\": {:?}, \"avg_observability\": {:?}, \
-                 \"co_depth\": {:?},{test} \"millis\": {}, \"resumed\": {}, \"on_front\": {}}}{}\n",
+                 \"co_depth\": {:?},{test}{replay} \"millis\": {}, \"resumed\": {}, \"on_front\": {}}}{}\n",
                 r.id,
                 json_string(&r.params.bench),
                 r.params.flow,
@@ -327,11 +341,21 @@ impl ExploreOutcome {
             })
             .collect();
         let s = &self.stats;
+        // Stats keys gated like the per-point pair: cold JSON stays
+        // byte-identical.
+        let warm_stats = if self.results.iter().any(|r| r.replay.is_some()) {
+            format!(
+                "\"merges_replayed\": {}, \"merges_recomputed\": {}, ",
+                s.merges_replayed, s.merges_recomputed
+            )
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
             "  ],\n  \"front\": [{}],\n  \"failures\": [{}],\n  \"stats\": {{\"points_total\": {}, \
              \"points_computed\": {}, \"points_resumed\": {}, \"points_failed\": {}, \
              \"points_cancelled\": {}, \
-             \"journal_malformed\": {}, \"journal_torn_tail\": {}, \"workers\": {}, \
+             \"journal_malformed\": {}, \"journal_torn_tail\": {}, {warm_stats}\"workers\": {}, \
              \"wall_millis\": {}, \"compute_millis\": {}, \
              \"testability\": {{\"hits\": {}, \"misses\": {}, \"incremental\": {}, \
              \"full\": {}}}, \"eval\": {{\"state_hits\": {}, \"state_misses\": {}}}, \

@@ -118,6 +118,12 @@ pub struct PointResult {
     /// Whether the result was replayed from a checkpoint journal
     /// instead of recomputed. Diagnostics only.
     pub resumed: bool,
+    /// Warm-start accounting, `Some((replayed, recomputed))` exactly
+    /// when the sweep ran with `--warm-start on`: how many committed
+    /// merges came from replaying a neighbour's trace vs the scratch
+    /// loop. Diagnostics only — replay changes work, never results, so
+    /// the pair is excluded from equality like `millis`/`resumed`.
+    pub replay: Option<(usize, usize)>,
 }
 
 impl PartialEq for PointResult {
@@ -215,6 +221,7 @@ mod tests {
             muxes: 0,
             millis: 0,
             resumed: false,
+            replay: None,
         }
     }
 

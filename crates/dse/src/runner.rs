@@ -20,20 +20,21 @@
 
 use std::io::Write as _;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use hlts_check::faults;
 use hlts_core::baselines;
 use hlts_core::{
     CoreError, DeltaEvaluator, DesignState, EvalMode, EvalStats, IntegratedSynthesizer,
-    ProgressEvent, ProgressSink, RunCtl, SynthesisResult, TestabilityCacheStats, TxnStats,
+    MergeTrace, ProgressEvent, ProgressSink, ReplayStats, RunCtl, SynthesisResult,
+    TestabilityCacheStats, TxnStats,
 };
 use hlts_dfg::Dfg;
 
-use crate::journal::{render_header, render_point, JournalScan};
+use crate::journal::{render_header, render_point, render_trace, JournalScan};
 use crate::pareto::{Objectives, ParetoArchive, PointResult, TestObjectives};
-use crate::spec::{Flow, SweepPoint, SweepSpec, TcovSweep};
+use crate::spec::{Flow, PointParams, SweepPoint, SweepSpec, TcovSweep};
 use crate::DseError;
 
 /// How a sweep is executed.
@@ -59,6 +60,11 @@ pub struct ExploreConfig {
     /// dropped ([`JournalScan::torn_tail`]); carried into
     /// [`ExploreStats::journal_torn_tail`].
     pub resume_torn_tail: usize,
+    /// Accepted-merge traces recovered from the resume journal
+    /// ([`JournalScan::traces`]): on a warm-start sweep they pre-seed
+    /// the trace pool, so points computed after a resume can still
+    /// replay their already-journalled neighbours.
+    pub resume_traces: Vec<(usize, MergeTrace)>,
 }
 
 /// Aggregate counters of one [`explore`] call: point accounting,
@@ -89,6 +95,15 @@ pub struct ExploreStats {
     /// checkpoint (from [`ExploreConfig::resume_torn_tail`]; `0` or
     /// `1` — an interrupted append leaves at most one).
     pub journal_torn_tail: usize,
+    /// Committed merges obtained by replaying a neighbour's trace,
+    /// summed over the points *this call* synthesized (resumed points
+    /// did no work here and contribute nothing). Zero unless the sweep
+    /// ran with warm starts ([`SweepSpec::warm_start`]).
+    pub merges_replayed: usize,
+    /// Committed merges the scratch loop computed on the points this
+    /// call synthesized. On a cold sweep both counters stay zero — the
+    /// classic loop does not account its merges here.
+    pub merges_recomputed: usize,
     /// Effective worker-thread count used.
     pub workers: usize,
     /// Wall-clock milliseconds of the whole exploration.
@@ -175,6 +190,76 @@ fn check_resume(points: &[SweepPoint], resume: &[PointResult]) -> Result<(), Dse
     Ok(())
 }
 
+/// Penalty added to the parameter-space distance when a candidate
+/// neighbour ran with a different shortlist depth `k`: a different `k`
+/// chunks the candidate list differently, so its trace diverges almost
+/// immediately — any same-`k` neighbour, however far in (α, β), beats
+/// every different-`k` one.
+const K_MISMATCH_PENALTY: f64 = 1.0e9;
+
+/// Choose the warm-start seed neighbour for `target` among `completed`
+/// `(point id, params)` pairs: the nearest eligible point by
+/// `|Δα| + |Δβ|` (plus [`K_MISMATCH_PENALTY`] when `k` differs), ties
+/// broken toward the smaller id. Eligible means same bench, same bit
+/// width, and the integrated flow on both sides — baseline flows
+/// commit no merges, so they neither produce nor consume traces.
+///
+/// This is a **pure function of the set**: the result is independent
+/// of the slice's order (the minimum is taken under a total order with
+/// the id as final tie-break), so whichever completion order a worker
+/// pool produced the same completed set through, the same seed is
+/// chosen. The choice only ever shifts *work* between replay and
+/// scratch synthesis — never results — but determinism here keeps the
+/// replayed/recomputed accounting reproducible at `--jobs 1`.
+#[must_use]
+pub fn select_seed(completed: &[(usize, &PointParams)], target: &PointParams) -> Option<usize> {
+    if target.flow != Flow::Ours {
+        return None;
+    }
+    completed
+        .iter()
+        .filter(|(_, p)| {
+            p.flow == Flow::Ours && p.bench == target.bench && p.bits == target.bits
+        })
+        .map(|(id, p)| {
+            let mut dist = (p.alpha - target.alpha).abs() + (p.beta - target.beta).abs();
+            if p.k != target.k {
+                dist += K_MISMATCH_PENALTY;
+            }
+            (dist, *id)
+        })
+        .min_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)))
+        .map(|(_, id)| id)
+}
+
+/// Shared warm-start state of one exploration: every completed
+/// integrated point's accepted-merge trace, indexed by point id. The
+/// lock is held only to snapshot the completed set or deposit one
+/// trace — never across a synthesis.
+struct WarmCtx<'a> {
+    points: &'a [SweepPoint],
+    traces: Mutex<Vec<Option<Arc<MergeTrace>>>>,
+}
+
+impl WarmCtx<'_> {
+    /// Snapshot the completed set and pick `target`'s seed trace.
+    fn seed_for(&self, target: &PointParams) -> Option<Arc<MergeTrace>> {
+        let traces = lock_recover(&self.traces);
+        let completed: Vec<(usize, &PointParams)> = traces
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_some())
+            .map(|(id, _)| (id, &self.points[id].params))
+            .collect();
+        let seed = select_seed(&completed, target)?;
+        traces[seed].clone()
+    }
+
+    fn deposit(&self, id: usize, trace: MergeTrace) {
+        lock_recover(&self.traces)[id] = Some(Arc::new(trace));
+    }
+}
+
 /// One behavior's shared synthesis context.
 struct BenchCtx<'a> {
     dfg: &'a Dfg,
@@ -185,23 +270,37 @@ struct BenchCtx<'a> {
 fn synthesize(
     point: &SweepPoint,
     ctx: &BenchCtx<'_>,
+    warm: Option<&WarmCtx<'_>>,
     ctl: &RunCtl<'_>,
-) -> Result<SynthesisResult, DseError> {
+) -> Result<(SynthesisResult, Option<(MergeTrace, ReplayStats)>), DseError> {
     let params = point.params.synthesis_params();
     // Only the iterative flows can observe mid-point cancellation; the
     // one-shot constructive baselines finish in a single step anyway.
-    let run = match point.params.flow {
-        Flow::Ours => IntegratedSynthesizer::new(params).run_on_ctl(
+    let run = match (point.params.flow, warm) {
+        (Flow::Ours, Some(w)) => {
+            let seed = w.seed_for(&point.params);
+            return IntegratedSynthesizer::new(params)
+                .run_on_warm(
+                    &ctx.base,
+                    EvalMode::Sequential,
+                    &ctx.evaluator,
+                    ctl,
+                    seed.as_deref(),
+                )
+                .map(|warm_run| (warm_run.result, Some((warm_run.trace, warm_run.replay))))
+                .map_err(DseError::Core);
+        }
+        (Flow::Ours, None) => IntegratedSynthesizer::new(params).run_on_ctl(
             &ctx.base,
             EvalMode::Sequential,
             &ctx.evaluator,
             ctl,
         ),
-        Flow::Camad => baselines::camad_ctl(ctx.dfg, &params, ctl),
-        Flow::Approach1 => baselines::approach1(ctx.dfg, &params),
-        Flow::Approach2 => baselines::approach2(ctx.dfg, &params),
+        (Flow::Camad, _) => baselines::camad_ctl(ctx.dfg, &params, ctl),
+        (Flow::Approach1, _) => baselines::approach1(ctx.dfg, &params),
+        (Flow::Approach2, _) => baselines::approach2(ctx.dfg, &params),
     };
-    run.map_err(DseError::Core)
+    run.map(|r| (r, None)).map_err(DseError::Core)
 }
 
 /// Elaborate a completed point to gates and grade its fault coverage.
@@ -238,31 +337,54 @@ fn run_point(
     point: &SweepPoint,
     ctx: &BenchCtx<'_>,
     tcov: Option<TcovSweep>,
+    warm: Option<&WarmCtx<'_>>,
     ctl: &RunCtl<'_>,
-) -> Result<PointResult, DseError> {
+) -> Result<(PointResult, Option<String>), DseError> {
     let t0 = Instant::now();
-    let run = synthesize(point, ctx, ctl)?;
+    let (run, captured) = synthesize(point, ctx, warm, ctl)?;
     let test = tcov
         .map(|t| grade_point(point, &run, &t, ctl))
         .transpose()?;
+    // On a warm sweep every point carries the accounting pair (baseline
+    // flows commit no merges: (0, 0)), keeping the journal schema
+    // uniform; the trace line exists only for the integrated flow.
+    let replay = match (&captured, warm) {
+        (Some((_, stats)), _) => Some((stats.replayed, stats.recomputed)),
+        (None, Some(_)) => Some((0, 0)),
+        (None, None) => None,
+    };
+    let trace_line = captured.as_ref().and_then(|(trace, _)| {
+        if let Some(w) = warm {
+            // The pool feeds in-process neighbours and needs no
+            // encoding; the journal line is rendered separately (and
+            // skipped in the astronomically unlikely case of an
+            // unencodable operand symbol — traces are an optimization).
+            w.deposit(point.id, trace.clone());
+        }
+        render_trace(point.id, trace)
+    });
     let m = &run.metrics;
-    Ok(PointResult {
-        id: point.id,
-        params: point.params.clone(),
-        objectives: Objectives {
-            execution_time: m.execution_time,
-            hardware: m.hardware.total(),
-            avg_controllability: m.avg_controllability,
-            avg_observability: m.avg_observability,
-            co_depth: m.co_depth,
-            test,
+    Ok((
+        PointResult {
+            id: point.id,
+            params: point.params.clone(),
+            objectives: Objectives {
+                execution_time: m.execution_time,
+                hardware: m.hardware.total(),
+                avg_controllability: m.avg_controllability,
+                avg_observability: m.avg_observability,
+                co_depth: m.co_depth,
+                test,
+            },
+            modules: m.num_modules,
+            registers: m.num_registers,
+            muxes: m.mux_count,
+            millis: t0.elapsed().as_millis() as u64,
+            resumed: false,
+            replay,
         },
-        modules: m.num_modules,
-        registers: m.num_registers,
-        muxes: m.mux_count,
-        millis: t0.elapsed().as_millis() as u64,
-        resumed: false,
-    })
+        trace_line,
+    ))
 }
 
 /// A completed slot: the worker pool writes these, the merge loop
@@ -324,7 +446,11 @@ impl Sink {
         Ok(Sink { file: Some(file) })
     }
 
-    fn append(&mut self, r: &PointResult) -> Result<(), DseError> {
+    /// Append one completed point — and, on warm sweeps, its trace
+    /// line immediately *before* it — as a single write+flush, so an
+    /// interrupted append can only ever leave a torn tail, never a
+    /// trace/point pair with one half missing an earlier line.
+    fn append(&mut self, r: &PointResult, trace: Option<&str>) -> Result<(), DseError> {
         if let Some(f) = &mut self.file {
             // Fault-injection sites (inert unless the `test-faults`
             // feature is on AND a plan armed them): a panic while the
@@ -338,7 +464,7 @@ impl Sink {
             let line = if faults::fire(faults::sites::DSE_SINK_CORRUPT) {
                 format!("point {} <<injected corruption>>\n", r.id)
             } else {
-                render_point(r)
+                format!("{}{}", trace.unwrap_or_default(), render_point(r))
             };
             f.write_all(line.as_bytes())
                 .and_then(|()| f.flush())
@@ -378,15 +504,16 @@ fn run_point_guarded(
     point: &SweepPoint,
     ctx: &BenchCtx<'_>,
     tcov: Option<TcovSweep>,
+    warm: Option<&WarmCtx<'_>>,
     sink: &Mutex<Sink>,
     ctl: &RunCtl<'_>,
     progress: &PointProgress<'_>,
 ) -> Result<PointResult, DseError> {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let r = run_point(point, ctx, tcov, ctl)?;
+        let (r, trace_line) = run_point(point, ctx, tcov, warm, ctl)?;
         // A journal failure must not lose the computed result silently;
         // surface it as the point's outcome.
-        lock_recover(sink).append(&r)?;
+        lock_recover(sink).append(&r, trace_line.as_deref())?;
         progress.point_done(point.id);
         Ok(r)
     }));
@@ -478,6 +605,21 @@ pub fn explore_ctl(
         .collect::<Result<_, DseError>>()?;
 
     let pending: Vec<&SweepPoint> = points.iter().filter(|p| slots[p.id].is_none()).collect();
+    // The warm-start trace pool, pre-seeded with the resume journal's
+    // traces so a resumed sweep replays its own past as readily as a
+    // fresh one replays its in-flight neighbours.
+    let warm = spec.warm_start.then(|| {
+        let mut traces: Vec<Option<Arc<MergeTrace>>> = vec![None; points.len()];
+        for (id, trace) in &cfg.resume_traces {
+            if let Some(slot) = traces.get_mut(*id) {
+                *slot = Some(Arc::new(trace.clone()));
+            }
+        }
+        WarmCtx {
+            points: &points,
+            traces: Mutex::new(traces),
+        }
+    });
     let sink = Mutex::new(Sink::open(cfg, fingerprint)?);
     let workers = effective_workers(cfg.jobs, pending.len());
     let progress = PointProgress {
@@ -502,6 +644,7 @@ pub fn explore_ctl(
                 point,
                 &contexts[ctx_index[point.id]],
                 spec.tcov,
+                warm.as_ref(),
                 &sink,
                 ctl,
                 &progress,
@@ -509,7 +652,15 @@ pub fn explore_ctl(
         }
     } else {
         run_pool(
-            &pending, &contexts, &ctx_index, spec.tcov, &sink, &mut slots, workers, ctl,
+            &pending,
+            &contexts,
+            &ctx_index,
+            spec.tcov,
+            warm.as_ref(),
+            &sink,
+            &mut slots,
+            workers,
+            ctl,
             &progress,
         );
     }
@@ -567,6 +718,12 @@ pub fn explore_ctl(
         compute_millis: results.iter().map(|r| r.millis).sum(),
         ..ExploreStats::default()
     };
+    for r in results.iter().filter(|r| !r.resumed) {
+        if let Some((rep, rec)) = r.replay {
+            stats.merges_replayed += rep;
+            stats.merges_recomputed += rec;
+        }
+    }
     for ctx in &contexts {
         add_testability(&mut stats.testability, ctx.base.testability_engine().stats());
         add_eval(&mut stats.eval, ctx.evaluator.stats());
@@ -606,6 +763,7 @@ fn run_pool(
     contexts: &[BenchCtx<'_>],
     ctx_index: &[usize],
     tcov: Option<TcovSweep>,
+    warm: Option<&WarmCtx<'_>>,
     sink: &Mutex<Sink>,
     slots: &mut [Slot],
     workers: usize,
@@ -636,6 +794,7 @@ fn run_pool(
                         point,
                         &contexts[ctx_index[point.id]],
                         tcov,
+                        warm,
                         sink,
                         ctl,
                         progress,
@@ -665,6 +824,7 @@ fn run_pool(
     _contexts: &[BenchCtx<'_>],
     _ctx_index: &[usize],
     _tcov: Option<TcovSweep>,
+    _warm: Option<&WarmCtx<'_>>,
     _sink: &Mutex<Sink>,
     _slots: &mut [Slot],
     _workers: usize,

@@ -167,7 +167,18 @@ pub struct SweepSpec {
     /// fingerprint — a coverage journal cannot resume a plain sweep or
     /// vice versa.
     pub tcov: Option<TcovSweep>,
+    /// Seed each point from its nearest completed neighbour's
+    /// accepted-merge trace (`--warm-start on`). Changes the
+    /// fingerprint — a trace-bearing journal cannot resume a legacy
+    /// sweep or vice versa (see [`TRACE_SCHEMA`]).
+    pub warm_start: bool,
 }
+
+/// Version of the journal's `trace` line encoding, folded into the
+/// fingerprint of warm-start sweeps: bumping it when the encoding
+/// changes makes `--resume` refuse old trace-bearing journals instead
+/// of silently replaying a half-understood schema.
+pub const TRACE_SCHEMA: u32 = 1;
 
 impl SweepSpec {
     /// A sweep over `benches` with the paper's default grid axes:
@@ -182,6 +193,7 @@ impl SweepSpec {
             bits: vec![8],
             extra: Vec::new(),
             tcov: None,
+            warm_start: false,
         }
     }
 
@@ -271,6 +283,13 @@ impl SweepSpec {
         if let Some(t) = &self.tcov {
             mix(format!("tcov fault_sample={}\n", t.fault_sample));
         }
+        // Likewise gated: a warm-start journal carries `trace` lines, so
+        // `--resume` must refuse to mix it with a legacy journal (and
+        // with any future trace schema) rather than silently replaying a
+        // half-understood file.
+        if self.warm_start {
+            mix(format!("warm-start trace-schema={TRACE_SCHEMA}\n"));
+        }
         Ok(h)
     }
 }
@@ -343,6 +362,18 @@ mod tests {
         );
         assert_eq!(TcovSweep { fault_sample: 0 }.sample(), None);
         assert_eq!(TcovSweep { fault_sample: 9 }.sample(), Some(9));
+    }
+
+    #[test]
+    fn warm_start_changes_the_fingerprint_plain_spec_does_not() {
+        let plain = SweepSpec::new(vec![bench()]);
+        let mut warm = plain.clone();
+        warm.warm_start = true;
+        assert_ne!(
+            plain.fingerprint().unwrap(),
+            warm.fingerprint().unwrap(),
+            "a trace-bearing journal must not resume a legacy sweep"
+        );
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! input may panic it, and damaging one line may lose at most that
 //! line's point.
 
-use hlts_dse::journal::{parse, render_header, render_point};
+use hlts_core::{MergeTrace, TraceEntry, TraceMergeKind, TraceWinner};
+use hlts_dse::journal::{parse, render_header, render_point, render_trace};
 use hlts_dse::{Flow, Objectives, PointParams, PointResult};
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -30,6 +31,7 @@ fn sample(id: usize) -> PointResult {
         muxes: 12,
         millis: 312,
         resumed: false,
+        replay: None,
     }
 }
 
@@ -119,6 +121,91 @@ fn truncation_at_every_byte_counts_the_torn_tail() {
         }
         for (i, p) in scan.points.iter().take(complete).enumerate() {
             assert_eq!(p, &sample(i), "complete line {i} must survive cut at {cut}");
+        }
+    }
+}
+
+fn warm_sample(id: usize) -> PointResult {
+    let mut r = sample(id);
+    r.replay = Some((id, 3));
+    r
+}
+
+fn trace_of(id: usize) -> MergeTrace {
+    MergeTrace {
+        entries: vec![
+            TraceEntry {
+                winner: Some(TraceWinner {
+                    kind: if id.is_multiple_of(2) {
+                        TraceMergeKind::Modules
+                    } else {
+                        TraceMergeKind::Registers
+                    },
+                    sym_a: format!("N{id}"),
+                    sym_b: "N9".into(),
+                    index: id,
+                    fingerprint: 0x0123_4567_89ab_cdef ^ id as u64,
+                }),
+                total: 4,
+                prices: vec![Some((1.0 + id as f64, -0.5)), None],
+            },
+            TraceEntry {
+                winner: None,
+                total: 2,
+                prices: vec![Some((0.25, 0.125)), None],
+            },
+        ],
+    }
+}
+
+fn warm_journal_text(points: usize) -> String {
+    let mut text = render_header(0xfeed_f00d);
+    for id in 0..points {
+        text.push_str(&render_trace(id, &trace_of(id)).unwrap());
+        text.push_str(&render_point(&warm_sample(id)));
+    }
+    text
+}
+
+/// The truncation sweep over a *warm-start* journal — trace lines
+/// interleaved with `rep=`/`rec=`-bearing point lines, each cut also
+/// re-tried with stray trailing blank lines appended (the shape the
+/// torn-tail normalization exists for): truncation must never count as
+/// interior corruption, a torn tail is at most one, trailing blanks
+/// never flip a torn tail into `malformed`, and a surviving trace is
+/// never an orphan.
+#[test]
+fn warm_truncation_at_every_byte_counts_the_torn_tail() {
+    let clean = warm_journal_text(3);
+    let header_len = render_header(0xfeed_f00d).len();
+    for cut in header_len..=clean.len() {
+        // `""` is the plain kill shape; the rest are stray trailing
+        // blank lines after the cut. A single bare `"\n"` is excluded
+        // deliberately: one newline after content IS the clean
+        // terminator, so a mid-line cut plus `"\n"` is interior
+        // corruption by definition — the satellite's normalization is
+        // about *extra* blanks beyond it.
+        for blanks in ["", "\n\n", "\n \n", "\n\n\n"] {
+            let text = format!("{}{blanks}", &clean[..cut]);
+            let scan =
+                parse(&text).unwrap_or_else(|e| panic!("cut {cut} blanks {blanks:?}: {e}"));
+            assert_eq!(
+                scan.malformed, 0,
+                "cut {cut} blanks {blanks:?}: truncation is not corruption"
+            );
+            assert!(scan.torn_tail <= 1, "cut {cut} blanks {blanks:?}");
+            for (id, trace) in &scan.traces {
+                assert!(
+                    scan.points.iter().any(|p| p.id == *id),
+                    "cut {cut} blanks {blanks:?}: orphan trace {id}"
+                );
+                assert_eq!(trace, &trace_of(*id), "cut {cut}: trace {id} roundtrips");
+            }
+            for p in &scan.points {
+                let mut expect = warm_sample(p.id);
+                expect.resumed = true;
+                assert_eq!(p.replay, expect.replay, "cut {cut}: rep/rec roundtrip");
+            }
         }
     }
 }

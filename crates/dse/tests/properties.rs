@@ -3,7 +3,9 @@
 
 use std::path::PathBuf;
 
-use hlts_dse::{explore, load_journal, ExploreConfig, Flow, SweepSpec, TcovSweep};
+use hlts_dse::{
+    explore, load_journal, select_seed, ExploreConfig, Flow, PointParams, SweepSpec, TcovSweep,
+};
 use proptest::prelude::*;
 
 fn spec_over(benches: &[&str]) -> SweepSpec {
@@ -226,6 +228,163 @@ fn resume_recomputes_nothing_and_preserves_the_front() {
         uninterrupted.front_signature()
     );
     let _ = std::fs::remove_file(&path);
+}
+
+/// The warm-start identity: `--warm-start on` replays neighbour traces
+/// instead of re-trialing merges, but the Pareto front — and every
+/// per-point result — stays bit-identical to the cold sweep at any
+/// worker count. Replay changes work, never results.
+#[test]
+fn warm_start_front_is_bit_identical_to_cold() {
+    let mut spec = spec_over(&["ex", "dct", "diffeq", "tseng"]);
+    // A dense weight axis: close neighbours make long replays likely,
+    // a far outlier forces divergence-and-fallback coverage too.
+    spec.weights = vec![(2.0, 1.0), (2.0, 1.05), (2.2, 1.0), (0.1, 10.0)];
+    let cold = explore(&spec, &jobs(1)).expect("cold sweep");
+
+    let mut warm_spec = spec.clone();
+    warm_spec.warm_start = true;
+    for n in [1, 4] {
+        let warm = explore(&warm_spec, &jobs(n)).expect("warm sweep");
+        assert_eq!(
+            cold.front_signature(),
+            warm.front_signature(),
+            "warm front diverged at {n} worker(s)"
+        );
+        assert_eq!(cold.results, warm.results, "results diverged at {n} worker(s)");
+        for r in &warm.results {
+            assert!(r.replay.is_some(), "warm points carry the accounting pair");
+        }
+        if n == 1 {
+            // Sequential completion order is point order, so every
+            // same-bench successor has a close neighbour to replay.
+            assert!(
+                warm.stats.merges_replayed > 0,
+                "dense neighbours must replay some merges, got {:?}",
+                warm.stats
+            );
+        }
+    }
+    for r in &cold.results {
+        assert!(r.replay.is_none(), "cold points carry no accounting pair");
+    }
+}
+
+/// Warm journals round-trip through kill-and-resume: the scan recovers
+/// the traces, the resumed run replays the missing points against
+/// them, and the front stays bit-identical to an uninterrupted cold
+/// sweep. A cold spec must refuse the trace-bearing journal.
+#[test]
+fn warm_journal_resumes_with_traces() {
+    let mut spec = spec_over(&["dct", "tseng"]);
+    spec.weights = vec![(2.0, 1.0), (2.0, 1.1), (1.9, 1.0)];
+    let cold = explore(&spec, &jobs(1)).expect("cold sweep");
+
+    let mut warm_spec = spec.clone();
+    warm_spec.warm_start = true;
+    let total = warm_spec.points().expect("points").len();
+    let path = tmp_journal("warm-resume");
+    let journaled = explore(
+        &warm_spec,
+        &ExploreConfig {
+            jobs: 1,
+            journal: Some(path.clone()),
+            ..ExploreConfig::default()
+        },
+    )
+    .expect("journaled warm sweep");
+    assert_eq!(journaled.front_signature(), cold.front_signature());
+
+    // Keep the first `keep` trace+point pairs (one of each per point),
+    // then add a torn tail.
+    let text = std::fs::read_to_string(&path).expect("journal exists");
+    let mut lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2 + 2 * total, "header + trace/point pair per point");
+    let keep = 3usize;
+    lines.truncate(2 + 2 * keep);
+    let mut truncated = lines.join("\n");
+    truncated.push_str("\ntrace 99 M N1 N"); // torn tail
+    std::fs::write(&path, truncated).expect("truncate journal");
+
+    let scan = load_journal(&path, &warm_spec).expect("journal loads");
+    assert_eq!(scan.points.len(), keep);
+    assert_eq!(scan.traces.len(), keep, "each kept point's trace survives");
+    assert_eq!((scan.malformed, scan.torn_tail), (0, 1));
+    let resumed = explore(
+        &warm_spec,
+        &ExploreConfig {
+            jobs: 2,
+            journal: Some(path.clone()),
+            resume: scan.points,
+            resume_torn_tail: scan.torn_tail,
+            resume_traces: scan.traces,
+            ..ExploreConfig::default()
+        },
+    )
+    .expect("resumed warm sweep");
+    assert_eq!(resumed.stats.points_resumed, keep);
+    assert_eq!(resumed.stats.points_computed, total - keep);
+    assert_eq!(resumed.front_signature(), cold.front_signature());
+    assert_eq!(resumed.results, cold.results);
+
+    // The cold spec has a different fingerprint: no silent half-schema
+    // replay of a trace-bearing journal.
+    let err = load_journal(&path, &spec).expect_err("cold spec refuses warm journal");
+    assert!(err.to_string().contains("different sweep"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Satellite: the chosen seed neighbour is a pure function of the
+/// *set* of completed points and the target — independent of the
+/// order worker completion happened to produce the set in.
+#[test]
+fn seed_neighbour_is_order_independent() {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    let params = |bench: &str, flow, k, alpha, beta, bits| PointParams {
+        bench: bench.into(),
+        flow,
+        k,
+        alpha,
+        beta,
+        bits,
+    };
+    let pool = [
+        params("dct", Flow::Ours, 3, 2.0, 1.0, 8),
+        params("dct", Flow::Ours, 3, 2.0, 1.05, 8),
+        params("dct", Flow::Ours, 2, 2.0, 1.0, 8), // k mismatch: penalized
+        params("dct", Flow::Ours, 3, 0.1, 10.0, 8),
+        params("dct", Flow::Camad, 3, 2.0, 1.0, 8), // baseline: ineligible
+        params("dct", Flow::Ours, 3, 2.0, 1.0, 16), // bits mismatch: ineligible
+        params("tseng", Flow::Ours, 3, 2.0, 1.0, 8), // other bench: ineligible
+        params("dct", Flow::Ours, 3, 2.0, 1.05, 8), // exact tie with id 1
+    ];
+    let target = params("dct", Flow::Ours, 3, 2.0, 1.04, 8);
+
+    let mut completed: Vec<(usize, &PointParams)> = pool.iter().enumerate().collect();
+    let reference = select_seed(&completed, &target);
+    assert_eq!(reference, Some(1), "nearest same-k neighbour, smaller id on ties");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed);
+    for _ in 0..50 {
+        completed.shuffle(&mut rng);
+        assert_eq!(select_seed(&completed, &target), reference);
+    }
+    // Subsets behave too: with id 1 and its tie gone, the same-k pool
+    // decides; k-mismatched neighbours only win when nothing else can.
+    let without = |ids: &[usize]| {
+        pool.iter()
+            .enumerate()
+            .filter(|(i, _)| !ids.contains(i))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(select_seed(&without(&[1, 7]), &target), Some(0));
+    assert_eq!(select_seed(&without(&[0, 1, 3, 7]), &target), Some(2));
+    assert_eq!(select_seed(&without(&[0, 1, 2, 3, 7]), &target), None);
+    // Baseline targets never consume a trace.
+    let camad_target = params("dct", Flow::Camad, 3, 2.0, 1.0, 8);
+    assert_eq!(select_seed(&completed, &camad_target), None);
 }
 
 /// A journal written for one sweep is rejected by another.

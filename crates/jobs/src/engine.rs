@@ -321,6 +321,12 @@ pub struct EngineCounts {
     pub warm_hits: u64,
     /// Warm-context cache misses (a context had to be built).
     pub warm_misses: u64,
+    /// Merges replayed from neighbour traces, summed over finished
+    /// warm-start explore jobs (including cancelled partials).
+    pub merges_replayed: u64,
+    /// Merges recomputed from scratch by those same sweeps (scratch
+    /// synthesis and post-divergence fallback).
+    pub merges_recomputed: u64,
     /// Coverage-memo counters (tier-1 netlist contexts and tier-2
     /// report hits/misses) from the engine's [`TcovPool`].
     pub tcov: TcovStats,
@@ -655,6 +661,9 @@ struct Inner {
     /// [`JobEngine::wait`]ers wait here for terminal transitions.
     done: Condvar,
     warm: WarmPool,
+    /// Warm-start replay counters, accumulated as explore jobs finish.
+    merges_replayed: AtomicU64,
+    merges_recomputed: AtomicU64,
 }
 
 impl Inner {
@@ -704,6 +713,8 @@ impl JobEngine {
                 work: Condvar::new(),
                 done: Condvar::new(),
                 warm: WarmPool::new(cfg.warm_capacity),
+                merges_replayed: AtomicU64::new(0),
+                merges_recomputed: AtomicU64::new(0),
             }),
             workers: Mutex::new(Vec::new()),
         }
@@ -819,6 +830,8 @@ impl JobEngine {
         }
         drop(st);
         (c.warm_hits, c.warm_misses) = self.inner.warm.stats();
+        c.merges_replayed = self.inner.merges_replayed.load(Ordering::Relaxed);
+        c.merges_recomputed = self.inner.merges_recomputed.load(Ordering::Relaxed);
         c.tcov = self.inner.warm.tcov.stats();
         c
     }
@@ -1053,6 +1066,14 @@ fn finish(
     error: Option<String>,
     sink: &SharedSink,
 ) {
+    if let Some(JobOutput::Explore(o)) = &output {
+        inner
+            .merges_replayed
+            .fetch_add(o.stats.merges_replayed as u64, Ordering::Relaxed);
+        inner
+            .merges_recomputed
+            .fetch_add(o.stats.merges_recomputed as u64, Ordering::Relaxed);
+    }
     match state {
         JobState::Done => {
             if let Some(out) = &output {

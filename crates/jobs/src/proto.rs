@@ -119,6 +119,10 @@ pub enum JobRequest {
         /// Coverage grading per point (`"atpg": true` or
         /// `{"fault_sample": N}`; absent = plain objectives).
         tcov: Option<TcovSweep>,
+        /// Warm-start trace replay across sweep neighbours
+        /// (`"warm_start": true`; default off — off is bit-identical
+        /// to the pre-warm-start protocol).
+        warm_start: bool,
     },
     /// Workload generation.
     Gen {
@@ -435,6 +439,11 @@ fn parse_job(job: &Json) -> Result<JobRequest, String> {
             let tcov = parse_atpg(job)?.map(|req| TcovSweep {
                 fault_sample: req.fault_sample.unwrap_or(0),
             });
+            let warm_start = match job.get("warm_start") {
+                None => false,
+                Some(Json::Bool(b)) => *b,
+                Some(_) => return Err("`warm_start` must be a boolean".to_owned()),
+            };
             Ok(JobRequest::Explore {
                 sources,
                 flows,
@@ -443,6 +452,7 @@ fn parse_job(job: &Json) -> Result<JobRequest, String> {
                 bits,
                 jobs,
                 tcov,
+                warm_start,
             })
         }
         "gen" => {
@@ -500,6 +510,7 @@ pub fn render_status(
          \"cancelled\": {}}}, \
          \"workers\": {}, \"queue_capacity\": {}, \
          \"warm\": {{\"hits\": {}, \"misses\": {}}}, \
+         \"explore_replay\": {{\"merges_replayed\": {}, \"merges_recomputed\": {}}}, \
          \"tcov\": {{\"ctx_hits\": {}, \"ctx_misses\": {}, \
          \"report_hits\": {}, \"report_misses\": {}}}, \
          \"malformed_requests\": {malformed}, \
@@ -514,6 +525,8 @@ pub fn render_status(
         counts.queue_capacity,
         counts.warm_hits,
         counts.warm_misses,
+        counts.merges_replayed,
+        counts.merges_recomputed,
         counts.tcov.ctx_hits,
         counts.tcov.ctx_misses,
         counts.tcov.report_hits,
@@ -621,14 +634,24 @@ pub fn run_output_json(out: &RunOutput) -> String {
 
 /// One explore outcome as a single-line JSON summary. The
 /// `front_signature` field is the workspace's canonical bit-identity
-/// witness (equal strings ⇔ bit-identical fronts).
+/// witness (equal strings ⇔ bit-identical fronts). Warm-start sweeps
+/// additionally report the replayed/recomputed merge split; cold
+/// sweeps stay byte-identical to the pre-warm-start protocol.
 #[must_use]
 pub fn explore_result_json(outcome: &ExploreOutcome) -> String {
     let s = &outcome.stats;
+    let warm = if outcome.results.iter().any(|r| r.replay.is_some()) {
+        format!(
+            ", \"merges_replayed\": {}, \"merges_recomputed\": {}",
+            s.merges_replayed, s.merges_recomputed
+        )
+    } else {
+        String::new()
+    };
     format!(
         "{{\"front_signature\": {}, \"front_size\": {}, \"points_total\": {}, \
          \"points_computed\": {}, \"points_resumed\": {}, \"points_failed\": {}, \
-         \"points_cancelled\": {}}}",
+         \"points_cancelled\": {}{warm}}}",
         json_string(&outcome.front_signature()),
         outcome.front.len(),
         s.points_total,
@@ -789,6 +812,7 @@ mod tests {
                 bits,
                 jobs,
                 tcov,
+                warm_start,
             },
             ..
         } = req
@@ -803,6 +827,33 @@ mod tests {
         assert_eq!(bits, vec![4, 8]);
         assert_eq!(jobs, 2);
         assert_eq!(tcov, None);
+        assert!(!warm_start, "warm start defaults to off");
+    }
+
+    #[test]
+    fn parses_the_warm_start_knob() {
+        let get = |line: &str| {
+            let Request::Submit {
+                job: JobRequest::Explore { warm_start, .. },
+                ..
+            } = parse_request(line).unwrap()
+            else {
+                panic!("wrong request kind");
+            };
+            warm_start
+        };
+        assert!(get(
+            r#"{"op":"submit","job":{"kind":"explore","sources":["bench:ex"],"warm_start":true}}"#
+        ));
+        assert!(!get(
+            r#"{"op":"submit","job":{"kind":"explore","sources":["bench:ex"],"warm_start":false}}"#
+        ));
+        // Garbage is rejected, not defaulted.
+        let e = parse_request(
+            r#"{"op":"submit","job":{"kind":"explore","sources":["bench:ex"],"warm_start":1}}"#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("warm_start"), "{}", e.message);
     }
 
     #[test]
@@ -848,6 +899,7 @@ mod tests {
             crate::json::parse(line).unwrap();
         }
         assert!(lines[4].contains("\"malformed_requests\": 2"));
+        assert!(lines[4].contains("\"explore_replay\": {\"merges_replayed\": 0, \"merges_recomputed\": 0}"));
         assert!(lines[4].contains("\"tcov\": {\"ctx_hits\": 0"));
         assert!(lines[4].contains("\"interner\": {\"count\": 5, \"bytes\": 40}"));
     }

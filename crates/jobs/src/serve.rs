@@ -197,6 +197,7 @@ fn resolve_job(job: &JobRequest) -> Result<JobSpec, String> {
             bits,
             jobs,
             tcov,
+            warm_start,
         } => {
             let mut benches = Vec::new();
             for source in sources {
@@ -211,6 +212,7 @@ fn resolve_job(job: &JobRequest) -> Result<JobSpec, String> {
                 bits: bits.clone(),
                 extra: Vec::new(),
                 tcov: *tcov,
+                warm_start: *warm_start,
             };
             let cfg = ExploreConfig {
                 jobs: *jobs,

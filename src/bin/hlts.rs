@@ -5,8 +5,8 @@
 //!      [--bits N] [--k N] [--alpha X] [--beta X] [--atpg]
 //!      [--fault-sample N] [--tcov-jobs N] [--audit] [--json] [--quiet]
 //! hlts explore <source>... [--flow LIST] [--bits LIST] [--k LIST]
-//!      [--weights A:B,...] [--jobs N] [--atpg] [--fault-sample N]
-//!      [--journal PATH | --resume PATH] [--json] [--quiet]
+//!      [--weights A:B,...] [--jobs N] [--warm-start off|on] [--atpg]
+//!      [--fault-sample N] [--journal PATH | --resume PATH] [--json] [--quiet]
 //! hlts gen [--seed N] [--preset NAME] [--list-presets] [--out FILE]
 //!      [--ops N] [--inputs N] [--const-ratio X] [--mul W] [--addsub W]
 //!      [--logic W] [--cmp W] [--shift W] [--depth-bias X]
@@ -32,7 +32,11 @@
 //! one or more sources on a worker pool and reports the Pareto front
 //! (see `hlts-dse`); with `--atpg` every point is additionally graded
 //! and the front is Pareto over measured (coverage, test cycles) too; with `--journal` completed points checkpoint to a
-//! plain-text file that `--resume` picks up without recomputing. `gen`
+//! plain-text file that `--resume` picks up without recomputing;
+//! `--warm-start on` seeds each point from its nearest completed
+//! neighbour's merge trace, replaying decisions instead of re-searching
+//! them — the front is bit-identical to `--warm-start off` at any
+//! worker count (see `hlts-dse`). `gen`
 //! emits a random — but seed-reproducible — workload in the textual
 //! DFG format (see `hlts-gen`), so `hlts gen --seed 7 | hlts run -`
 //! synthesizes a fresh graph and a conformance failure's printed
@@ -136,6 +140,7 @@ struct ExploreOptions {
     weights: Vec<(f64, f64)>,
     bits: Vec<u32>,
     jobs: usize,
+    warm_start: bool,
     atpg: bool,
     fault_sample: Option<usize>,
     journal: Option<String>,
@@ -149,8 +154,8 @@ fn usage() -> &'static str {
      \x20            [--bits N] [--k N] [--alpha X] [--beta X] [--atpg]\n\
      \x20            [--fault-sample N] [--tcov-jobs N] [--audit] [--json] [--quiet]\n\
      \x20      hlts explore <source>... [--flow LIST] [--bits LIST] [--k LIST]\n\
-     \x20            [--weights A:B,...] [--jobs N] [--atpg] [--fault-sample N]\n\
-     \x20            [--journal PATH | --resume PATH] [--json] [--quiet]\n\
+     \x20            [--weights A:B,...] [--jobs N] [--warm-start off|on] [--atpg]\n\
+     \x20            [--fault-sample N] [--journal PATH | --resume PATH] [--json] [--quiet]\n\
      \x20      hlts gen [--seed N] [--preset NAME] [--list-presets] [--out FILE]\n\
      \x20            [--ops N] [--inputs N] [--const-ratio X] [--mul W] [--addsub W]\n\
      \x20            [--logic W] [--cmp W] [--shift W] [--depth-bias X]\n\
@@ -163,7 +168,7 @@ fn usage() -> &'static str {
 
 const RUN_FLAGS: &str = "--flow, --bits, --k, --alpha, --beta, --atpg, --fault-sample, \
     --tcov-jobs, --audit, --json, --quiet";
-const EXPLORE_FLAGS: &str = "--flow, --bits, --k, --weights, --jobs, --atpg, \
+const EXPLORE_FLAGS: &str = "--flow, --bits, --k, --weights, --jobs, --warm-start, --atpg, \
     --fault-sample, --journal, --resume, --json, --quiet";
 const SERVE_FLAGS: &str = "--tcp, --workers, --queue, --warm";
 const SUBMIT_FLAGS: &str = "--connect, --flow, --bits, --k, --alpha, --beta, --atpg";
@@ -202,6 +207,30 @@ fn parse_weight(flag: &str, text: &str) -> Result<f64, String> {
 fn parse_fault_sample(text: &str) -> Result<usize, String> {
     text.parse()
         .map_err(|e| format!("--fault-sample: {e} (0 = exhaustive, N = sample size)"))
+}
+
+/// Worker/capacity counts must be positive — zero workers is a sweep
+/// (or a grading pass, or a daemon) that can never make progress. One
+/// validator serves every such flag (`--jobs`, `--tcov-jobs`,
+/// `--workers`, `--queue`) so they all reject `0` through the same
+/// typed error path with the same message shape.
+fn parse_positive_count(flag: &str, text: &str) -> Result<usize, String> {
+    let n: usize = text.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be >= 1"));
+    }
+    Ok(n)
+}
+
+/// `--warm-start` takes an explicit mode, not a bare switch: `off` is
+/// the documented way to pin today's cold behavior in scripts, and an
+/// explicit value keeps future modes (e.g. a trace-budget) additive.
+fn parse_warm_start(text: &str) -> Result<bool, String> {
+    match text {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(format!("--warm-start: unknown mode `{other}` (expected off or on)")),
+    }
 }
 
 fn take(args: &mut dyn Iterator<Item = String>, what: &str) -> Result<String, String> {
@@ -255,13 +284,8 @@ fn parse_run_args(mut args: impl Iterator<Item = String>) -> Result<RunOptions, 
                 opts.fault_sample = Some(parse_fault_sample(&take(&mut args, "--fault-sample")?)?);
             }
             "--tcov-jobs" => {
-                let jobs: usize = take(&mut args, "--tcov-jobs")?
-                    .parse()
-                    .map_err(|e| format!("--tcov-jobs: {e}"))?;
-                if jobs == 0 {
-                    return Err("--tcov-jobs must be >= 1".into());
-                }
-                opts.tcov_jobs = Some(jobs);
+                opts.tcov_jobs =
+                    Some(parse_positive_count("--tcov-jobs", &take(&mut args, "--tcov-jobs")?)?);
             }
             "--audit" => opts.audit = true,
             "--json" => opts.json = true,
@@ -292,6 +316,7 @@ fn parse_explore_args(mut args: impl Iterator<Item = String>) -> Result<ExploreO
         weights: vec![(2.0, 1.0), (10.0, 1.0), (1.0, 10.0)],
         bits: vec![8],
         jobs: 1,
+        warm_start: false,
         atpg: false,
         fault_sample: None,
         journal: None,
@@ -324,12 +349,10 @@ fn parse_explore_args(mut args: impl Iterator<Item = String>) -> Result<ExploreO
                     })?;
             }
             "--jobs" => {
-                opts.jobs = take(&mut args, "--jobs")?
-                    .parse()
-                    .map_err(|e| format!("--jobs: {e}"))?;
-                if opts.jobs == 0 {
-                    return Err("--jobs must be >= 1".into());
-                }
+                opts.jobs = parse_positive_count("--jobs", &take(&mut args, "--jobs")?)?;
+            }
+            "--warm-start" => {
+                opts.warm_start = parse_warm_start(&take(&mut args, "--warm-start")?)?;
             }
             "--atpg" => opts.atpg = true,
             "--fault-sample" => {
@@ -567,6 +590,9 @@ fn explore_main(args: impl Iterator<Item = String>) -> Result<(), String> {
         tcov: opts.atpg.then(|| dse::TcovSweep {
             fault_sample: opts.fault_sample.unwrap_or(DEFAULT_FAULT_SAMPLE),
         }),
+        // Warm-start joins the fingerprint too: a trace-bearing
+        // journal cannot resume a legacy (cold) sweep or vice versa.
+        warm_start: opts.warm_start,
     };
     let mut cfg = ExploreConfig {
         jobs: opts.jobs,
@@ -591,6 +617,9 @@ fn explore_main(args: impl Iterator<Item = String>) -> Result<(), String> {
             );
         }
         cfg.resume = scan.points;
+        // Resumed traces re-seed the warm pool, so points computed
+        // after the restart still replay their neighbours' merges.
+        cfg.resume_traces = scan.traces;
         cfg.resume_malformed = scan.malformed;
         cfg.resume_torn_tail = scan.torn_tail;
         cfg.journal = Some(path);
@@ -754,20 +783,12 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptio
         match arg.as_str() {
             "--tcp" => opts.tcp = Some(take(&mut args, "--tcp")?),
             "--workers" => {
-                opts.cfg.workers = take(&mut args, "--workers")?
-                    .parse()
-                    .map_err(|e| format!("--workers: {e}"))?;
-                if opts.cfg.workers == 0 {
-                    return Err("--workers must be >= 1".into());
-                }
+                opts.cfg.workers =
+                    parse_positive_count("--workers", &take(&mut args, "--workers")?)?;
             }
             "--queue" => {
-                opts.cfg.queue_capacity = take(&mut args, "--queue")?
-                    .parse()
-                    .map_err(|e| format!("--queue: {e}"))?;
-                if opts.cfg.queue_capacity == 0 {
-                    return Err("--queue must be >= 1".into());
-                }
+                opts.cfg.queue_capacity =
+                    parse_positive_count("--queue", &take(&mut args, "--queue")?)?;
             }
             "--warm" => {
                 // 0 is meaningful here: it disables warm-context reuse.

@@ -423,6 +423,51 @@ fn explore_interrupt_reports_a_partial_front() {
     assert!(text.contains("Pareto front"), "{text}");
 }
 
+/// Every worker-count flag rejects `0` through the same validator —
+/// `explore --jobs 0` used to be the odd one out, so pin all of them.
+#[test]
+fn zero_worker_counts_are_rejected_uniformly() {
+    let cases: [(&[&str], &str); 4] = [
+        (&["explore", "bench:ex", "--jobs", "0"], "--jobs must be >= 1"),
+        (
+            &["bench:ex", "--atpg", "--tcov-jobs", "0"],
+            "--tcov-jobs must be >= 1",
+        ),
+        (&["serve", "--workers", "0"], "--workers must be >= 1"),
+        (&["serve", "--queue", "0"], "--queue must be >= 1"),
+    ];
+    for (args, message) in cases {
+        let out = hlts().args(args).output().expect("binary runs");
+        assert!(!out.status.success(), "{args:?} accepted");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(message), "{args:?}: {err}");
+    }
+}
+
+/// `--warm-start on` replays neighbour traces but reports the very
+/// same front as a cold sweep; garbage modes are rejected.
+#[test]
+fn explore_warm_start_preserves_the_front() {
+    let sweep = ["explore", "bench:ex", "--k", "2", "--weights", "2:1,2:1.05,1:10", "--quiet"];
+    let run = |extra: &[&str]| {
+        let out = hlts().args(sweep).args(extra).output().expect("binary runs");
+        assert!(out.status.success(), "{out:?}");
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let cold = run(&["--warm-start", "off"]);
+    let warm = run(&["--warm-start", "on"]);
+    let front = |s: &str| s.split("front: ").nth(1).map(str::to_owned);
+    assert_eq!(front(&cold), front(&warm), "{cold} vs {warm}");
+
+    let out = hlts()
+        .args(["explore", "bench:ex", "--warm-start", "sideways"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("expected off or on"), "{err}");
+}
+
 #[test]
 fn explore_rejects_journal_plus_resume() {
     let out = hlts()
